@@ -1,0 +1,92 @@
+"""Ablation — lock-table choice under one concurrent ET workload.
+
+Tables 2 and 3 exist to admit more interleavings than classic 2PL.
+This ablation runs the *same* mixed ET workload through the local
+scheduler three times, swapping only the compatibility table, and
+reports blocking and makespan.  Expected ordering:
+
+    classic 2PL  >=  ORDUP (Table 2)  >=  COMMU (Table 3)
+
+in waits and makespan: Table 2 frees the queries, Table 3 additionally
+frees commuting updates.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.core.divergence import TwoPhaseLockingDC
+from repro.core.locks import CLASSIC_2PL, COMMU_TABLE, ORDUP_TABLE
+from repro.core.operations import IncrementOp, ReadOp
+from repro.core.scheduler import LocalScheduler
+from repro.core.transactions import (
+    EpsilonSpec,
+    QueryET,
+    UpdateET,
+    reset_tid_counter,
+)
+from repro.harness.report import render_table
+from repro.sim.events import Simulator
+from repro.storage.kv import KeyValueStore
+
+
+def _run_workload(table):
+    reset_tid_counter()
+    sim = Simulator(seed=5)
+    sched = LocalScheduler(
+        sim,
+        TwoPhaseLockingDC(table),
+        KeyValueStore({"a": 0, "b": 0, "c": 0}),
+    )
+    keys = ("a", "b", "c")
+    # Arrivals outpace the 0.5-unit op time, so same-key update ETs
+    # genuinely overlap: W_U/W_U contention separates Table 3 (Comm)
+    # from Table 2, and R_Q admission separates Table 2 from classic.
+    for i in range(12):
+        key = keys[i % 3]
+        sim.schedule_at(
+            i * 0.1,
+            lambda k=key: sched.submit(UpdateET([IncrementOp(k, 1)])),
+        )
+        if i % 2 == 0:
+            sim.schedule_at(
+                i * 0.1 + 0.05,
+                lambda k=key: sched.submit(
+                    QueryET([ReadOp(k)], EpsilonSpec(import_limit=5))
+                ),
+            )
+    sim.run()
+    makespan = max(r.finish_time for r in sched.completed)
+    return {
+        "waits": sched.wait_count,
+        "makespan": makespan,
+        "completed": len(sched.completed),
+    }
+
+
+def test_ablation_lock_tables(benchmark, show):
+    def sweep():
+        return {
+            "classic": _run_workload(CLASSIC_2PL),
+            "ordup": _run_workload(ORDUP_TABLE),
+            "commu": _run_workload(COMMU_TABLE),
+        }
+
+    data = run_once(benchmark, sweep)
+    rows = [
+        [name, d["completed"], d["waits"], round(d["makespan"], 2)]
+        for name, d in data.items()
+    ]
+    show(render_table(
+        "Ablation: lock table vs blocking (same mixed workload)",
+        ["table", "ETs", "waits", "makespan"],
+        rows,
+    ))
+
+    # Everyone finishes the whole workload.
+    assert all(d["completed"] == 18 for d in data.values())
+
+    # Each relaxation strictly reduces blocking on this workload.
+    assert data["ordup"]["waits"] < data["classic"]["waits"]
+    assert data["commu"]["waits"] <= data["ordup"]["waits"]
+    assert data["commu"]["makespan"] <= data["classic"]["makespan"]

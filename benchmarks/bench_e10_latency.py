@@ -1,0 +1,46 @@
+"""E10 — Commit latency vs link latency (section 2.4).
+
+Paper claim: a commit agreement protocol "is a big handicap when
+network links have very low bandwidth or moderately high latency.  To
+solve this problem, replica control propagates updates independently."
+Expected shape: synchronous baselines' update latency grows linearly
+in the link latency (multiple round trips); COMMU and RITU commit
+locally at zero network cost at every point; ORDUP pays only the order
+server round trip.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_e10_latency
+
+LATENCIES = (0.5, 2.0, 8.0, 32.0)
+
+
+def test_e10_link_latency_sweep(benchmark, show):
+    text, data = run_once(
+        benchmark, experiment_e10_latency, latencies=LATENCIES, count=40
+    )
+    show(text)
+
+    # COMMU and RITU commit locally: flat (and ~zero) at all latencies.
+    for method in ("COMMU", "RITU"):
+        assert data[method][32.0] <= data[method][0.5] + 0.5
+
+    # Synchronous methods scale with the link latency.
+    for method in ("ROWA-2PC", "QUORUM", "PRIMARY"):
+        assert data[method][32.0] > data[method][0.5] * 4
+
+    # At every latency point, the async methods beat every sync one.
+    for latency in LATENCIES:
+        async_worst = max(
+            data[m][latency] for m in ("COMMU", "RITU", "ORDUP")
+        )
+        sync_best = min(
+            data[m][latency] for m in ("ROWA-2PC", "QUORUM", "PRIMARY")
+        )
+        assert async_worst < sync_best
+
+    # ORDUP's only network cost is the order-server round trip: it
+    # grows with latency but stays well under the 2PC protocols.
+    assert data["ORDUP"][32.0] < data["ROWA-2PC"][32.0]
+    assert data["ORDUP"][32.0] < data["QUORUM"][32.0]

@@ -1,0 +1,61 @@
+"""E1 — Reproduce the paper's worked example log (1), section 2.1.
+
+R1(a) W1(b) W2(b) R3(a) W2(a) R3(b): not serial, not SR, but
+epsilon-serial because deleting the query ET leaves a serial update
+log.  Also benchmarks the checker itself on synthetic logs.
+"""
+
+from conftest import run_once
+
+from repro.core.history import History
+from repro.core.operations import IncrementOp, ReadOp, WriteOp
+from repro.core.serializability import is_epsilon_serial, is_serializable
+from repro.core.transactions import (
+    QueryET,
+    UpdateET,
+    reset_tid_counter,
+)
+from repro.harness.experiments import experiment_e1_example_log
+
+
+def test_e1_render(benchmark, show):
+    text, data = run_once(benchmark, experiment_e1_example_log)
+    show(text)
+    assert data == {
+        "full_log_serial": False,
+        "full_log_sr": False,
+        "epsilon_serial": True,
+        "update_projection_serial": True,
+    }
+
+
+def _synthetic_log(n_txns, ops_per_txn):
+    reset_tid_counter()
+    history = History()
+    ets = []
+    for t in range(n_txns):
+        if t % 3 == 2:
+            et = QueryET([ReadOp("k%d" % (i % 7)) for i in range(ops_per_txn)])
+        else:
+            et = UpdateET(
+                [IncrementOp("k%d" % (i % 7), 1) for i in range(ops_per_txn)]
+            )
+        history.register(et)
+        ets.append(et)
+    # Round-robin interleaving.
+    for i in range(ops_per_txn):
+        for et in ets:
+            history.record(et.tid, et.operations[i])
+    return history
+
+
+def test_epsilon_serial_checker_throughput(benchmark, show):
+    """Checker cost on a 100-transaction, 800-operation log."""
+    history = _synthetic_log(100, 8)
+    result = benchmark(lambda: is_epsilon_serial(history))
+    assert result  # commutative updates: always epsilon-serial
+
+
+def test_sr_checker_throughput(benchmark):
+    history = _synthetic_log(60, 6)
+    benchmark(lambda: is_serializable(history))

@@ -1,0 +1,47 @@
+"""E2 — Throughput/latency vs number of replicas (sections 1, 2.4, 6).
+
+Paper claim: "synchronous methods decrease system availability and
+throughput as the size of the system increases" while asynchronous
+replica control commits updates at local speed.  Expected shape:
+async update latency ~flat in the replica count; ROWA-2PC / quorum /
+primary-copy grow with it (and sit far above the async methods).
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_e2_scaleup
+
+
+def test_e2_scaleup(benchmark, show):
+    text, data = run_once(
+        benchmark, experiment_e2_scaleup, site_counts=(2, 4, 8), count=60
+    )
+    show(text)
+
+    # Async methods commit without waiting for propagation: their
+    # update latency is independent of the replica count and far below
+    # the synchronous baselines at every scale.
+    for n in (2, 4, 8):
+        async_worst = max(
+            data[m][n]["update_latency"] for m in ("COMMU", "RITU", "ORDUP")
+        )
+        sync_best = min(
+            data[m][n]["update_latency"]
+            for m in ("ROWA-2PC", "QUORUM", "PRIMARY")
+        )
+        assert async_worst < sync_best, "no async win at n=%d" % n
+
+    # Sync methods degrade as replicas are added; COMMU/RITU stay flat.
+    assert (
+        data["ROWA-2PC"][8]["update_latency"]
+        > data["ROWA-2PC"][2]["update_latency"]
+    )
+    assert (
+        data["COMMU"][8]["update_latency"]
+        <= data["COMMU"][2]["update_latency"] + 0.5
+    )
+
+    # Everyone converges regardless.
+    for method in data:
+        for n in (2, 4, 8):
+            assert data[method][n]["converged"] == 1.0

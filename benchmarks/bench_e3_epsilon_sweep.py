@@ -1,0 +1,44 @@
+"""E3 — Query error vs epsilon limit (section 2.2).
+
+Paper claim: "At the one end of spectrum, replica control may allow
+zero inconsistency and no overlap, producing SR queries.  At the other
+end ... let a query ET's error grow ... but ultimately the overlap
+still bounds the query ET's error."  Expected shape: measured maximum
+error grows with the epsilon limit, never exceeds it, is zero at
+epsilon 0, and waiting (the price of consistency) falls as epsilon
+grows.
+"""
+
+from conftest import run_once
+
+from repro.core.transactions import UNLIMITED
+from repro.harness.experiments import experiment_e3_epsilon_sweep
+
+EPSILONS = (0, 1, 2, 4, UNLIMITED)
+
+
+def test_e3_epsilon_sweep(benchmark, show):
+    text, data = run_once(
+        benchmark, experiment_e3_epsilon_sweep, epsilons=EPSILONS, count=100
+    )
+    show(text)
+
+    # Strict limit recovers SR queries (zero error).
+    assert data[0]["max_inconsistency"] == 0
+
+    # Error never exceeds the limit; the counter bound always holds.
+    for eps in EPSILONS:
+        assert data[eps]["within_bound"] == 1.0
+        if eps != UNLIMITED:
+            assert data[eps]["max_inconsistency"] <= eps
+
+    # Error is monotone in the limit (more budget, more staleness).
+    errors = [data[eps]["max_inconsistency"] for eps in EPSILONS]
+    assert errors == sorted(errors)
+
+    # Waiting is the price of small epsilon: strict queries stall most.
+    assert data[0]["waits"] >= data[UNLIMITED]["waits"]
+
+    # Measured error respects the overlap bound (section 2.1 theorem).
+    for eps in EPSILONS:
+        assert data[eps]["error_within_overlap"] == 1.0

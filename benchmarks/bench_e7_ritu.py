@@ -1,0 +1,35 @@
+"""E7 — RITU variants (section 3.3).
+
+Paper claims: single-version overwrite "reduces to COMMU" (no version
+bookkeeping, but strict queries must wait out backlogs); the
+multiversion variant gives strict queries a free consistent snapshot
+(the VTNC) so they never wait; relaxed queries may read newer versions
+at one inconsistency unit each.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_e7_ritu
+
+
+def test_e7_ritu_variants(benchmark, show):
+    text, data = run_once(benchmark, experiment_e7_ritu, count=100)
+    show(text)
+
+    # Strict queries: zero error in both variants.
+    assert data["overwrite eps=0"]["max_inconsistency"] == 0
+    assert data["multiversion eps=0"]["max_inconsistency"] == 0
+
+    # The VTNC gives multiversion strict queries a waiting-free
+    # consistent read; the single-version variant has to stall.
+    assert data["multiversion eps=0"]["waits"] == 0
+    assert data["overwrite eps=0"]["waits"] > 0
+
+    # Relaxed queries stay within their budget.
+    assert data["overwrite eps=2"]["max_inconsistency"] <= 2
+    assert data["multiversion eps=2"]["max_inconsistency"] <= 2
+
+    # All variants converge and keep updates 1SR.
+    for variant in data.values():
+        assert variant["converged"]
+        assert variant["one_copy_sr"]

@@ -1,0 +1,42 @@
+"""E8 — COMPE compensation strategy costs (section 4).
+
+Paper claims: "if all MSets on the log are commutative, then COMPE
+simply runs the compensation MSet and continues"; otherwise the system
+must roll back and replay the log suffix (the Inc/Mul worked example).
+Expected shape: commutative logs take only direct compensations;
+mixed logs incur rollback-and-replay with its extra undone/replayed
+operation cost; both converge.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_e8_compe
+
+
+def test_e8_compensation_costs(benchmark, show):
+    text, data = run_once(benchmark, experiment_e8_compe, count=80)
+    show(text)
+
+    commutative, mixed = data["commutative"], data["mixed"]
+
+    # Commutative logs never need the general rollback.
+    assert commutative["rollback_replay"] == 0
+    assert commutative["direct"] > 0
+    assert commutative["replayed"] == 0
+
+    # Mixed logs do, and pay replay cost for it.
+    assert mixed["rollback_replay"] > 0
+    assert mixed["replayed"] > 0
+
+    # Per compensated update, the mixed strategy touches more
+    # operations (undone + replayed) than the commutative one.
+    commutative_cost = (
+        commutative["undone"] + commutative["replayed"]
+    ) / max(commutative["aborts"], 1)
+    mixed_cost = (mixed["undone"] + mixed["replayed"]) / max(
+        mixed["aborts"], 1
+    )
+    assert mixed_cost > commutative_cost
+
+    # Backward control still converges in both regimes.
+    assert commutative["converged"] and mixed["converged"]

@@ -1,0 +1,37 @@
+"""E9 — Availability under partitions (sections 1, 2.2, 5.3).
+
+Paper claims: asynchronous replica control "is robust in face of very
+slow links, network partitions, and site failures"; synchronous commit
+protocols block.  Expected shape: COMMU/RITU commit every update
+submitted during a partition immediately; the synchronous baselines
+commit none until the partition heals; ORDUP sits in between (only the
+partition side holding the order server stays available); everyone
+converges after healing.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_e9_availability
+
+
+def test_e9_partition_availability(benchmark, show):
+    text, data = run_once(benchmark, experiment_e9_availability, count=60)
+    show(text)
+
+    # Fully asynchronous methods: all updates commit during the
+    # partition at local speed.
+    assert data["COMMU"]["availability"] == 1.0
+    assert data["RITU"]["availability"] == 1.0
+
+    # Synchronous methods: nothing commits until the partition heals.
+    assert data["ROWA-2PC"]["availability"] == 0.0
+    assert data["QUORUM"]["availability"] == 0.0
+    assert data["PRIMARY"]["availability"] == 0.0
+
+    # ORDUP: ordering is central, so only the server-side partition
+    # makes progress — strictly between the two extremes.
+    assert 0.0 < data["ORDUP"]["availability"] < 1.0
+
+    # The paper's other half: availability does not cost convergence.
+    for method in data.values():
+        assert method["converged"] == 1.0

@@ -1,0 +1,62 @@
+"""T2 — Reproduce Table 2: 2PL compatibility for ORDUP ETs.
+
+The matrix is derived by probing the live lock manager with every
+(held, requested) mode pair, then compared cell-for-cell with the
+paper's table.  The benchmark measures lock-manager throughput on the
+ORDUP table as a bonus microbenchmark.
+"""
+
+from conftest import run_once
+
+from repro.core.locks import LockManager, LockMode, ORDUP_TABLE
+from repro.core.operations import ReadOp, WriteOp
+from repro.harness.experiments import experiment_table2
+
+_PAPER_TABLE2 = {
+    "RU": ["OK", "", "OK"],
+    "WU": ["", "", "OK"],
+    "RQ": ["OK", "OK", "OK"],
+}
+
+
+def test_table2_render(benchmark, show):
+    text, rows = run_once(benchmark, experiment_table2)
+    show(text)
+    assert dict(rows) == _PAPER_TABLE2
+
+
+def test_table2_probe_lock_manager(show):
+    """Derive each cell by actually acquiring locks."""
+    probes = {
+        LockMode.R_U: ReadOp("x"),
+        LockMode.W_U: WriteOp("x", 1),
+        LockMode.R_Q: ReadOp("x"),
+    }
+    derived = {}
+    for held_mode, held_op in probes.items():
+        cells = []
+        for req_mode, req_op in probes.items():
+            manager = LockManager(ORDUP_TABLE)
+            assert manager.try_acquire(1, "x", held_mode, held_op)
+            grant = manager.try_acquire(2, "x", req_mode, req_op)
+            cells.append("OK" if grant is not None else "")
+        derived[held_mode.value] = cells
+    assert derived == _PAPER_TABLE2
+
+
+def test_lock_manager_throughput(benchmark):
+    """Microbenchmark: grant/release cycles under the ORDUP table."""
+
+    def cycle():
+        manager = LockManager(ORDUP_TABLE)
+        for tid in range(1, 101):
+            key = "k%d" % (tid % 10)
+            manager.try_acquire(tid, key, LockMode.W_U, WriteOp(key, tid))
+            manager.try_acquire(
+                1000 + tid, key, LockMode.R_Q, ReadOp(key)
+            )
+            manager.release_all(tid)
+            manager.release_all(1000 + tid)
+        return manager
+
+    benchmark(cycle)

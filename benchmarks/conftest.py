@@ -1,0 +1,27 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one paper table/claim (see DESIGN.md §4 and
+EXPERIMENTS.md).  The reproduced table is printed to the terminal so a
+run of ``pytest benchmarks/ --benchmark-only`` emits the full set of
+paper artifacts alongside the timing data.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print a reproduced table bypassing pytest's capture."""
+
+    def _show(text: str) -> None:
+        import sys
+
+        sys.stderr.write("\n" + text + "\n")
+
+    return _show
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a full experiment exactly once (they are heavy)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Single-site epsilon-transactions: Tables 2 and 3 in motion.
+
+No replication here — just one site running concurrent ETs under
+three divergence-control disciplines on the same workload:
+
+* classic 2PL (the synchronous baseline the paper relaxes),
+* Table 2 (ORDUP): query read locks compatible with everything,
+* Table 3 (COMMU): update/update conflicts relaxed to commutativity.
+
+The printout shows what each relaxation buys: fewer blocked
+operations, shorter makespan, identical final state — with each
+query's imported inconsistency metered against its epsilon budget.
+
+Run:  python examples/single_site_ets.py
+"""
+
+from repro.core.divergence import OptimisticDC, TwoPhaseLockingDC
+from repro.core.locks import CLASSIC_2PL, COMMU_TABLE, ORDUP_TABLE
+from repro.core.operations import IncrementOp, ReadOp
+from repro.core.scheduler import LocalScheduler
+from repro.core.transactions import (
+    EpsilonSpec,
+    QueryET,
+    UpdateET,
+    reset_tid_counter,
+)
+from repro.sim.events import Simulator
+from repro.storage.kv import KeyValueStore
+
+
+def run_workload(label, make_dc):
+    reset_tid_counter()
+    sim = Simulator(seed=3)
+    sched = LocalScheduler(
+        sim, make_dc(), KeyValueStore({"till": 0, "safe": 0})
+    )
+    # A burst of deposits against two accounts, with audits midstream.
+    for i in range(10):
+        key = "till" if i % 2 else "safe"
+        sim.schedule_at(
+            i * 0.1,
+            lambda k=key: sched.submit(UpdateET([IncrementOp(k, 10)])),
+        )
+    for t in (0.25, 0.55, 0.85):
+        sim.schedule_at(
+            t,
+            lambda: sched.submit(
+                QueryET(
+                    [ReadOp("till"), ReadOp("safe")],
+                    EpsilonSpec(import_limit=2),
+                )
+            ),
+        )
+    sim.run()
+    queries = [r for r in sched.completed if r.et.is_query]
+    makespan = max(r.finish_time for r in sched.completed)
+    total = sched.store.get("till") + sched.store.get("safe")
+    print(
+        "%-12s blocked=%3d  aborted=%2d  makespan=%5.2f  "
+        "query errors=%s  total=%d"
+        % (
+            label,
+            sched.wait_count,
+            sched.abort_count,
+            makespan,
+            [q.inconsistency for q in queries],
+            total,
+        )
+    )
+    assert total == 100  # no lost updates under any discipline
+    return sched.wait_count, makespan
+
+
+def main() -> None:
+    print("10 deposits + 3 epsilon-2 audits, one site, four disciplines:\n")
+    classic_waits, classic_span = run_workload(
+        "classic 2PL", lambda: TwoPhaseLockingDC(CLASSIC_2PL)
+    )
+    ordup_waits, ordup_span = run_workload(
+        "Table 2", lambda: TwoPhaseLockingDC(ORDUP_TABLE)
+    )
+    commu_waits, commu_span = run_workload(
+        "Table 3", lambda: TwoPhaseLockingDC(COMMU_TABLE)
+    )
+    run_workload("optimistic", OptimisticDC)
+    print()
+    print("Each relaxation admits more interleavings:")
+    print(
+        "  blocking: classic %d >= Table2 %d >= Table3 %d"
+        % (classic_waits, ordup_waits, commu_waits)
+    )
+    assert classic_waits >= ordup_waits >= commu_waits
+    assert commu_span <= classic_span
+
+
+if __name__ == "__main__":
+    main()

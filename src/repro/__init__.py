@@ -1,0 +1,113 @@
+"""repro — Asynchronous replica control under epsilon-serializability.
+
+A from-scratch reproduction of Pu & Leff, "Replica Control in
+Distributed Systems: An Asynchronous Approach" (SIGMOD 1991 / Columbia
+TR CUCS-053-90).
+
+Public API layers:
+
+* :mod:`repro.core` — ESR theory: operations, epsilon-transactions,
+  histories, serializability checkers, divergence control.
+* :mod:`repro.replica` — the paper's four replica control methods
+  (ORDUP, COMMU, RITU, COMPE) plus synchronous 1SR baselines, all
+  running on a deterministic simulated distributed system.
+* :mod:`repro.sim` — the substrate: event loop, network, stable
+  queues, sites, failure injection.
+* :mod:`repro.storage` — versioned stores and the compensation log.
+* :mod:`repro.workload` / :mod:`repro.metrics` / :mod:`repro.harness`
+  — experiment machinery reproducing the paper's tables and claims.
+
+Quickstart::
+
+    from repro import (
+        CommutativeOperations, ReplicatedSystem, SystemConfig,
+        UpdateET, QueryET, IncrementOp, ReadOp, EpsilonSpec,
+    )
+
+    system = ReplicatedSystem(CommutativeOperations(),
+                              SystemConfig(n_sites=3, seed=7))
+    system.submit(UpdateET([IncrementOp("balance", 100)]), "site0")
+    system.submit(QueryET([ReadOp("balance")],
+                          EpsilonSpec(import_limit=2)), "site1")
+    system.run_to_quiescence()
+    assert system.converged()
+"""
+
+from .core import (
+    AppendOp,
+    CLASSIC_2PL,
+    COMMU_TABLE,
+    DecrementOp,
+    DivideOp,
+    EpsilonSpec,
+    EpsilonTransaction,
+    ETResult,
+    ETStatus,
+    Event,
+    History,
+    IncrementOp,
+    MultiplyOp,
+    Operation,
+    ORDUP_TABLE,
+    QueryET,
+    ReadOp,
+    TimestampedWriteOp,
+    UNLIMITED,
+    UpdateET,
+    WriteOp,
+    commutes,
+    conflicts,
+    is_epsilon_serial,
+    is_esr,
+    is_one_copy_serializable,
+    is_serializable,
+    make_et,
+    query_overlaps,
+    replicas_converged,
+)
+from .replica import (
+    CommutativeOperations,
+    CompensationBased,
+    OrderedUpdates,
+    PrimaryCopy,
+    QuorumConsensus,
+    ReadIndependentUpdates,
+    ReadOneWriteAll2PC,
+    ReplicatedSystem,
+    SystemConfig,
+)
+from .sim import (
+    ConstantLatency,
+    ExponentialLatency,
+    Simulator,
+    UniformLatency,
+)
+from .workload import WorkloadGenerator, WorkloadSpec, drive
+from .metrics import RunMetrics, divergence_of, summarize
+from .harness import AuditReport, audit
+from .client import Client, ETFailed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "AppendOp", "CLASSIC_2PL", "COMMU_TABLE", "DecrementOp", "DivideOp",
+    "EpsilonSpec", "EpsilonTransaction", "ETResult", "ETStatus", "Event",
+    "History", "IncrementOp", "MultiplyOp", "Operation", "ORDUP_TABLE",
+    "QueryET", "ReadOp", "TimestampedWriteOp", "UNLIMITED", "UpdateET",
+    "WriteOp", "commutes", "conflicts", "is_epsilon_serial", "is_esr",
+    "is_one_copy_serializable", "is_serializable", "make_et",
+    "query_overlaps", "replicas_converged",
+    # replica
+    "CommutativeOperations", "CompensationBased", "OrderedUpdates",
+    "PrimaryCopy", "QuorumConsensus", "ReadIndependentUpdates",
+    "ReadOneWriteAll2PC", "ReplicatedSystem", "SystemConfig",
+    # sim
+    "ConstantLatency", "ExponentialLatency", "Simulator", "UniformLatency",
+    # workload / metrics / audit
+    "WorkloadGenerator", "WorkloadSpec", "drive",
+    "RunMetrics", "divergence_of", "summarize",
+    "AuditReport", "audit",
+    "Client", "ETFailed",
+    "__version__",
+]

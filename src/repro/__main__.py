@@ -1,0 +1,87 @@
+"""Command-line entry point: run the paper's experiments.
+
+Usage::
+
+    python -m repro list                 # show experiment ids
+    python -m repro run T1 E3            # run selected experiments
+    python -m repro run all              # run everything (takes ~10 s)
+    python -m repro run all -o results/  # also save one .txt per id
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from .harness.experiments import EXPERIMENTS
+
+_DESCRIPTIONS = {
+    "T1": "Table 1: replica-control method characteristics",
+    "T2": "Table 2: 2PL compatibility for ORDUP ETs",
+    "T3": "Table 3: 2PL compatibility for COMMU ETs",
+    "E1": "worked example log (1): epsilon-serial but not SR",
+    "E2": "update latency vs number of replicas (async vs sync)",
+    "E3": "query error vs epsilon limit",
+    "E4": "divergence over time; convergence at quiescence",
+    "E5": "ORDUP free vs global-order queries",
+    "E6": "COMMU lock-counter limits",
+    "E7": "RITU overwrite vs multiversion (VTNC)",
+    "E8": "COMPE compensation strategy costs",
+    "E9": "availability during a partition",
+    "E10": "commit latency vs link latency",
+}
+
+
+def _cmd_list() -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for eid in EXPERIMENTS:
+        print("%-*s  %s" % (width, eid, _DESCRIPTIONS.get(eid, "")))
+    return 0
+
+
+def _cmd_run(ids: List[str], out_dir: Optional[str] = None) -> int:
+    if ids == ["all"]:
+        ids = list(EXPERIMENTS)
+    unknown = [eid for eid in ids if eid not in EXPERIMENTS]
+    if unknown:
+        print("unknown experiment(s): %s" % ", ".join(unknown),
+              file=sys.stderr)
+        print("use 'python -m repro list' to see the registry",
+              file=sys.stderr)
+        return 2
+    destination = None
+    if out_dir is not None:
+        destination = pathlib.Path(out_dir)
+        destination.mkdir(parents=True, exist_ok=True)
+    for eid in ids:
+        text, _ = EXPERIMENTS[eid]()
+        print(text)
+        print()
+        if destination is not None:
+            (destination / ("%s.txt" % eid)).write_text(text + "\n")
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the experiments of Pu & Leff (SIGMOD 1991).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run = sub.add_parser("run", help="run experiments by id (or 'all')")
+    run.add_argument("ids", nargs="+", metavar="ID")
+    run.add_argument(
+        "-o", "--out", metavar="DIR", default=None,
+        help="also save each experiment's table to DIR/<ID>.txt",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_run(args.ids, args.out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

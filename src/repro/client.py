@@ -1,0 +1,154 @@
+"""Synchronous client facade over a replicated system.
+
+The paper's pitch for ETs is that applications "need not explicitly
+deal with the theoretical conditions satisfying ESR" — they just issue
+transactions with an inconsistency budget.  :class:`Client` delivers
+that ergonomics on top of the simulator: each call submits an ET at
+the client's home site and advances simulated time until the ET
+completes, returning plain values.
+
+    client = Client(system, "site1")
+    client.increment("balance", 100)          # async update, committed
+    value = client.read("balance", epsilon=2) # bounded-error query
+    strict = client.read("balance", epsilon=0)  # serializable query
+
+Because the client *runs the simulator* while waiting, it is intended
+for single-driver scripts (examples, notebooks, tests).  Concurrent
+multi-client scenarios should schedule submissions on the simulator
+directly, as the workload generator does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from .core.operations import (
+    AppendOp,
+    DecrementOp,
+    IncrementOp,
+    Operation,
+    ReadOp,
+    WriteOp,
+)
+from .core.transactions import (
+    EpsilonSpec,
+    ETResult,
+    ETStatus,
+    QueryET,
+    UNLIMITED,
+    UpdateET,
+)
+from .replica.base import ReplicatedSystem
+
+__all__ = ["Client", "ETFailed"]
+
+
+class ETFailed(RuntimeError):
+    """Raised when a client-issued ET does not commit."""
+
+    def __init__(self, result: ETResult) -> None:
+        super().__init__(
+            "ET %s finished with status %r" % (result.et.tid, result.status)
+        )
+        self.result = result
+
+
+class Client:
+    """A blocking, site-homed handle onto a replicated system."""
+
+    def __init__(self, system: ReplicatedSystem, site: str) -> None:
+        if site not in system.sites:
+            raise KeyError("unknown site %r" % site)
+        self.system = system
+        self.site = site
+
+    # -- generic execution ---------------------------------------------------
+
+    def execute(
+        self,
+        operations: Sequence[Operation],
+        spec: Optional[EpsilonSpec] = None,
+    ) -> ETResult:
+        """Submit an ET and run the simulation until it completes."""
+        from .core.transactions import make_et
+
+        et = make_et(operations, spec, origin_site=self.site)
+        done: List[ETResult] = []
+        self.system.submit(et, self.site, done.append)
+        guard = 0
+        while not done:
+            if not self.system.sim.step():
+                # Nothing scheduled but the ET is still pending: nudge
+                # the queues (a retry timer may be the only thing left).
+                self.system.kick_queues()
+                if not self.system.sim.step():
+                    raise RuntimeError(
+                        "simulation stalled while waiting for ET %s" % et.tid
+                    )
+            guard += 1
+            if guard > 1_000_000:
+                raise RuntimeError("ET %s never completed" % et.tid)
+        result = done[0]
+        if result.status != ETStatus.COMMITTED:
+            raise ETFailed(result)
+        return result
+
+    # -- updates ---------------------------------------------------------------
+
+    def write(self, key: str, value: Any) -> ETResult:
+        """Blind write (RITU-compatible)."""
+        return self.execute([WriteOp(key, value)])
+
+    def increment(self, key: str, amount: float = 1) -> ETResult:
+        return self.execute([IncrementOp(key, amount)])
+
+    def decrement(self, key: str, amount: float = 1) -> ETResult:
+        return self.execute([DecrementOp(key, amount)])
+
+    def append(self, key: str, item: Any) -> ETResult:
+        return self.execute([AppendOp(key, item)])
+
+    def update(self, operations: Sequence[Operation]) -> ETResult:
+        """Multi-operation update ET."""
+        return self.execute(list(operations))
+
+    # -- queries -----------------------------------------------------------------
+
+    def read(
+        self,
+        key: str,
+        epsilon: float = UNLIMITED,
+        value_epsilon: float = UNLIMITED,
+    ) -> Any:
+        """Read one key with the given inconsistency budget."""
+        result = self.execute(
+            [ReadOp(key)],
+            EpsilonSpec(import_limit=epsilon, value_limit=value_epsilon),
+        )
+        return result.values[key]
+
+    def read_many(
+        self,
+        keys: Sequence[str],
+        epsilon: float = UNLIMITED,
+        value_epsilon: float = UNLIMITED,
+    ) -> Dict[str, Any]:
+        """One query ET over several keys (a consistent unit of error)."""
+        result = self.execute(
+            [ReadOp(key) for key in keys],
+            EpsilonSpec(import_limit=epsilon, value_limit=value_epsilon),
+        )
+        return dict(result.values)
+
+    def query(
+        self, keys: Sequence[str], spec: EpsilonSpec
+    ) -> ETResult:
+        """Full-fidelity query: returns the ETResult with its error
+        accounting (inconsistency counter, overlap, waits)."""
+        return self.execute([ReadOp(key) for key in keys], spec)
+
+    # -- convenience ------------------------------------------------------------------
+
+    def settle(self) -> float:
+        """Drain all background propagation (returns quiescence time)."""
+        return self.system.run_to_quiescence()

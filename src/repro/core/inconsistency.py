@@ -1,0 +1,198 @@
+"""Inconsistency accounting: counters and lock-counters.
+
+The paper bounds query-ET error with two bookkeeping devices:
+
+* An **inconsistency counter** per query ET (sections 3.1 and 3.3):
+  incremented each time the query observes the effect of a conflicting
+  concurrent update; when it reaches the epsilon limit the query must
+  fall back to serializable behavior (wait for global order / refuse
+  versions newer than the VTNC).
+
+* A **lock-counter** per object (section 3.2, COMMU): incremented while
+  an update ET holds the object, decremented when the update ET ends.
+  A non-zero lock-counter tells a reading query that it is importing
+  that much potential inconsistency.  Sagas (section 4.2) keep the
+  counter raised for the whole saga so queries see a conservative
+  estimate of potential compensation.
+
+Both devices live here so every replica control method shares one
+implementation and the tests can verify the arithmetic in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .transactions import EpsilonSpec, TransactionID, UNLIMITED
+
+__all__ = [
+    "InconsistencyCounter",
+    "EpsilonExceeded",
+    "LockCounterTable",
+]
+
+
+class EpsilonExceeded(Exception):
+    """Raised when admitting an access would break the epsilon spec.
+
+    Divergence control catches this and forces the serializable path
+    (block until in global order, or read only VTNC-visible versions)
+    rather than failing the transaction.
+    """
+
+    def __init__(self, tid: TransactionID, counter: int, limit: float) -> None:
+        super().__init__(
+            "query %s inconsistency counter %d would exceed limit %s"
+            % (tid, counter, limit)
+        )
+        self.tid = tid
+        self.counter = counter
+        self.limit = limit
+
+
+@dataclass
+class InconsistencyCounter:
+    """Per-query-ET error budget tracking.
+
+    ``charge()`` is called by divergence control each time the query is
+    about to observe one unit of inconsistency (one conflicting
+    concurrent update, one out-of-order read, one version newer than
+    the VTNC).  It either admits the charge or raises
+    :class:`EpsilonExceeded`, in which case the caller must take the
+    consistent path instead.
+    """
+
+    tid: TransactionID
+    spec: EpsilonSpec
+    value: int = 0
+    #: accumulated worst-case value drift (value-based epsilon).
+    value_drift: float = 0.0
+    #: tids of the updates whose effects were actually imported.
+    imported: Set[TransactionID] = field(default_factory=set)
+
+    @property
+    def limit(self) -> float:
+        return self.spec.import_limit
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no further inconsistency may be admitted."""
+        return (
+            self.value >= self.limit
+            or self.value_drift >= self.spec.value_limit
+        )
+
+    def can_charge(self, units: int = 1, drift: float = 0.0) -> bool:
+        """Would charging ``units`` (and ``drift`` value units) fit?
+
+        ``drift=None`` (unknown delta) only fits an unlimited value
+        budget.
+        """
+        if self.value + units > self.limit:
+            return False
+        if drift is None:  # unknown delta needs an unlimited budget
+            return self.spec.value_limit == UNLIMITED
+        return self.value_drift + drift <= self.spec.value_limit
+
+    def charge(
+        self,
+        units: int = 1,
+        source: Optional[TransactionID] = None,
+        drift: float = 0.0,
+    ) -> int:
+        """Admit ``units`` of inconsistency or raise.
+
+        Returns the new counter value.  ``source`` (when known) records
+        which update ET the inconsistency came from, enabling the
+        error-vs-overlap assertion in tests.  ``drift`` adds to the
+        value-based budget.
+        """
+        if not self.can_charge(units, drift):
+            raise EpsilonExceeded(self.tid, self.value + units, self.limit)
+        self.value += units
+        if drift is not None:
+            self.value_drift += drift
+        if source is not None:
+            self.imported.add(source)
+        return self.value
+
+
+class LockCounterTable:
+    """Per-object lock-counters (COMMU divergence bounding).
+
+    'When updating an object, the update ET increments the object
+    lock-counter by one. ... At the end of update-ET execution all the
+    lock-counters are decremented.'  The table also supports the saga
+    variant where decrements are deferred to saga end.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+        #: holder tid -> keys it has raised (for symmetric release).
+        self._held: Dict[TransactionID, List[str]] = {}
+        #: saga id -> participating update tids whose release is deferred.
+        self._sagas: Dict[str, List[TransactionID]] = {}
+        self._saga_of: Dict[TransactionID, str] = {}
+
+    def count(self, key: str) -> int:
+        """Current lock-counter of ``key`` (0 when untouched)."""
+        return self._counts.get(key, 0)
+
+    def raise_for(self, tid: TransactionID, key: str) -> int:
+        """Update ET ``tid`` starts touching ``key``; returns new count."""
+        self._counts[key] = self._counts.get(key, 0) + 1
+        self._held.setdefault(tid, []).append(key)
+        return self._counts[key]
+
+    def release(self, tid: TransactionID) -> None:
+        """Update ET ``tid`` finished: decrement all its counters.
+
+        If the tid is enrolled in a saga, the release is deferred until
+        :meth:`end_saga` (section 4.2's conservative estimate).
+        """
+        if tid in self._saga_of:
+            return
+        self._release_now(tid)
+
+    def _release_now(self, tid: TransactionID) -> None:
+        for key in self._held.pop(tid, ()):  # each raise gets one decrement
+            new = self._counts.get(key, 0) - 1
+            if new <= 0:
+                self._counts.pop(key, None)
+            else:
+                self._counts[key] = new
+
+    # -- saga support ------------------------------------------------------
+
+    def enroll_in_saga(self, saga_id: str, tid: TransactionID) -> None:
+        """Defer this update ET's counter release to the saga's end."""
+        self._sagas.setdefault(saga_id, []).append(tid)
+        self._saga_of[tid] = saga_id
+
+    def end_saga(self, saga_id: str) -> None:
+        """Release the counters of every step of the finished saga."""
+        for tid in self._sagas.pop(saga_id, ()):  # steps release together
+            self._saga_of.pop(tid, None)
+            self._release_now(tid)
+
+    # -- query-side accounting --------------------------------------------
+
+    def inconsistency_of(self, keys: Tuple[str, ...]) -> int:
+        """Total potential inconsistency a query importing ``keys`` sees.
+
+        'Each lock-counter different from zero means a certain degree of
+        inconsistency added to the query ET.'
+        """
+        return sum(self._counts.get(key, 0) for key in keys)
+
+    def exceeds(self, key: str, limit: float) -> bool:
+        """True when raising ``key`` again would pass ``limit``.
+
+        Used by the update-throttling variant: 'if the lock-counter of
+        an object exceeds a specified limit, then the update ET trying
+        to write must either wait or abort.'
+        """
+        if limit == UNLIMITED:
+            return False
+        return self._counts.get(key, 0) + 1 > limit

@@ -1,0 +1,18 @@
+"""Experiment harness: runner, report rendering, registered experiments."""
+
+from .report import format_cell, render_series, render_table
+from .runner import ExperimentResult, divergence_trace, run_experiment
+from .experiments import EXPERIMENTS
+from .audit import AuditReport, audit
+
+__all__ = [
+    "EXPERIMENTS",
+    "AuditReport",
+    "ExperimentResult",
+    "audit",
+    "divergence_trace",
+    "format_cell",
+    "render_series",
+    "render_table",
+    "run_experiment",
+]

@@ -1,0 +1,12 @@
+"""Run metrics and summary statistics."""
+
+from .collector import RunMetrics, divergence_of, percentile, summarize
+from .timeline import render_timeline
+
+__all__ = [
+    "RunMetrics",
+    "divergence_of",
+    "percentile",
+    "render_timeline",
+    "summarize",
+]

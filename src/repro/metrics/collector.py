@@ -1,0 +1,151 @@
+"""Metrics extraction from simulation results.
+
+The benchmarks report a small set of derived quantities per run:
+throughput, latency percentiles, query inconsistency distribution,
+wait counts, convergence/divergence over time, and staleness error in
+value space.  All of it is computed from the list of
+:class:`~repro.core.transactions.ETResult` a system accumulates plus
+system-level probes, so methods need no metric hooks of their own.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.transactions import ETResult, ETStatus
+
+__all__ = ["RunMetrics", "summarize", "percentile", "divergence_of"]
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile; 0 for empty input."""
+    if not values:
+        return 0.0
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("p must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    return float(ordered[low] * (1 - frac) + ordered[high] * frac)
+
+
+@dataclass
+class RunMetrics:
+    """Summary of one simulation run."""
+
+    total_ets: int = 0
+    committed: int = 0
+    aborted: int = 0
+    compensated: int = 0
+    duration: float = 0.0
+    throughput: float = 0.0
+    #: update-only latency stats.
+    update_latency_mean: float = 0.0
+    update_latency_p95: float = 0.0
+    #: query-only latency stats.
+    query_latency_mean: float = 0.0
+    query_latency_p95: float = 0.0
+    #: query inconsistency counters.
+    inconsistency_mean: float = 0.0
+    inconsistency_max: int = 0
+    #: fraction of queries whose counter respected their epsilon spec.
+    within_bound_fraction: float = 1.0
+    #: total divergence-control stalls across queries.
+    waits: int = 0
+
+    def as_row(self) -> Dict[str, Any]:
+        """Flat dict for table rendering."""
+        return {
+            "ets": self.total_ets,
+            "committed": self.committed,
+            "thruput": round(self.throughput, 3),
+            "upd_lat": round(self.update_latency_mean, 3),
+            "upd_p95": round(self.update_latency_p95, 3),
+            "qry_lat": round(self.query_latency_mean, 3),
+            "qry_p95": round(self.query_latency_p95, 3),
+            "incons_mean": round(self.inconsistency_mean, 3),
+            "incons_max": self.inconsistency_max,
+            "in_bound": round(self.within_bound_fraction, 3),
+            "waits": self.waits,
+        }
+
+
+def summarize(results: Iterable[ETResult], duration: float) -> RunMetrics:
+    """Aggregate a run's ET results into :class:`RunMetrics`."""
+    metrics = RunMetrics(duration=duration)
+    update_latencies: List[float] = []
+    query_latencies: List[float] = []
+    inconsistencies: List[int] = []
+    bounded = 0
+    queries = 0
+    for result in results:
+        metrics.total_ets += 1
+        if result.status == ETStatus.COMMITTED:
+            metrics.committed += 1
+        elif result.status == ETStatus.ABORTED:
+            metrics.aborted += 1
+        elif result.status == ETStatus.COMPENSATED:
+            metrics.compensated += 1
+        metrics.waits += result.waits
+        if result.et.is_update:
+            update_latencies.append(result.latency)
+        else:
+            queries += 1
+            query_latencies.append(result.latency)
+            inconsistencies.append(result.inconsistency)
+            if result.within_bound:
+                bounded += 1
+    if duration > 0:
+        metrics.throughput = metrics.committed / duration
+    if update_latencies:
+        metrics.update_latency_mean = sum(update_latencies) / len(
+            update_latencies
+        )
+        metrics.update_latency_p95 = percentile(update_latencies, 95)
+    if query_latencies:
+        metrics.query_latency_mean = sum(query_latencies) / len(
+            query_latencies
+        )
+        metrics.query_latency_p95 = percentile(query_latencies, 95)
+    if inconsistencies:
+        metrics.inconsistency_mean = sum(inconsistencies) / len(
+            inconsistencies
+        )
+        metrics.inconsistency_max = max(inconsistencies)
+    if queries:
+        metrics.within_bound_fraction = bounded / queries
+    return metrics
+
+
+def divergence_of(site_values: Mapping[str, Mapping[str, Any]]) -> float:
+    """Total pairwise value divergence across replicas.
+
+    For numeric values: sum over keys of (max - min) across sites; a
+    direct measure of how far apart the replicas are at an instant.
+    Non-numeric values contribute 1 per key on which any pair differs.
+    """
+    sites = sorted(site_values)
+    if len(sites) < 2:
+        return 0.0
+    keys = set()
+    for values in site_values.values():
+        keys.update(values)
+    total = 0.0
+    for key in keys:
+        observed = [site_values[s].get(key) for s in sites]
+        numeric = [v for v in observed if isinstance(v, (int, float))]
+        if len(numeric) == len(observed):
+            total += max(numeric) - min(numeric)
+        else:
+            first = observed[0]
+            if any(v != first for v in observed[1:]):
+                total += 1.0
+    return total

@@ -1,0 +1,86 @@
+"""ASCII timelines: per-site lanes of a simulation's history.
+
+A compact visual of who executed what when — useful in failure
+post-mortems and documentation.  Each site gets a lane; time is
+bucketed into fixed-width columns; each cell shows the most
+interesting event in that bucket (write beats read beats nothing).
+
+    site0 |W1····W3··|
+    site1 |··W1·r2·W3|
+    site2 |····W1··W3|
+
+``W<tid>`` marks an update-ET operation, ``r<tid>`` a query read; a
+``·`` is an idle bucket.  Long tids are truncated to keep lanes
+aligned; the renderer is for eyeballing, not parsing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.history import History
+
+__all__ = ["render_timeline"]
+
+
+def render_timeline(
+    site_histories: Mapping[str, History],
+    width: int = 60,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+) -> str:
+    """Render per-site histories as aligned ASCII lanes.
+
+    Args:
+        site_histories: site name -> its recorded history.
+        width: number of time buckets (columns).
+        start/end: time window; defaults to the span of all events.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    all_events = [
+        (site, ev)
+        for site in sorted(site_histories)
+        for ev in site_histories[site]
+    ]
+    if not all_events:
+        return "(empty timeline)"
+    times = [ev.time for _, ev in all_events]
+    lo = start if start is not None else min(times)
+    hi = end if end is not None else max(times)
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+
+    def bucket_of(t: float) -> int:
+        index = int((t - lo) / span * width)
+        return min(max(index, 0), width - 1)
+
+    CELL = 4  # "W12 " — fixed cell width keeps lanes aligned
+    lanes: List[str] = []
+    label_width = max(len(s) for s in site_histories)
+    for site in sorted(site_histories):
+        cells: List[str] = ["·" * CELL] * width
+        priority: List[int] = [0] * width  # write > read > idle
+        for ev in site_histories[site]:
+            if not (lo <= ev.time <= hi):
+                continue
+            b = bucket_of(ev.time)
+            is_write = ev.op.is_write_op
+            rank = 2 if is_write else 1
+            if rank <= priority[b]:
+                continue
+            priority[b] = rank
+            letter = "W" if is_write else "r"
+            text = "%s%d" % (letter, ev.tid)
+            cells[b] = text[:CELL].ljust(CELL, "·")
+        lanes.append(
+            "%s |%s|" % (site.ljust(label_width), "".join(cells))
+        )
+    header = "%s  t=%.1f%s t=%.1f" % (
+        " " * label_width,
+        lo,
+        " " * max(width * CELL - 18, 1),
+        hi,
+    )
+    return "\n".join([header] + lanes)

@@ -1,0 +1,451 @@
+"""ORDUP — Ordered Updates (paper section 3.1).
+
+"The idea behind the ORDUP replica control method is to execute the
+MSets by updating different replicas of the same object asynchronously
+but in the same order.  In this way the update ETs are SR.  We can
+process query ETs in any order because they are allowed to see
+inconsistent results."
+
+**MSet delivery** — the client does not have to deliver MSets in order
+("a 'later' MSet can be delivered before an 'earlier' MSet"), so each
+MSet carries its execution-order token and every site holds back until
+the next token in sequence shows up.  Two ordering services are
+supported:
+
+* ``ordering="central"`` — a centralized order server issues gap-free
+  sequence numbers; acquiring a token costs one round trip to the
+  server's site (free when the origin hosts the server).
+* ``ordering="lamport"`` — Lamport timestamps with a flush protocol:
+  a site holding an unstable MSet asks every peer for its current
+  clock; an MSet is processed once every peer has witnessed a larger
+  time (the paper: "it is not easy to see whether there is another
+  MSet coming in with just a slightly earlier timestamp", hence the
+  explicit flush round).
+
+**MSet processing** — the site executor applies held-back MSets in
+token order, each as a local atomic step.
+
+**Divergence bounding** — each query ET notes the site's applied
+frontier when it starts.  A read that observes a key last written by an
+update *beyond* that frontier is an out-of-order read: it charges the
+query's inconsistency counter once per such update ET.  When the
+counter cannot absorb a charge, the query converts to *ordered* mode —
+it re-runs as an atomic task in the site executor, i.e. "the query ET
+is allowed to proceed only when it is running in the global order".
+Queries submitted with ``import_limit == 0`` start in ordered mode and
+are therefore strictly SR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.operations import ReadOp
+from ..core.transactions import (
+    EpsilonTransaction,
+    ETResult,
+    ETStatus,
+    TransactionID,
+)
+from ..sim.clocks import CentralOrderServer, GlobalOrder, LamportClock
+from ..sim.site import Site
+from .base import DoneCallback, MethodTraits, ReplicaControlMethod, ReplicatedSystem
+from .common import MethodRuntime
+from .mset import MSet, MSetKind
+
+__all__ = ["OrderedUpdates"]
+
+_FLUSH_REQ = "ordup-flush-req"
+_FLUSH_ACK = "ordup-flush-ack"
+
+
+@dataclass
+class _SiteState:
+    """Per-site ORDUP state."""
+
+    #: next central sequence number this site will execute.
+    expected: int = 1
+    #: held-back MSets by sequence number (central mode).
+    holdback: Dict[int, MSet] = field(default_factory=dict)
+    #: key -> (order token, tid) of the last applied writer.
+    last_writer: Dict[str, Tuple[GlobalOrder, TransactionID]] = field(
+        default_factory=dict
+    )
+    #: applied frontier: highest order token fully applied, in sequence.
+    frontier: GlobalOrder = (0, 0)
+    # -- lamport mode --
+    lamport_buffer: List[MSet] = field(default_factory=list)
+    #: peer -> highest clock time witnessed from that peer.
+    peer_clocks: Dict[str, int] = field(default_factory=dict)
+    flush_outstanding: bool = False
+
+
+class OrderedUpdates(ReplicaControlMethod):
+    """ORDUP replica control."""
+
+    traits = MethodTraits(
+        name="ORDUP",
+        restriction="message delivery",
+        direction="forward",
+        async_update_propagation=False,  # execution order is constrained
+        async_query_processing=True,
+        sorting_time="at update",
+    )
+
+    def __init__(self, ordering: str = "central") -> None:
+        if ordering not in ("central", "lamport"):
+            raise ValueError("ordering must be 'central' or 'lamport'")
+        self.ordering = ordering
+
+    def attach(self, system: ReplicatedSystem) -> None:
+        super().attach(system)
+        if self.ordering == "lamport":
+            # Lamport stability (process when every peer's clock has
+            # passed the stamp) is only sound over FIFO channels: a
+            # non-FIFO channel could deliver a newer clock while an
+            # older-stamped MSet is still in flight behind it.
+            for queue in system.queues.values():
+                queue.fifo = True
+        names = sorted(system.sites)
+        self.runtime = MethodRuntime(len(names))
+        self.order_server = CentralOrderServer()
+        #: the order server lives at the first site (central mode).
+        self.server_site = names[0]
+        self.clocks = {
+            name: LamportClock(i) for i, name in enumerate(names)
+        }
+        self.states: Dict[str, _SiteState] = {
+            name: _SiteState(peer_clocks={p: 0 for p in names if p != name})
+            for name in names
+        }
+        self._ets: Dict[TransactionID, EpsilonTransaction] = {}
+        #: read-modify-report updates awaiting their serial turn at
+        #: the origin: tid -> (origin, on_done, start time).
+        self._pending_reads: Dict[
+            TransactionID, Tuple[str, DoneCallback, float]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Update path
+    # ------------------------------------------------------------------
+
+    def submit_update(
+        self, et: EpsilonTransaction, origin: str, on_done: DoneCallback
+    ) -> None:
+        self._ets[et.tid] = et
+        start = self.system.sim.now
+        has_reads = any(True for _ in et.reads())
+
+        def with_order(order: GlobalOrder) -> None:
+            self.runtime.update_submitted(et)
+            mset = MSet(
+                et.tid,
+                MSetKind.UPDATE,
+                tuple(et.writes()),
+                origin,
+                order,
+            )
+            if has_reads:
+                # Read-modify-report updates observe state: their reads
+                # must execute at the update's serial position, so the
+                # commit is deferred until the origin executes the MSet
+                # in global order (see _execute).
+                self._pending_reads[et.tid] = (origin, on_done, start)
+            # Remote copies are enqueued first: in Lamport mode the
+            # local accept may immediately emit flush requests with
+            # higher stamps, and FIFO channels must carry messages in
+            # stamp order, so the update MSet has to enter each channel
+            # before any flush traffic.
+            self.system.broadcast_mset(origin, mset)
+            self._accept_update(self.system.sites[origin], mset)
+            if not has_reads:
+                # Pure-write updates are fully asynchronous: committed
+                # once ordered and durably queued.
+                on_done(
+                    ETResult(
+                        et,
+                        status=ETStatus.COMMITTED,
+                        start_time=start,
+                        finish_time=self.system.sim.now,
+                        site=origin,
+                    )
+                )
+
+        self._acquire_order(origin, with_order)
+
+    def _acquire_order(
+        self, origin: str, callback: Callable[[GlobalOrder], None]
+    ) -> None:
+        if self.ordering == "lamport":
+            callback(self.clocks[origin].tick())
+            return
+        if origin == self.server_site:
+            callback(self.order_server.next_order())
+            return
+        # Round trip to the order server over the real network; the
+        # request is retried until it gets through (partitions block
+        # update ordering — the availability cost benchmark E9 shows).
+        def request() -> None:
+            self.system.network.send(
+                origin,
+                self.server_site,
+                None,
+                on_deliver=lambda _: reply(),
+                on_drop=lambda _: self.system.sim.schedule(
+                    self.system.config.retry_interval, request
+                ),
+            )
+
+        def reply() -> None:
+            order = self.order_server.next_order()
+            self.system.network.send(
+                self.server_site,
+                origin,
+                order,
+                on_deliver=callback,
+                on_drop=lambda o: self.system.sim.schedule(
+                    self.system.config.retry_interval, lambda: callback_retry(o)
+                ),
+            )
+
+        def callback_retry(order: GlobalOrder) -> None:
+            # The token was already allocated; just retry its delivery.
+            self.system.network.send(
+                self.server_site,
+                origin,
+                order,
+                on_deliver=callback,
+                on_drop=lambda o: self.system.sim.schedule(
+                    self.system.config.retry_interval, lambda: callback_retry(o)
+                ),
+            )
+
+        request()
+
+    # -- message handling ------------------------------------------------
+
+    def handle_message(self, site: Site, mset: MSet) -> None:
+        if mset.kind == MSetKind.UPDATE:
+            self._accept_update(site, mset)
+        elif mset.kind == _FLUSH_REQ:
+            self._on_flush_request(site, mset)
+        elif mset.kind == _FLUSH_ACK:
+            self._on_flush_ack(site, mset)
+        else:
+            raise ValueError("ORDUP cannot handle %r" % mset.kind)
+
+    def _accept_update(self, site: Site, mset: MSet) -> None:
+        state = self.states[site.name]
+        assert mset.order is not None
+        if self.ordering == "central":
+            seqno = mset.order[0]
+            if seqno < state.expected:
+                return  # duplicate of an already-executed MSet
+            state.holdback[seqno] = mset
+            self._drain_central(site)
+        else:
+            self.clocks[site.name].witness(mset.order)
+            if mset.origin != site.name:
+                state.peer_clocks[mset.origin] = max(
+                    state.peer_clocks.get(mset.origin, 0), mset.order[0]
+                )
+            state.lamport_buffer.append(mset)
+            state.lamport_buffer.sort(key=lambda m: m.order)
+            self._drain_lamport(site)
+
+    def _drain_central(self, site: Site) -> None:
+        """Feed the executor every in-sequence held-back MSet."""
+        state = self.states[site.name]
+        while state.expected in state.holdback:
+            mset = state.holdback.pop(state.expected)
+            state.expected += 1
+            self._execute(site, mset)
+
+    def _execute(self, site: Site, mset: MSet) -> None:
+        executor = self.system.executors[site.name]
+        duration = site.config.apply_time * max(len(mset.ops), 1)
+
+        def apply() -> None:
+            et = self._ets.get(mset.tid)
+            pending = self._pending_reads.get(mset.tid)
+            if pending is not None and pending[0] == site.name:
+                # The update's serial turn at its origin: evaluate its
+                # reads against the in-order prefix, before its own
+                # writes (standard read-then-write semantics), and
+                # release the deferred commit.
+                origin, on_done, start = self._pending_reads.pop(mset.tid)
+                result = ETResult(
+                    et,
+                    status=ETStatus.COMMITTED,
+                    start_time=start,
+                    site=origin,
+                )
+                if et is not None:
+                    self.evaluate_update_reads(et, origin, result)
+                for op in mset.ops:
+                    site.apply_op(mset.tid, op, et)
+                result.finish_time = self.system.sim.now
+                on_done(result)
+            else:
+                for op in mset.ops:
+                    site.apply_op(mset.tid, op, et)
+            state = self.states[site.name]
+            assert mset.order is not None
+            state.frontier = max(state.frontier, mset.order)
+            for key in mset.keys:
+                state.last_writer[key] = (mset.order, mset.tid)
+            self.runtime.update_applied_at_site(mset.tid)
+
+        executor.submit(duration, apply, label="ordup-%s" % (mset.tid,))
+
+    # -- lamport stability ---------------------------------------------------
+
+    def _drain_lamport(self, site: Site) -> None:
+        state = self.states[site.name]
+        progressed = True
+        while progressed and state.lamport_buffer:
+            progressed = False
+            head = state.lamport_buffer[0]
+            assert head.order is not None
+            stable_bound = min(state.peer_clocks.values(), default=0)
+            if head.order[0] <= stable_bound:
+                state.lamport_buffer.pop(0)
+                self._execute(site, head)
+                progressed = True
+        if state.lamport_buffer and not state.flush_outstanding:
+            self._request_flush(site)
+
+    def _request_flush(self, site: Site) -> None:
+        state = self.states[site.name]
+        state.flush_outstanding = True
+        stamp = self.clocks[site.name].tick()
+        req = MSet(0, _FLUSH_REQ, (), site.name, stamp)
+        self.system.broadcast_mset(site.name, req)
+
+    def _on_flush_request(self, site: Site, mset: MSet) -> None:
+        assert mset.order is not None
+        stamp = self.clocks[site.name].witness(mset.order)
+        state = self.states[site.name]
+        if mset.origin != site.name:
+            state.peer_clocks[mset.origin] = max(
+                state.peer_clocks.get(mset.origin, 0), mset.order[0]
+            )
+        # Ack before draining: draining may emit a new (higher-stamped)
+        # flush request, and FIFO channels must stay stamp-monotone.
+        ack = MSet(0, _FLUSH_ACK, (), site.name, stamp)
+        self.system.send_mset(site.name, mset.origin, ack)
+        self._drain_lamport(site)
+
+    def _on_flush_ack(self, site: Site, mset: MSet) -> None:
+        assert mset.order is not None
+        self.clocks[site.name].witness(mset.order)
+        state = self.states[site.name]
+        state.peer_clocks[mset.origin] = max(
+            state.peer_clocks.get(mset.origin, 0), mset.order[0]
+        )
+        state.flush_outstanding = False
+        self._drain_lamport(site)
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+
+    def submit_query(
+        self, et: EpsilonTransaction, site_name: str, on_done: DoneCallback
+    ) -> None:
+        site = self.system.sites[site_name]
+        counter = self.runtime.query_started(et)
+        result = ETResult(et, start_time=self.system.sim.now, site=site_name)
+        state = self.states[site_name]
+        start_frontier = state.frontier
+        keys = [op.key for op in et.operations]
+
+        def finish(status: str) -> None:
+            result.status = status
+            result.finish_time = self.system.sim.now
+            result.inconsistency = counter.value
+            result.overlap = tuple(
+                sorted(self.runtime.tracker.overlap_members(et.tid))
+            )
+            self.runtime.query_finished(et)
+            on_done(result)
+
+        def run_ordered() -> None:
+            """Atomic re-run inside the executor: the global order."""
+            result.waits += 1
+            executor = self.system.executors[site_name]
+            duration = site.config.read_time * len(keys)
+
+            def atomic_reads() -> None:
+                for key in keys:
+                    value = site.read(et.tid, key)
+                    result.values[key] = value
+                    site.history.record(
+                        et.tid, _read_op(key), site_name, site.sim.now, et
+                    )
+                finish(ETStatus.COMMITTED)
+
+            executor.submit(duration, atomic_reads, label="ordup-q%s" % et.tid)
+
+        if et.spec.is_strict:
+            run_ordered()
+            return
+
+        index = [0]
+
+        def step() -> None:
+            if site.crashed:
+                finish(ETStatus.ABORTED)
+                return
+            if index[0] >= len(keys):
+                finish(ETStatus.COMMITTED)
+                return
+            key = keys[index[0]]
+
+            def do_read() -> None:
+                if site.crashed:
+                    finish(ETStatus.ABORTED)
+                    return
+                sources = self._out_of_order_sources(state, key, start_frontier)
+                if not self.runtime.try_charge(et.tid, sources):
+                    run_ordered()  # counter exhausted -> global order
+                    return
+                value = site.read(et.tid, key)
+                result.values[key] = value
+                site.history.record(
+                    et.tid, _read_op(key), site_name, site.sim.now, et
+                )
+                index[0] += 1
+                step()
+
+            self.system.sim.schedule(site.config.read_time, do_read)
+
+        step()
+
+    @staticmethod
+    def _out_of_order_sources(
+        state: _SiteState, key: str, start_frontier: GlobalOrder
+    ) -> Set[TransactionID]:
+        """Writers of ``key`` applied beyond the query's start frontier."""
+        writer = state.last_writer.get(key)
+        if writer is None:
+            return set()
+        order, tid = writer
+        if order > start_frontier:
+            return {tid}
+        return set()
+
+    # ------------------------------------------------------------------
+
+    def quiescent(self) -> bool:
+        if self.runtime.in_flight_updates():
+            return False
+        for state in self.states.values():
+            if state.holdback or state.lamport_buffer:
+                return False
+        return True
+
+
+def _read_op(key: str) -> ReadOp:
+    return ReadOp(key)

@@ -1,0 +1,38 @@
+"""Distributed-system substrate: events, network, queues, sites, failures."""
+
+from .events import EventHandle, SimulationError, Simulator
+from .network import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    Network,
+    NetworkStats,
+    UniformLatency,
+)
+from .stable_queue import Envelope, QueueStats, StableQueue
+from .clocks import CentralOrderServer, GlobalOrder, LamportClock
+from .site import Site, SiteConfig
+from .failures import CrashEvent, FailureInjector, PartitionEvent
+
+__all__ = [
+    "EventHandle",
+    "SimulationError",
+    "Simulator",
+    "ConstantLatency",
+    "ExponentialLatency",
+    "LatencyModel",
+    "Network",
+    "NetworkStats",
+    "UniformLatency",
+    "Envelope",
+    "QueueStats",
+    "StableQueue",
+    "CentralOrderServer",
+    "GlobalOrder",
+    "LamportClock",
+    "Site",
+    "SiteConfig",
+    "CrashEvent",
+    "FailureInjector",
+    "PartitionEvent",
+]

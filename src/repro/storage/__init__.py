@@ -1,0 +1,17 @@
+"""Local storage substrate: versioned KV, multiversion store, op log."""
+
+from .kv import KeyNotFound, KeyValueStore, StoreSnapshot
+from .mvstore import MultiVersionStore, NoVisibleVersion, Version
+from .oplog import CompensationError, LogRecord, OperationLog
+
+__all__ = [
+    "KeyNotFound",
+    "KeyValueStore",
+    "StoreSnapshot",
+    "MultiVersionStore",
+    "NoVisibleVersion",
+    "Version",
+    "CompensationError",
+    "LogRecord",
+    "OperationLog",
+]

@@ -1,0 +1,12 @@
+"""Synthetic workload generation."""
+
+from .generator import Submission, WorkloadGenerator, WorkloadSpec, drive
+from .zipf import ZipfSampler
+
+__all__ = [
+    "Submission",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "ZipfSampler",
+    "drive",
+]

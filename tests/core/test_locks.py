@@ -1,0 +1,172 @@
+"""Unit tests for ET lock tables and the lock manager."""
+
+import pytest
+
+from repro.core.locks import (
+    CLASSIC_2PL,
+    COMMU_TABLE,
+    Compatibility,
+    DeadlockError,
+    LockManager,
+    LockMode,
+    ORDUP_TABLE,
+)
+from repro.core.operations import (
+    IncrementOp,
+    MultiplyOp,
+    ReadOp,
+    WriteOp,
+)
+
+RU, WU, RQ = LockMode.R_U, LockMode.W_U, LockMode.R_Q
+
+
+class TestPaperTables:
+    """Tables 2 and 3 cell-by-cell, straight from the paper."""
+
+    def test_table2_matches_paper(self):
+        expected = {
+            (RU, RU): "OK", (RU, WU): "", (RU, RQ): "OK",
+            (WU, RU): "", (WU, WU): "", (WU, RQ): "OK",
+            (RQ, RU): "OK", (RQ, WU): "OK", (RQ, RQ): "OK",
+        }
+        rows = dict(ORDUP_TABLE.rows())
+        order = [RU, WU, RQ]
+        for i, held in enumerate(order):
+            for j, req in enumerate(order):
+                assert rows[held.value][j] == expected[(held, req)], (
+                    "Table 2 cell (%s, %s)" % (held, req)
+                )
+
+    def test_table3_matches_paper(self):
+        expected = {
+            (RU, RU): "OK", (RU, WU): "Comm", (RU, RQ): "OK",
+            (WU, RU): "Comm", (WU, WU): "Comm", (WU, RQ): "OK",
+            (RQ, RU): "OK", (RQ, WU): "OK", (RQ, RQ): "OK",
+        }
+        rows = dict(COMMU_TABLE.rows())
+        order = [RU, WU, RQ]
+        for i, held in enumerate(order):
+            for j, req in enumerate(order):
+                assert rows[held.value][j] == expected[(held, req)], (
+                    "Table 3 cell (%s, %s)" % (held, req)
+                )
+
+    def test_classic_table_blocks_queries_on_writes(self):
+        ok, _ = CLASSIC_2PL.compatible(
+            WU, WriteOp("x", 1), RQ, ReadOp("x")
+        )
+        assert not ok
+
+    def test_ordup_grants_query_over_write_with_charge(self):
+        ok, charge = ORDUP_TABLE.compatible(
+            WU, WriteOp("x", 1), RQ, ReadOp("x")
+        )
+        assert ok and charge
+
+    def test_commu_comm_entry_resolves_by_operations(self):
+        ok, _ = COMMU_TABLE.compatible(
+            WU, IncrementOp("x", 1), WU, IncrementOp("x", 2)
+        )
+        assert ok
+        ok, _ = COMMU_TABLE.compatible(
+            WU, IncrementOp("x", 1), WU, MultiplyOp("x", 2)
+        )
+        assert not ok
+
+
+class TestLockManager:
+    def test_compatible_grants_coexist(self):
+        lm = LockManager(CLASSIC_2PL)
+        assert lm.try_acquire(1, "x", RU, ReadOp("x"))
+        assert lm.try_acquire(2, "x", RU, ReadOp("x"))
+
+    def test_conflicting_request_denied(self):
+        lm = LockManager(CLASSIC_2PL)
+        lm.try_acquire(1, "x", WU, WriteOp("x", 1))
+        assert lm.try_acquire(2, "x", WU, WriteOp("x", 2)) is None
+
+    def test_reentrant_same_mode(self):
+        lm = LockManager(CLASSIC_2PL)
+        first = lm.try_acquire(1, "x", WU, WriteOp("x", 1))
+        again = lm.try_acquire(1, "x", WU, WriteOp("x", 1))
+        assert first is again
+
+    def test_write_subsumes_read(self):
+        lm = LockManager(CLASSIC_2PL)
+        lm.try_acquire(1, "x", WU, WriteOp("x", 1))
+        assert lm.try_acquire(1, "x", RU, ReadOp("x")) is not None
+
+    def test_release_wakes_waiter(self):
+        lm = LockManager(CLASSIC_2PL)
+        lm.try_acquire(1, "x", WU, WriteOp("x", 1))
+        woken = []
+        lm.acquire(2, "x", WU, WriteOp("x", 2), woken.append)
+        assert not woken
+        lm.release_all(1)
+        assert len(woken) == 1 and woken[0].tid == 2
+
+    def test_fifo_fairness_for_update_locks(self):
+        lm = LockManager(CLASSIC_2PL)
+        lm.try_acquire(1, "x", WU, WriteOp("x", 1))
+        lm.acquire(2, "x", WU, WriteOp("x", 2), lambda g: None)
+        # A later read must not jump the queued writer.
+        assert lm.try_acquire(3, "x", RU, ReadOp("x")) is None
+
+    def test_query_skips_fairness_queue(self):
+        lm = LockManager(ORDUP_TABLE)
+        lm.try_acquire(1, "x", WU, WriteOp("x", 1))
+        lm.acquire(2, "x", WU, WriteOp("x", 2), lambda g: None)
+        grant = lm.try_acquire(3, "x", RQ, ReadOp("x"))
+        assert grant is not None
+        assert grant.charged_against == {1}
+
+    def test_charged_against_collects_all_writers(self):
+        lm = LockManager(COMMU_TABLE)
+        lm.try_acquire(1, "x", WU, IncrementOp("x", 1))
+        lm.try_acquire(2, "x", WU, IncrementOp("x", 2))
+        grant = lm.try_acquire(3, "x", RQ, ReadOp("x"))
+        assert grant.charged_against == {1, 2}
+
+    def test_waiting_count(self):
+        lm = LockManager(CLASSIC_2PL)
+        lm.try_acquire(1, "x", WU, WriteOp("x", 1))
+        lm.acquire(2, "x", WU, WriteOp("x", 2), lambda g: None)
+        assert lm.waiting_count("x") == 1
+        assert lm.waiting_count() == 1
+
+    def test_locks_of_and_holders_of(self):
+        lm = LockManager(CLASSIC_2PL)
+        lm.try_acquire(1, "x", WU, WriteOp("x", 1))
+        assert [g.key for g in lm.locks_of(1)] == ["x"]
+        assert [g.tid for g in lm.holders_of("x")] == [1]
+
+
+class TestDeadlock:
+    def test_two_party_deadlock_aborts_youngest(self):
+        lm = LockManager(CLASSIC_2PL)
+        lm.try_acquire(1, "x", WU, WriteOp("x", 1))
+        lm.try_acquire(2, "y", WU, WriteOp("y", 2))
+        outcomes = {}
+        lm.acquire(1, "y", WU, WriteOp("y", 1), lambda g: outcomes.setdefault(1, g))
+        with pytest.raises(DeadlockError) as exc:
+            lm.acquire(2, "x", WU, WriteOp("x", 2), lambda g: outcomes.setdefault(2, g))
+        assert exc.value.tid == 2
+        # Victim's locks released; transaction 1 gets its wait granted.
+        assert outcomes.get(1) is not None
+
+    def test_no_false_deadlock_for_simple_wait(self):
+        lm = LockManager(CLASSIC_2PL)
+        lm.try_acquire(1, "x", WU, WriteOp("x", 1))
+        lm.acquire(2, "x", WU, WriteOp("x", 2), lambda g: None)  # no raise
+
+    def test_victim_waiter_woken_with_none(self):
+        lm = LockManager(CLASSIC_2PL)
+        lm.try_acquire(1, "x", WU, WriteOp("x", 1))
+        lm.try_acquire(2, "y", WU, WriteOp("y", 2))
+        wakes = []
+        lm.acquire(2, "x", WU, WriteOp("x", 2), wakes.append)
+        # tid 2 is waiting on x; now tid 1 requests y, closing the cycle.
+        # Youngest (2) is the victim; its waiter is woken with None.
+        lm.acquire(1, "y", WU, WriteOp("y", 1), lambda g: None)
+        assert wakes == [None]

@@ -1,0 +1,103 @@
+"""Tests for the registered experiments: the paper's tables and claims.
+
+These are the *reproduction assertions*: each test pins the shape the
+paper predicts, so a regression in any method shows up as a failed
+reproduction rather than a silently different number.
+"""
+
+import pytest
+
+from repro.core.transactions import UNLIMITED
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    experiment_e1_example_log,
+    experiment_e3_epsilon_sweep,
+    experiment_e9_availability,
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "T1", "T2", "T3",
+            "E1", "E2", "E3", "E4", "E5",
+            "E6", "E7", "E8", "E9", "E10",
+        }
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        _, data = experiment_table1()
+        assert data["ORDUP"]["Kind of Restriction"] == "message delivery"
+        assert data["COMMU"]["Sorting Time"] == "doesn't matter"
+        assert data["RITU"]["Sorting Time"] == "at read"
+        assert data["COMPE"]["Applicability"] == "Backwards"
+        assert data["ORDUP"]["Asynchronous Propagation"] == "Query only"
+        for name in ("COMMU", "RITU", "COMPE"):
+            assert data[name]["Asynchronous Propagation"] == "Query & Update"
+
+
+class TestTables2And3:
+    def test_table2_cells(self):
+        _, rows = experiment_table2()
+        cells = dict(rows)
+        assert cells["RU"] == ["OK", "", "OK"]
+        assert cells["WU"] == ["", "", "OK"]
+        assert cells["RQ"] == ["OK", "OK", "OK"]
+
+    def test_table3_cells(self):
+        _, rows = experiment_table3()
+        cells = dict(rows)
+        assert cells["RU"] == ["OK", "Comm", "OK"]
+        assert cells["WU"] == ["Comm", "Comm", "OK"]
+        assert cells["RQ"] == ["OK", "OK", "OK"]
+
+
+class TestE1:
+    def test_paper_log_classification(self):
+        _, data = experiment_e1_example_log()
+        assert not data["full_log_serial"]
+        assert not data["full_log_sr"]
+        assert data["epsilon_serial"]
+        assert data["update_projection_serial"]
+
+
+class TestE3EpsilonSweep:
+    def test_error_monotone_in_epsilon_and_zero_at_strict(self):
+        _, data = experiment_e3_epsilon_sweep(
+            epsilons=(0, 2, UNLIMITED), count=60
+        )
+        assert data[0]["max_inconsistency"] == 0
+        assert data[2]["max_inconsistency"] <= 2
+        assert (
+            data[0]["max_inconsistency"]
+            <= data[2]["max_inconsistency"]
+            <= data[UNLIMITED]["max_inconsistency"]
+        )
+
+    def test_all_queries_within_bound(self):
+        _, data = experiment_e3_epsilon_sweep(epsilons=(1,), count=60)
+        assert data[1]["within_bound"] == 1.0
+
+    def test_strict_queries_wait_more(self):
+        _, data = experiment_e3_epsilon_sweep(
+            epsilons=(0, UNLIMITED), count=60
+        )
+        assert data[0]["waits"] >= data[UNLIMITED]["waits"]
+
+
+class TestE9Availability:
+    def test_async_beats_sync_during_partition(self):
+        _, data = experiment_e9_availability(count=40)
+        # The paper's headline: asynchronous methods keep committing
+        # during partitions; synchronous methods block.
+        assert data["COMMU"]["availability"] == 1.0
+        assert data["RITU"]["availability"] == 1.0
+        assert data["ROWA-2PC"]["availability"] == 0.0
+        assert data["QUORUM"]["availability"] == 0.0
+        # And everyone still converges once the partition heals.
+        for name in data:
+            assert data[name]["converged"] == 1.0

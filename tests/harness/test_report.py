@@ -1,0 +1,57 @@
+"""Unit tests for table rendering."""
+
+from repro.harness.report import format_cell, render_series, render_table
+
+
+class TestFormatCell:
+    def test_integral_float_shown_as_int(self):
+        assert format_cell(3.0) == "3"
+
+    def test_fractional_float_three_places(self):
+        assert format_cell(3.14159) == "3.142"
+
+    def test_none_is_empty(self):
+        assert format_cell(None) == ""
+
+    def test_strings_pass_through(self):
+        assert format_cell("OK") == "OK"
+
+    def test_bools(self):
+        assert format_cell(True) == "True"
+
+
+class TestRenderTable:
+    def test_contains_title_and_cells(self):
+        text = render_table("My Table", ["a", "b"], [[1, 2], [3, 4]])
+        assert "My Table" in text
+        lines = text.splitlines()
+        assert any("1" in line and "2" in line for line in lines)
+
+    def test_row_labels_prepended(self):
+        text = render_table(
+            "T", ["c1"], [[1]], row_labels=["row-one"]
+        )
+        assert "row-one" in text
+
+    def test_columns_aligned(self):
+        text = render_table(
+            "T", ["col"], [["short"], ["a-much-longer-cell"]]
+        )
+        data_lines = [
+            line for line in text.splitlines() if "cell" in line or "short" in line
+        ]
+        assert len({len(line.rstrip()) for line in data_lines}) <= 2
+
+
+class TestRenderSeries:
+    def test_series_sorted_by_name(self):
+        text = render_series(
+            "S", "x", [1, 2], {"zeta": [10, 20], "alpha": [1, 2]}
+        )
+        header = [l for l in text.splitlines() if "alpha" in l][0]
+        assert header.index("alpha") < header.index("zeta")
+
+    def test_x_column_first(self):
+        text = render_series("S", "xcol", [1], {"s": [9]})
+        header = [l for l in text.splitlines() if "xcol" in l][0]
+        assert header.strip().startswith("xcol")

@@ -1,0 +1,75 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.core.history import History
+from repro.core.operations import IncrementOp, ReadOp
+from repro.metrics.timeline import render_timeline
+
+
+def _histories():
+    h0, h1 = History(), History()
+    h0.record(1, IncrementOp("x", 1), "s0", time=0.0)
+    h0.record(2, IncrementOp("x", 1), "s0", time=5.0)
+    h1.record(1, IncrementOp("x", 1), "s1", time=2.0)
+    h1.record(3, ReadOp("x"), "s1", time=4.0)
+    return {"s0": h0, "s1": h1}
+
+
+class TestRenderTimeline:
+    def test_all_sites_have_lanes(self):
+        text = render_timeline(_histories(), width=10)
+        assert "s0 |" in text and "s1 |" in text
+
+    def test_events_appear_with_kind_letters(self):
+        text = render_timeline(_histories(), width=10)
+        assert "W1" in text
+        assert "r3" in text
+
+    def test_lanes_aligned(self):
+        text = render_timeline(_histories(), width=10)
+        lanes = [l for l in text.splitlines() if "|" in l]
+        assert len({len(l) for l in lanes}) == 1
+
+    def test_empty_histories(self):
+        assert render_timeline({"s0": History()}) == "(empty timeline)"
+
+    def test_window_filtering(self):
+        text = render_timeline(_histories(), width=10, start=3.0, end=6.0)
+        assert "W2" in text  # t=5 inside the window
+        assert "r3" in text  # t=4 inside
+        # The t=0 event falls outside the window.
+        lanes = [l for l in text.splitlines() if l.startswith("s0")]
+        assert "W1" not in lanes[0]
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_timeline(_histories(), width=0)
+
+    def test_write_beats_read_in_same_bucket(self):
+        h = History()
+        h.record(1, ReadOp("x"), "s", time=1.0)
+        h.record(2, IncrementOp("x", 1), "s", time=1.01)
+        text = render_timeline({"s": h}, width=1)
+        assert "W2" in text and "r1" not in text
+
+    def test_real_system_renders(self):
+        from repro import (
+            CommutativeOperations,
+            IncrementOp,
+            ReplicatedSystem,
+            SystemConfig,
+            UpdateET,
+        )
+        from repro.core.transactions import reset_tid_counter
+
+        reset_tid_counter()
+        system = ReplicatedSystem(
+            CommutativeOperations(), SystemConfig(n_sites=2, seed=1)
+        )
+        system.submit(UpdateET([IncrementOp("x", 1)]), "site0")
+        system.run_to_quiescence()
+        text = render_timeline(
+            {name: s.history for name, s in system.sites.items()}
+        )
+        assert "site0" in text and "site1" in text

@@ -1,0 +1,184 @@
+"""Tests for COMMU (commutative operations) replica control."""
+
+import pytest
+
+from repro.core.operations import (
+    AppendOp,
+    DecrementOp,
+    IncrementOp,
+    MultiplyOp,
+    ReadOp,
+    WriteOp,
+)
+from repro.core.transactions import (
+    EpsilonSpec,
+    QueryET,
+    UNLIMITED,
+    UpdateET,
+    reset_tid_counter,
+)
+from repro.replica.base import ReplicatedSystem, SystemConfig
+from repro.replica.commu import CommutativeOperations, NonCommutativeError
+from repro.sim.network import UniformLatency
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    reset_tid_counter()
+
+
+def _system(n=3, seed=1, method=None, **cfg):
+    config = SystemConfig(
+        n_sites=n, seed=seed, initial=(("x", 0), ("y", 0)), **cfg
+    )
+    return ReplicatedSystem(method or CommutativeOperations(), config)
+
+
+class TestRestriction:
+    def test_non_commutative_et_rejected(self):
+        system = _system()
+        et = UpdateET([IncrementOp("x", 1), MultiplyOp("x", 2)])
+        with pytest.raises(NonCommutativeError):
+            system.submit(et, "site0")
+
+    def test_non_commutative_on_different_keys_allowed(self):
+        system = _system()
+        et = UpdateET([IncrementOp("x", 1), MultiplyOp("y", 2)])
+        system.submit(et, "site0")
+        system.run_to_quiescence()
+        assert system.converged()
+
+    def test_check_commutative_static(self):
+        CommutativeOperations.check_commutative(
+            UpdateET([IncrementOp("x", 1), DecrementOp("x", 2)])
+        )
+        with pytest.raises(NonCommutativeError):
+            CommutativeOperations.check_commutative(
+                UpdateET([WriteOp("x", 1), WriteOp("x", 2)])
+            )
+
+
+class TestAsynchrony:
+    def test_update_commits_immediately(self):
+        system = _system(latency=UniformLatency(50.0, 60.0))
+        system.submit(UpdateET([IncrementOp("x", 1)]), "site0")
+        assert len(system.results) == 1
+        assert system.results[0].latency == 0.0
+
+    def test_out_of_order_application_converges(self):
+        system = _system(n=4, latency=UniformLatency(0.1, 10.0))
+        for i in range(15):
+            system.submit_at(
+                float(i) * 0.3,
+                UpdateET([IncrementOp("x", i + 1)]),
+                "site%d" % (i % 4),
+            )
+        system.run_to_quiescence()
+        assert system.converged()
+        assert system.sites["site0"].store.get("x") == sum(range(1, 16))
+
+    def test_append_workload_converges_as_multiset(self):
+        system = _system(n=3, latency=UniformLatency(0.5, 5.0))
+        for i in range(6):
+            system.submit_at(
+                float(i) * 0.2,
+                UpdateET([AppendOp("log", "item%d" % i)]),
+                "site%d" % (i % 3),
+            )
+        system.run_to_quiescence()
+        assert system.converged()
+        logs = [
+            sorted(site.store.get("log")) for site in system.sites.values()
+        ]
+        assert all(log == logs[0] for log in logs)
+
+
+class TestLockCounters:
+    def test_query_charged_by_in_flight_updates(self):
+        system = _system(latency=UniformLatency(4.0, 6.0))
+        system.submit(UpdateET([IncrementOp("x", 1)]), "site0")
+        system.submit(
+            QueryET([ReadOp("x")], EpsilonSpec(import_limit=5)), "site0"
+        )
+        system.run_to_quiescence()
+        query = [r for r in system.results if r.et.is_query][0]
+        assert query.inconsistency >= 1
+
+    def test_strict_query_zero_error(self):
+        system = _system(n=3, latency=UniformLatency(1.0, 3.0))
+        for i in range(6):
+            system.submit_at(
+                float(i), UpdateET([IncrementOp("x", 1)]), "site1"
+            )
+        system.submit_at(
+            2.0, QueryET([ReadOp("x")], EpsilonSpec(import_limit=0)), "site0"
+        )
+        system.run_to_quiescence()
+        query = [r for r in system.results if r.et.is_query][0]
+        assert query.inconsistency == 0
+
+    def test_epsilon_respected(self):
+        system = _system(n=4, latency=UniformLatency(1.0, 5.0))
+        for i in range(12):
+            system.submit_at(
+                float(i) * 0.4, UpdateET([IncrementOp("x", 1)]), "site1"
+            )
+        system.submit_at(
+            1.0,
+            QueryET(
+                [ReadOp("x"), ReadOp("y"), ReadOp("x")],
+                EpsilonSpec(import_limit=2),
+            ),
+            "site0",
+        )
+        system.run_to_quiescence()
+        query = [r for r in system.results if r.et.is_query][0]
+        assert query.inconsistency <= 2
+
+
+class TestUpdateThrottling:
+    def test_throttled_update_waits_for_drain(self):
+        method = CommutativeOperations(update_limit=1)
+        system = _system(
+            method=method, latency=UniformLatency(5.0, 8.0)
+        )
+        system.submit(UpdateET([IncrementOp("x", 1)]), "site0")
+        # Second update on the hot key must queue behind the first.
+        system.submit(UpdateET([IncrementOp("x", 1)]), "site0")
+        assert len(system.results) == 1  # second is throttled
+        system.run_to_quiescence()
+        assert len(system.results) == 2
+        assert system.converged()
+        assert system.sites["site1"].store.get("x") == 2
+
+    def test_unlimited_never_throttles(self):
+        system = _system(latency=UniformLatency(5.0, 8.0))
+        for _ in range(5):
+            system.submit(UpdateET([IncrementOp("x", 1)]), "site0")
+        assert len(system.results) == 5
+
+    def test_throttling_preserves_convergence(self):
+        method = CommutativeOperations(update_limit=2)
+        system = _system(method=method, n=4, latency=UniformLatency(0.5, 4.0))
+        for i in range(16):
+            system.submit_at(
+                float(i) * 0.3, UpdateET([IncrementOp("x", 1)]), "site%d" % (i % 4)
+            )
+        system.run_to_quiescence()
+        assert system.converged()
+        assert system.sites["site0"].store.get("x") == 16
+
+
+class TestESRInvariants:
+    def test_epsilon_serial_history(self):
+        system = _system(n=3, latency=UniformLatency(0.5, 4.0))
+        for i in range(10):
+            system.submit_at(
+                float(i) * 0.5, UpdateET([IncrementOp("x", 1)]), "site%d" % (i % 3)
+            )
+            system.submit_at(
+                float(i) * 0.5 + 0.2, QueryET([ReadOp("x")]), "site%d" % ((i + 1) % 3)
+            )
+        system.run_to_quiescence()
+        assert system.is_one_copy_serializable()
+        assert system.converged()

@@ -1,0 +1,58 @@
+"""Unit tests for ordering services."""
+
+import pytest
+
+from repro.sim.clocks import CentralOrderServer, LamportClock
+
+
+class TestLamportClock:
+    def test_tick_increments(self):
+        clock = LamportClock(0)
+        assert clock.tick() == (1, 0)
+        assert clock.tick() == (2, 0)
+
+    def test_witness_jumps_past_remote(self):
+        clock = LamportClock(0)
+        stamp = clock.witness((10, 3))
+        assert stamp == (11, 0)
+        assert clock.time == 11
+
+    def test_witness_of_older_stamp_still_ticks(self):
+        clock = LamportClock(0)
+        clock.tick()
+        clock.tick()
+        assert clock.witness((1, 9)) == (3, 0)
+
+    def test_stamps_totally_ordered_across_sites(self):
+        a, b = LamportClock(0), LamportClock(1)
+        sa, sb = a.tick(), b.tick()
+        assert sa != sb
+        assert (sa < sb) or (sb < sa)
+
+    def test_site_index_breaks_ties(self):
+        assert LamportClock(0).tick() < LamportClock(1).tick()
+
+    def test_negative_site_index_rejected(self):
+        with pytest.raises(ValueError):
+            LamportClock(-1)
+
+    def test_causality_monotone(self):
+        """send -> receive never decreases the receiver's next stamp."""
+        a, b = LamportClock(0), LamportClock(1)
+        sent = a.tick()
+        received = b.witness(sent)
+        assert received > sent
+
+
+class TestCentralOrderServer:
+    def test_gap_free_sequence(self):
+        server = CentralOrderServer()
+        orders = [server.next_order() for _ in range(5)]
+        assert orders == [(i, 0) for i in range(1, 6)]
+
+    def test_issued_tracks_highest(self):
+        server = CentralOrderServer()
+        assert server.issued == 0
+        server.next_order()
+        server.next_order()
+        assert server.issued == 2

@@ -1,0 +1,161 @@
+"""Unit and property tests for stable queues (at-least-once delivery)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.events import Simulator
+from repro.sim.network import ConstantLatency, Network
+from repro.sim.stable_queue import StableQueue
+
+
+def _channel(sim, net, fifo=False, retry=2.0):
+    received = []
+    queue = StableQueue(
+        sim, net, "a", "b", received.append, retry_interval=retry, fifo=fifo
+    )
+    return queue, received
+
+
+class TestBasicDelivery:
+    def test_single_message_delivered_once(self):
+        sim = Simulator(seed=1)
+        net = Network(sim, ConstantLatency(1.0))
+        queue, received = _channel(sim, net)
+        queue.enqueue("m1")
+        sim.run()
+        assert received == ["m1"]
+        assert queue.drained()
+
+    def test_many_messages_all_delivered(self):
+        sim = Simulator(seed=1)
+        net = Network(sim, ConstantLatency(1.0))
+        queue, received = _channel(sim, net)
+        for i in range(20):
+            queue.enqueue(i)
+        sim.run()
+        assert sorted(received) == list(range(20))
+
+    def test_stats_track_delivery(self):
+        sim = Simulator(seed=1)
+        net = Network(sim, ConstantLatency(1.0))
+        queue, received = _channel(sim, net)
+        queue.enqueue("m")
+        sim.run()
+        assert queue.stats.enqueued == 1
+        assert queue.stats.delivered == 1
+
+
+class TestLossRecovery:
+    def test_delivery_despite_loss(self):
+        sim = Simulator(seed=3)
+        net = Network(sim, ConstantLatency(1.0), loss_rate=0.4)
+        queue, received = _channel(sim, net)
+        for i in range(30):
+            queue.enqueue(i)
+        sim.run()
+        assert sorted(received) == list(range(30))
+        assert queue.drained()
+
+    def test_duplicates_suppressed(self):
+        sim = Simulator(seed=3)
+        net = Network(sim, ConstantLatency(1.0), loss_rate=0.4)
+        queue, received = _channel(sim, net)
+        for i in range(30):
+            queue.enqueue(i)
+        sim.run()
+        # Exactly-once at the application layer regardless of retries.
+        assert len(received) == 30
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        loss=st.floats(min_value=0.0, max_value=0.8),
+        n=st.integers(min_value=1, max_value=25),
+    )
+    def test_property_exactly_once_under_any_loss(self, seed, loss, n):
+        sim = Simulator(seed=seed)
+        net = Network(sim, ConstantLatency(1.0), loss_rate=loss)
+        queue, received = _channel(sim, net)
+        for i in range(n):
+            queue.enqueue(i)
+        sim.run(max_events=200_000)
+        assert sorted(received) == list(range(n))
+        assert queue.drained()
+
+
+class TestPartitionRecovery:
+    def test_delivery_after_partition_heals(self):
+        sim = Simulator(seed=5)
+        net = Network(sim, ConstantLatency(1.0))
+        queue, received = _channel(sim, net, retry=2.0)
+        net.partition([("a",), ("b",)])
+        queue.enqueue("m")
+        sim.run(until=10.0)
+        assert received == []
+        net.heal()
+        sim.run()
+        assert received == ["m"]
+
+    def test_kick_forces_immediate_retry(self):
+        sim = Simulator(seed=5)
+        net = Network(sim, ConstantLatency(1.0))
+        queue, received = _channel(sim, net, retry=1000.0)
+        net.partition([("a",), ("b",)])
+        queue.enqueue("m")
+        sim.run(until=5.0)
+        net.heal()
+        queue.kick()
+        sim.run(until=10.0)
+        assert received == ["m"]
+
+
+class TestCrashRecovery:
+    def test_pause_resume_preserves_messages(self):
+        sim = Simulator(seed=5)
+        net = Network(sim, ConstantLatency(1.0))
+        queue, received = _channel(sim, net)
+        queue.pause()
+        queue.enqueue("m1")
+        queue.enqueue("m2")
+        sim.run(until=20.0)
+        assert received == []
+        queue.resume()
+        sim.run()
+        assert sorted(received) == ["m1", "m2"]
+
+    def test_receiver_crash_then_recover(self):
+        sim = Simulator(seed=5)
+        net = Network(sim, ConstantLatency(1.0))
+        queue, received = _channel(sim, net, retry=2.0)
+        net.site_down("b")
+        queue.enqueue("m")
+        sim.run(until=6.0)
+        assert received == []
+        net.site_up("b")
+        sim.run()
+        assert received == ["m"]
+
+
+class TestFIFO:
+    def test_fifo_preserves_order_under_loss(self):
+        sim = Simulator(seed=11)
+        net = Network(sim, ConstantLatency(1.0), loss_rate=0.3)
+        queue, received = _channel(sim, net, fifo=True)
+        for i in range(15):
+            queue.enqueue(i)
+        sim.run(max_events=200_000)
+        assert received == list(range(15))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        loss=st.floats(min_value=0.0, max_value=0.6),
+    )
+    def test_property_fifo_order(self, seed, loss):
+        sim = Simulator(seed=seed)
+        net = Network(sim, ConstantLatency(1.0), loss_rate=loss)
+        queue, received = _channel(sim, net, fifo=True)
+        for i in range(12):
+            queue.enqueue(i)
+        sim.run(max_events=200_000)
+        assert received == list(range(12))

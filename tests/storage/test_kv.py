@@ -1,0 +1,121 @@
+"""Unit tests for the versioned KV store."""
+
+import pytest
+
+from repro.core.operations import (
+    AppendOp,
+    IncrementOp,
+    ReadOp,
+    TimestampedWriteOp,
+    WriteOp,
+)
+from repro.storage.kv import KeyNotFound, KeyValueStore
+
+
+class TestBasics:
+    def test_put_get(self):
+        store = KeyValueStore()
+        store.put("x", 5)
+        assert store.get("x") == 5
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyNotFound):
+            KeyValueStore().get("x")
+
+    def test_missing_key_default(self):
+        assert KeyValueStore().get("x", 42) == 42
+
+    def test_initial_contents(self):
+        store = KeyValueStore({"a": 1, "b": 2})
+        assert store.get("a") == 1 and store.get("b") == 2
+
+    def test_contains_len_keys(self):
+        store = KeyValueStore({"a": 1})
+        assert "a" in store and "b" not in store
+        assert len(store) == 1
+        assert list(store.keys()) == ["a"]
+
+    def test_delete(self):
+        store = KeyValueStore({"a": 1})
+        store.delete("a")
+        assert "a" not in store
+
+    def test_as_dict(self):
+        store = KeyValueStore({"a": 1, "b": 2})
+        assert store.as_dict() == {"a": 1, "b": 2}
+
+
+class TestApply:
+    def test_write_op(self):
+        store = KeyValueStore()
+        store.apply(WriteOp("x", 9))
+        assert store.get("x") == 9
+
+    def test_increment_materializes_default(self):
+        store = KeyValueStore()
+        assert store.apply(IncrementOp("x", 5)) == 5
+
+    def test_increment_with_custom_default(self):
+        store = KeyValueStore()
+        assert store.apply(IncrementOp("x", 5), default=100) == 105
+
+    def test_read_does_not_modify(self):
+        store = KeyValueStore({"x": 3})
+        assert store.apply(ReadOp("x")) == 3
+        assert store.get("x") == 3
+
+    def test_append(self):
+        store = KeyValueStore()
+        store.apply(AppendOp("log", "a"), default=())
+        store.apply(AppendOp("log", "b"), default=())
+        assert store.get("log") == ("a", "b")
+
+
+class TestThomasRule:
+    def test_newer_timestamp_wins(self):
+        store = KeyValueStore()
+        store.apply(TimestampedWriteOp("x", 1, (1, 0)))
+        store.apply(TimestampedWriteOp("x", 2, (5, 0)))
+        assert store.get("x") == 2
+        assert store.stamp_of("x") == (5, 0)
+
+    def test_older_timestamp_ignored(self):
+        store = KeyValueStore()
+        store.apply(TimestampedWriteOp("x", 2, (5, 0)))
+        store.apply(TimestampedWriteOp("x", 1, (1, 0)))
+        assert store.get("x") == 2
+
+    def test_any_order_converges(self):
+        ops = [
+            TimestampedWriteOp("x", i, (i, 0)) for i in (3, 1, 4, 2, 5)
+        ]
+        a, b = KeyValueStore(), KeyValueStore()
+        for op in ops:
+            a.apply(op)
+        for op in reversed(ops):
+            b.apply(op)
+        assert a.get("x") == b.get("x") == 5
+
+
+class TestSnapshots:
+    def test_snapshot_restore_roundtrip(self):
+        store = KeyValueStore({"a": 1})
+        snap = store.snapshot()
+        store.put("a", 99)
+        store.put("b", 2)
+        store.restore(snap)
+        assert store.as_dict() == {"a": 1}
+
+    def test_snapshot_is_deep(self):
+        store = KeyValueStore({"a": [1, 2]})
+        snap = store.snapshot()
+        store.get("a").append(3)
+        assert snap.values["a"] == [1, 2]
+
+    def test_restore_preserves_stamps(self):
+        store = KeyValueStore()
+        store.apply(TimestampedWriteOp("x", 1, (7, 0)))
+        snap = store.snapshot()
+        store.apply(TimestampedWriteOp("x", 2, (9, 0)))
+        store.restore(snap)
+        assert store.stamp_of("x") == (7, 0)

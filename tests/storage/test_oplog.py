@@ -1,0 +1,239 @@
+"""Unit tests for the compensation operation log."""
+
+import pytest
+
+from repro.core.operations import (
+    DecrementOp,
+    IncrementOp,
+    MultiplyOp,
+    WriteOp,
+)
+from repro.storage.kv import KeyValueStore
+from repro.storage.oplog import CompensationError, OperationLog
+
+
+@pytest.fixture
+def rig():
+    store = KeyValueStore({"x": 1, "y": 10})
+    return store, OperationLog(store, default=0)
+
+
+class TestExecution:
+    def test_execute_applies_and_logs(self, rig):
+        store, log = rig
+        log.execute(1, IncrementOp("x", 5))
+        assert store.get("x") == 6
+        assert len(log) == 1
+        assert log.records[0].prior_value == 1
+
+    def test_lsns_increase(self, rig):
+        _, log = rig
+        log.execute(1, IncrementOp("x", 1))
+        log.execute(2, IncrementOp("x", 1))
+        lsns = [r.lsn for r in log.records]
+        assert lsns == sorted(lsns) and len(set(lsns)) == 2
+
+    def test_records_of_filters_by_tid(self, rig):
+        _, log = rig
+        log.execute(1, IncrementOp("x", 1))
+        log.execute(2, IncrementOp("y", 1))
+        assert [r.tid for r in log.records_of(1)] == [1]
+
+    def test_truncate_before(self, rig):
+        _, log = rig
+        log.execute(1, IncrementOp("x", 1))
+        log.execute(2, IncrementOp("x", 1))
+        cut = log.records[1].lsn
+        assert log.truncate_before(cut) == 1
+        assert [r.tid for r in log.records] == [2]
+
+
+class TestDirectCompensation:
+    def test_commutative_suffix_allows_direct(self, rig):
+        store, log = rig
+        log.execute(1, IncrementOp("x", 10))
+        log.execute(2, IncrementOp("x", 3))
+        assert log.can_compensate_directly(1)
+        log.compensate_directly(1)
+        assert store.get("x") == 4  # 1 + 3
+
+    def test_non_commutative_suffix_forbids_direct(self, rig):
+        store, log = rig
+        log.execute(1, IncrementOp("x", 10))
+        log.execute(2, MultiplyOp("x", 2))
+        assert not log.can_compensate_directly(1)
+        with pytest.raises(CompensationError):
+            log.compensate_directly(1)
+
+    def test_direct_removes_records(self, rig):
+        _, log = rig
+        log.execute(1, IncrementOp("x", 10))
+        log.compensate_directly(1)
+        assert log.records_of(1) == []
+
+    def test_unknown_tid_not_compensatable(self, rig):
+        _, log = rig
+        assert not log.can_compensate_directly(99)
+
+    def test_last_transaction_always_direct(self, rig):
+        store, log = rig
+        log.execute(1, MultiplyOp("x", 2))
+        log.execute(2, IncrementOp("x", 5))
+        assert log.can_compensate_directly(2)
+        log.compensate_directly(2)
+        assert store.get("x") == 2
+
+
+class TestRollbackReplay:
+    def test_paper_worked_example(self, rig):
+        """Section 4.1: undo Inc under a later Mul needs replay."""
+        store, log = rig
+        log.execute(1, IncrementOp("x", 10))  # x: 1 -> 11
+        log.execute(2, MultiplyOp("x", 2))  # x: 11 -> 22
+        undone, replayed = log.rollback_and_replay(1)
+        # Correct result: Mul(x,2) alone on x=1 gives 2.
+        assert store.get("x") == 2
+        assert undone == 2 and replayed == 1
+
+    def test_overwrite_rollback_restores_recorded_value(self, rig):
+        store, log = rig
+        log.execute(1, WriteOp("x", 100))
+        log.execute(2, IncrementOp("x", 1))
+        log.rollback_and_replay(1)
+        assert store.get("x") == 2  # 1 + 1
+
+    def test_survivors_keep_their_records(self, rig):
+        _, log = rig
+        log.execute(1, IncrementOp("x", 10))
+        log.execute(2, IncrementOp("x", 3))
+        log.rollback_and_replay(1)
+        assert [r.tid for r in log.records] == [2]
+
+    def test_missing_tid_raises(self, rig):
+        _, log = rig
+        with pytest.raises(CompensationError):
+            log.rollback_and_replay(42)
+
+    def test_multi_key_rollback(self, rig):
+        store, log = rig
+        log.execute(1, IncrementOp("x", 10))
+        log.execute(1, IncrementOp("y", 10))
+        log.execute(2, MultiplyOp("y", 3))
+        log.rollback_and_replay(1)
+        assert store.get("x") == 1
+        assert store.get("y") == 30
+
+    def test_equivalence_with_direct_when_commutative(self):
+        """Both strategies must agree when both are legal."""
+        s1 = KeyValueStore({"x": 5})
+        l1 = OperationLog(s1)
+        s2 = KeyValueStore({"x": 5})
+        l2 = OperationLog(s2)
+        for log in (l1, l2):
+            log.execute(1, IncrementOp("x", 10))
+            log.execute(2, DecrementOp("x", 3))
+        l1.compensate_directly(1)
+        l2.rollback_and_replay(1)
+        assert s1.get("x") == s2.get("x") == 2
+
+
+class TestRollbackReplayProperty:
+    """Property: rollback_and_replay(tid) leaves the store exactly as
+    if every transaction except ``tid`` had run from the start."""
+
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        script=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=4),      # tid
+                st.sampled_from(["inc", "dec", "mul", "write"]),
+                st.sampled_from(["x", "y"]),
+                st.integers(min_value=1, max_value=5),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        victim=st.integers(min_value=1, max_value=4),
+    )
+    def test_equivalence_to_fresh_replay(self, script, victim):
+        from hypothesis import assume
+
+        from repro.core.operations import (
+            DecrementOp,
+            IncrementOp,
+            MultiplyOp,
+            WriteOp,
+        )
+        from repro.storage.kv import KeyValueStore
+        from repro.storage.oplog import OperationLog
+
+        def build_op(kind, key, amount):
+            return {
+                "inc": IncrementOp(key, amount),
+                "dec": DecrementOp(key, amount),
+                "mul": MultiplyOp(key, amount),
+                "write": WriteOp(key, amount),
+            }[kind]
+
+        assume(any(tid == victim for tid, *_ in script))
+
+        # Run the full script through a logged store, then undo victim.
+        store = KeyValueStore({"x": 1, "y": 1})
+        log = OperationLog(store, default=0)
+        for tid, kind, key, amount in script:
+            log.execute(tid, build_op(kind, key, amount))
+        log.rollback_and_replay(victim)
+
+        # Reference: replay everything except the victim from scratch.
+        reference = KeyValueStore({"x": 1, "y": 1})
+        for tid, kind, key, amount in script:
+            if tid != victim:
+                reference.apply(build_op(kind, key, amount), default=0)
+
+        assert store.as_dict() == reference.as_dict()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        script=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=3),
+                st.sampled_from(["inc", "dec"]),
+                st.sampled_from(["x", "y"]),
+                st.integers(min_value=1, max_value=5),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        victim=st.integers(min_value=1, max_value=3),
+    )
+    def test_direct_equals_rollback_when_commutative(self, script, victim):
+        from hypothesis import assume
+
+        from repro.core.operations import DecrementOp, IncrementOp
+        from repro.storage.kv import KeyValueStore
+        from repro.storage.oplog import OperationLog
+
+        def build_op(kind, key, amount):
+            return (
+                IncrementOp(key, amount)
+                if kind == "inc"
+                else DecrementOp(key, amount)
+            )
+
+        assume(any(tid == victim for tid, *_ in script))
+
+        stores = []
+        for strategy in ("direct", "rollback"):
+            store = KeyValueStore({"x": 1, "y": 1})
+            log = OperationLog(store, default=0)
+            for tid, kind, key, amount in script:
+                log.execute(tid, build_op(kind, key, amount))
+            if strategy == "direct":
+                assert log.can_compensate_directly(victim)
+                log.compensate_directly(victim)
+            else:
+                log.rollback_and_replay(victim)
+            stores.append(store.as_dict())
+        assert stores[0] == stores[1]

@@ -1,0 +1,48 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.harness.experiments import EXPERIMENTS
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for eid in EXPERIMENTS:
+            assert eid in out
+
+
+class TestRun:
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "T2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "T1", "E1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "paper log (1)" in out
+
+    def test_unknown_id_fails(self, capsys):
+        assert main(["run", "NOPE"]) == 2
+        err = capsys.readouterr().err
+        assert "NOPE" in err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestRunWithOutput:
+    def test_saves_files(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        assert main(["run", "T2", "T3", "-o", str(out)]) == 0
+        assert (out / "T2.txt").exists()
+        assert "Table 3" in (out / "T3.txt").read_text()
+
+    def test_no_output_without_flag(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "T2"]) == 0
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,138 @@
+"""Tests for the blocking client facade."""
+
+import pytest
+
+from repro import (
+    Client,
+    CommutativeOperations,
+    EpsilonSpec,
+    ETFailed,
+    IncrementOp,
+    ReplicatedSystem,
+    SystemConfig,
+    UniformLatency,
+)
+from repro.core.operations import DecrementOp
+from repro.core.transactions import reset_tid_counter
+from repro.replica.ritu import ReadIndependentUpdates
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    reset_tid_counter()
+
+
+def _system(method=None, **cfg):
+    defaults = dict(
+        n_sites=3, seed=3, latency=UniformLatency(0.5, 2.0),
+        initial=(("x", 0), ("y", 0)),
+    )
+    defaults.update(cfg)
+    return ReplicatedSystem(
+        method or CommutativeOperations(), SystemConfig(**defaults)
+    )
+
+
+class TestBasics:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(KeyError):
+            Client(_system(), "nowhere")
+
+    def test_increment_then_read(self):
+        system = _system()
+        client = Client(system, "site0")
+        client.increment("x", 5)
+        client.settle()
+        assert client.read("x") == 5
+
+    def test_decrement_and_multi_op_update(self):
+        system = _system()
+        client = Client(system, "site0")
+        client.update([IncrementOp("x", 10), DecrementOp("y", 3)])
+        client.settle()
+        assert client.read("x") == 10
+        assert client.read("y") == -3
+
+    def test_write_with_ritu(self):
+        system = _system(method=ReadIndependentUpdates())
+        client = Client(system, "site1")
+        client.write("x", "hello")
+        client.settle()
+        assert client.read("x") == "hello"
+
+    def test_append(self):
+        system = _system()
+        client = Client(system, "site0")
+        client.append("log", "a")
+        client.append("log", "b")
+        client.settle()
+        assert client.read("log") == ("a", "b")
+
+    def test_read_many_is_one_et(self):
+        system = _system()
+        client = Client(system, "site0")
+        client.increment("x", 1)
+        client.settle()
+        values = client.read_many(["x", "y"])
+        assert values == {"x": 1, "y": 0}
+
+
+class TestEpsilonErgonomics:
+    def test_strict_read_is_serializable_not_necessarily_fresh(self):
+        system = _system(latency=UniformLatency(3.0, 5.0))
+        writer = Client(system, "site0")
+        reader = Client(system, "site1")
+        writer.increment("x", 7)
+        # A strict single-key read may legally serialize *before* the
+        # in-flight update (stale is consistent); it must be one of
+        # the two serializable values, never a torn intermediate.
+        assert reader.read("x", epsilon=0) in (0, 7)
+
+    def test_strict_multikey_read_never_torn(self):
+        """Strictness bites on multi-key queries: an update writing x
+        and y together must be seen all-or-nothing by an eps=0 query."""
+        system = _system(latency=UniformLatency(3.0, 5.0))
+        writer = Client(system, "site0")
+        reader = Client(system, "site1")
+        writer.update([IncrementOp("x", 7), IncrementOp("y", 7)])
+        values = reader.read_many(["x", "y"], epsilon=0)
+        assert values in (
+            {"x": 0, "y": 0},
+            {"x": 7, "y": 7},
+        )
+
+    def test_relaxed_read_returns_quickly(self):
+        system = _system(latency=UniformLatency(3.0, 5.0))
+        writer = Client(system, "site0")
+        reader = Client(system, "site1")
+        writer.increment("x", 7)
+        value = reader.read("x")  # unlimited budget: takes what's there
+        assert value in (0, 7)
+
+    def test_query_exposes_accounting(self):
+        system = _system(latency=UniformLatency(3.0, 5.0))
+        writer = Client(system, "site0")
+        reader = Client(system, "site0")
+        writer.increment("x", 7)
+        result = reader.query(["x"], EpsilonSpec(import_limit=5))
+        assert result.inconsistency <= 5
+        assert result.et.is_query
+
+    def test_value_epsilon_passthrough(self):
+        system = _system()
+        client = Client(system, "site0")
+        client.increment("x", 100)
+        client.settle()
+        # Settled system: even a zero drift budget reads cleanly.
+        assert client.read("x", value_epsilon=0) == 100
+
+
+class TestFailureSurface:
+    def test_failed_et_raises(self):
+        from repro.replica.commu import NonCommutativeError
+        from repro.core.operations import MultiplyOp
+
+        system = _system()
+        client = Client(system, "site0")
+        with pytest.raises(NonCommutativeError):
+            client.update([IncrementOp("x", 1), MultiplyOp("x", 2)])

@@ -1,0 +1,166 @@
+"""Unit tests for the workload generator."""
+
+import pytest
+
+from repro.core.operations import (
+    IncrementOp,
+    MultiplyOp,
+    ReadOp,
+    WriteOp,
+)
+from repro.core.transactions import UNLIMITED, reset_tid_counter
+from repro.workload.generator import (
+    Submission,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    reset_tid_counter()
+
+
+SITES = ["site0", "site1", "site2"]
+
+
+class TestSpecValidation:
+    def test_bad_query_fraction(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(query_fraction=1.5)
+
+    def test_bad_style(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(style="chaotic")
+
+    def test_bad_abort_rate(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(abort_rate=2.0)
+
+    def test_keys_naming(self):
+        spec = WorkloadSpec(n_keys=3, key_prefix="k")
+        assert spec.keys() == ["k0", "k1", "k2"]
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(WorkloadSpec(), [])
+
+
+class TestGeneration:
+    def test_count_respected(self):
+        gen = WorkloadGenerator(WorkloadSpec(count=37), SITES, seed=1)
+        assert len(gen.generate()) == 37
+
+    def test_times_strictly_increasing(self):
+        gen = WorkloadGenerator(WorkloadSpec(count=50), SITES, seed=1)
+        times = [s.time for s in gen.generate()]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_deterministic_given_seed(self):
+        a = WorkloadGenerator(WorkloadSpec(count=30), SITES, seed=5)
+        b = WorkloadGenerator(WorkloadSpec(count=30), SITES, seed=5)
+        sa = [(s.time, s.site, s.et.is_query) for s in a.generate()]
+        reset_tid_counter()
+        sb = [(s.time, s.site, s.et.is_query) for s in b.generate()]
+        assert sa == sb
+
+    def test_sites_come_from_roster(self):
+        gen = WorkloadGenerator(WorkloadSpec(count=40), SITES, seed=2)
+        assert all(s.site in SITES for s in gen.generate())
+
+    def test_query_fraction_zero_and_one(self):
+        all_updates = WorkloadGenerator(
+            WorkloadSpec(count=20, query_fraction=0.0), SITES, seed=3
+        ).generate()
+        assert all(s.et.is_update for s in all_updates)
+        reset_tid_counter()
+        all_queries = WorkloadGenerator(
+            WorkloadSpec(count=20, query_fraction=1.0), SITES, seed=3
+        ).generate()
+        assert all(s.et.is_query for s in all_queries)
+
+    def test_epsilon_applied_to_queries(self):
+        gen = WorkloadGenerator(
+            WorkloadSpec(count=30, query_fraction=1.0, epsilon=3),
+            SITES,
+            seed=4,
+        )
+        assert all(
+            s.et.spec.import_limit == 3 for s in gen.generate()
+        )
+
+
+class TestStyles:
+    def _ops(self, style, seed=5, extra=None):
+        spec = WorkloadSpec(
+            count=40, query_fraction=0.0, style=style,
+            **(extra or {}),
+        )
+        gen = WorkloadGenerator(spec, SITES, seed=seed)
+        ops = []
+        for sub in gen.generate():
+            ops.extend(sub.et.operations)
+        return ops
+
+    def test_commutative_style(self):
+        ops = self._ops("commutative")
+        assert all(isinstance(op, (IncrementOp,)) or op.__class__.__name__ ==
+                   "DecrementOp" for op in ops)
+
+    def test_blind_style(self):
+        ops = self._ops("blind")
+        assert all(isinstance(op, WriteOp) for op in ops)
+
+    def test_mixed_style_contains_multiplies(self):
+        ops = self._ops("mixed", extra={"mixed_multiply_fraction": 0.5})
+        assert any(isinstance(op, MultiplyOp) for op in ops)
+
+    def test_update_ops_count(self):
+        spec = WorkloadSpec(count=10, query_fraction=0.0, update_ops=3)
+        gen = WorkloadGenerator(spec, SITES, seed=6)
+        assert all(len(s.et.operations) == 3 for s in gen.generate())
+
+    def test_query_ops_count(self):
+        spec = WorkloadSpec(count=10, query_fraction=1.0, query_ops=4)
+        gen = WorkloadGenerator(spec, SITES, seed=6)
+        assert all(len(s.et.operations) == 4 for s in gen.generate())
+
+    def test_distinct_keys_within_et(self):
+        spec = WorkloadSpec(
+            n_keys=10, count=20, query_fraction=0.0, update_ops=3
+        )
+        gen = WorkloadGenerator(spec, SITES, seed=7)
+        for sub in gen.generate():
+            keys = [op.key for op in sub.et.operations]
+            assert len(set(keys)) == len(keys)
+
+
+class TestAbortFlags:
+    def test_no_aborts_by_default(self):
+        gen = WorkloadGenerator(
+            WorkloadSpec(count=30, query_fraction=0.0), SITES, seed=8
+        )
+        assert not any(s.will_abort for s in gen.generate())
+
+    def test_abort_rate_produces_flags(self):
+        gen = WorkloadGenerator(
+            WorkloadSpec(count=60, query_fraction=0.0, abort_rate=0.5),
+            SITES,
+            seed=8,
+        )
+        flagged = sum(s.will_abort for s in gen.generate())
+        assert 10 < flagged < 50
+
+
+class TestSkew:
+    def test_skewed_workload_prefers_hot_keys(self):
+        spec = WorkloadSpec(
+            n_keys=10, count=200, query_fraction=0.0, skew=1.5
+        )
+        gen = WorkloadGenerator(spec, SITES, seed=9)
+        counts = {}
+        for sub in gen.generate():
+            for op in sub.et.operations:
+                counts[op.key] = counts.get(op.key, 0) + 1
+        assert counts.get("x0", 0) > counts.get("x9", 0)
