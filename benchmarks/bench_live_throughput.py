@@ -1,0 +1,118 @@
+"""Live runtime — async update throughput vs the ROWA sync baseline.
+
+The live analogue of E2: on a real 3-replica localhost TCP cluster,
+asynchronous replica control (COMMU, ORDUP) commits updates at local
+speed while the synchronous write-all baseline pays a round of peer
+acknowledgements per commit.  Reported per method: update throughput
+(ET/s) and p50/p99 query latency, with convergence checked at
+quiescence.
+
+Standalone:  PYTHONPATH=src python benchmarks/bench_live_throughput.py
+Under pytest: pytest benchmarks/bench_live_throughput.py --benchmark-only
+"""
+
+import asyncio
+import time
+
+from repro.core.transactions import EpsilonSpec
+from repro.live import LiveCluster
+
+N_SITES = 3
+N_UPDATES = 200
+N_QUERIES = 60
+KEYS = ["acct%d" % i for i in range(4)]
+METHODS = ("commu", "ordup", "rowa")
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+async def _drive(method):
+    """One measured run: concurrent updates, then timed queries."""
+    cluster = LiveCluster(n_sites=N_SITES, method=method)
+    await cluster.start()
+    try:
+        clients = [await cluster.client(name) for name in cluster.names]
+
+        t0 = time.monotonic()
+        await asyncio.gather(
+            *(
+                clients[i % N_SITES].increment(KEYS[i % len(KEYS)], 1)
+                for i in range(N_UPDATES)
+            )
+        )
+        update_seconds = time.monotonic() - t0
+
+        latencies = []
+        spec = EpsilonSpec(import_limit=5)
+        for i in range(N_QUERIES):
+            client = clients[i % N_SITES]
+            t1 = time.monotonic()
+            await client.query([KEYS[i % len(KEYS)]], spec)
+            latencies.append(time.monotonic() - t1)
+
+        await cluster.settle(timeout=30)
+        converged = await cluster.converged()
+        values = (await cluster.site_values())[cluster.names[0]]
+        total = sum(values.get(key, 0) for key in KEYS)
+    finally:
+        await cluster.stop()
+    return {
+        "throughput": N_UPDATES / max(update_seconds, 1e-9),
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p99_ms": _percentile(latencies, 0.99) * 1e3,
+        "converged": converged,
+        "total": total,
+    }
+
+
+def run_live_throughput():
+    """Run every method; return (report text, per-method data)."""
+    data = {}
+    for method in METHODS:
+        data[method] = asyncio.run(_drive(method))
+    lines = [
+        "Live runtime: %d-replica localhost TCP cluster, %d update ETs, "
+        "%d bounded queries" % (N_SITES, N_UPDATES, N_QUERIES),
+        "",
+        "%-8s %14s %12s %12s %10s"
+        % ("method", "updates (ET/s)", "query p50", "query p99", "converged"),
+    ]
+    for method in METHODS:
+        d = data[method]
+        lines.append(
+            "%-8s %14.0f %9.2f ms %9.2f ms %10s"
+            % (
+                method.upper(),
+                d["throughput"],
+                d["p50_ms"],
+                d["p99_ms"],
+                "yes" if d["converged"] else "NO",
+            )
+        )
+    return "\n".join(lines), data
+
+
+def test_live_throughput(benchmark, show):
+    from conftest import run_once
+
+    text, data = run_once(benchmark, run_live_throughput)
+    show(text)
+
+    for method in METHODS:
+        assert data[method]["converged"], "%s diverged" % method
+        assert data[method]["total"] == N_UPDATES, "%s lost updates" % method
+
+    # The asynchronous methods commit without a synchronous peer round:
+    # their update throughput beats the write-all baseline.
+    assert data["commu"]["throughput"] > data["rowa"]["throughput"]
+
+
+if __name__ == "__main__":
+    started = time.monotonic()
+    text, _ = run_live_throughput()
+    print(text)
+    print("\ntotal wall time: %.1fs" % (time.monotonic() - started))

@@ -87,7 +87,29 @@ from .metrics import RunMetrics, divergence_of, summarize
 from .harness import AuditReport, audit
 from .client import Client, ETFailed
 
-__version__ = "1.0.0"
+def _detect_version() -> str:
+    """Single-source the version from package metadata (pyproject)."""
+    from importlib import metadata
+
+    try:
+        return metadata.version("repro")
+    except metadata.PackageNotFoundError:
+        pass
+    # Uninstalled source tree: fall back to parsing pyproject.toml.
+    import pathlib
+    import re
+
+    pyproject = pathlib.Path(__file__).resolve().parents[2] / "pyproject.toml"
+    if pyproject.exists():
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+        )
+        if match:
+            return match.group(1)
+    return "0.0.0+unknown"
+
+
+__version__ = _detect_version()
 
 __all__ = [
     # core

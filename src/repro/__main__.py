@@ -1,4 +1,4 @@
-"""Command-line entry point: run the paper's experiments.
+"""Command-line entry point: experiments and the live runtime.
 
 Usage::
 
@@ -6,6 +6,12 @@ Usage::
     python -m repro run T1 E3            # run selected experiments
     python -m repro run all              # run everything (takes ~10 s)
     python -m repro run all -o results/  # also save one .txt per id
+
+    python -m repro serve --name site0 --port 7000 \\
+        --peers site1=127.0.0.1:7001,site2=127.0.0.1:7002 \\
+        --data /var/lib/repro/site0 --method commu
+
+    python -m repro live-demo            # 3-replica cluster demo
 """
 
 from __future__ import annotations
@@ -13,7 +19,8 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-from typing import List, Optional
+import traceback
+from typing import Dict, List, Optional, Tuple
 
 from .harness.experiments import EXPERIMENTS
 
@@ -55,13 +62,125 @@ def _cmd_run(ids: List[str], out_dir: Optional[str] = None) -> int:
     if out_dir is not None:
         destination = pathlib.Path(out_dir)
         destination.mkdir(parents=True, exist_ok=True)
+    failed = False
     for eid in ids:
-        text, _ = EXPERIMENTS[eid]()
+        try:
+            text, _ = EXPERIMENTS[eid]()
+        except Exception:
+            print("experiment %s raised:" % eid, file=sys.stderr)
+            traceback.print_exc()
+            failed = True
+            continue
         print(text)
         print()
         if destination is not None:
             (destination / ("%s.txt" % eid)).write_text(text + "\n")
-    return 0
+    return 1 if failed else 0
+
+
+def _parse_peers(spec: str) -> Dict[str, Tuple[str, int]]:
+    """Parse ``name=host:port,name=host:port`` peer listings."""
+    peers: Dict[str, Tuple[str, int]] = {}
+    if not spec:
+        return peers
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            name, addr = part.split("=", 1)
+            host, port = addr.rsplit(":", 1)
+            peers[name.strip()] = (host.strip(), int(port))
+        except ValueError:
+            raise SystemExit("malformed peer %r (want name=host:port)" % part)
+    return peers
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .live.server import ReplicaServer
+
+    peers = _parse_peers(args.peers)
+
+    async def main() -> int:
+        server = ReplicaServer(
+            args.name,
+            peers=list(peers) + [args.name],
+            data_dir=pathlib.Path(args.data),
+            method=args.method,
+            fsync=args.fsync,
+        )
+        port = await server.bind(args.host, args.port)
+        server.set_peers(peers)
+        server.start_channels()
+        print(
+            "replica %s (%s) serving on %s:%d, data in %s"
+            % (args.name, args.method, args.host, port, args.data)
+        )
+        try:
+            while True:
+                await asyncio.sleep(3600)
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_live_demo(args: argparse.Namespace) -> int:
+    import asyncio
+    import time
+
+    from .live.cluster import LiveCluster
+
+    async def main() -> int:
+        cluster = LiveCluster(n_sites=args.sites, method=args.method)
+        await cluster.start()
+        print(
+            "booted %d-replica %s cluster on localhost: %s"
+            % (
+                args.sites,
+                args.method.upper(),
+                ", ".join(
+                    "%s=%s:%d" % (n, h, p)
+                    for n, (h, p) in sorted(cluster.addrs.items())
+                ),
+            )
+        )
+        clients = [await cluster.client(name) for name in cluster.names]
+        t0 = time.monotonic()
+        await asyncio.gather(
+            *(
+                clients[i % len(clients)].increment(
+                    "account%d" % (i % 4), 1
+                )
+                for i in range(args.updates)
+            )
+        )
+        elapsed = time.monotonic() - t0
+        print(
+            "%d concurrent update ETs committed in %.3fs (%.0f ET/s)"
+            % (args.updates, elapsed, args.updates / max(elapsed, 1e-9))
+        )
+        bounded = await clients[1].query(["account0", "account1"])
+        print(
+            "bounded query at site1: values=%r inconsistency=%d"
+            % (bounded["values"], bounded["inconsistency"])
+        )
+        await cluster.settle()
+        converged = await cluster.converged()
+        values = (await cluster.site_values())[cluster.names[0]]
+        print("settled; converged=%s, state=%r" % (converged, values))
+        await cluster.stop()
+        return 0 if converged else 1
+
+    return asyncio.run(main())
 
 
 def main(argv: List[str] = None) -> int:
@@ -77,9 +196,41 @@ def main(argv: List[str] = None) -> int:
         "-o", "--out", metavar="DIR", default=None,
         help="also save each experiment's table to DIR/<ID>.txt",
     )
+    serve = sub.add_parser(
+        "serve", help="run one live replica server (asyncio TCP)"
+    )
+    serve.add_argument("--name", required=True, help="this site's name")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument(
+        "--peers", default="",
+        help="comma-separated name=host:port peer listing",
+    )
+    serve.add_argument(
+        "--data", required=True, help="durable queue / log directory"
+    )
+    serve.add_argument(
+        "--method", default="commu", choices=("commu", "ordup", "rowa")
+    )
+    serve.add_argument(
+        "--fsync", action="store_true",
+        help="fsync durable logs on every append",
+    )
+    demo = sub.add_parser(
+        "live-demo", help="boot an in-process live cluster and drive it"
+    )
+    demo.add_argument("--sites", type=int, default=3)
+    demo.add_argument(
+        "--method", default="commu", choices=("commu", "ordup", "rowa")
+    )
+    demo.add_argument("--updates", type=int, default=200)
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "live-demo":
+        return _cmd_live_demo(args)
     return _cmd_run(args.ids, args.out)
 
 

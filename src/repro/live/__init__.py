@@ -1,0 +1,52 @@
+"""Live replica runtime: the paper's ESR protocols over real sockets.
+
+The deterministic simulator (:mod:`repro.sim`) validates the replica
+control methods' logic; this package runs the *same* MSet-processing
+state machines (shared via :mod:`repro.replica.base`) under real
+concurrency — asyncio TCP transport, file-backed durable stable
+queues, wall-clock time, and genuinely parallel client load.
+
+Layers:
+
+* :mod:`repro.live.protocol` — length-prefixed JSON wire protocol
+  reusing the operation algebra.
+* :mod:`repro.live.durable_queue` — at-least-once, FIFO-per-channel
+  durable queues that survive process restarts.
+* :mod:`repro.live.engine` — transport-agnostic COMMU / ORDUP engines
+  plus the synchronous write-all (ROWA) baseline.
+* :mod:`repro.live.server` — a per-replica asyncio TCP server.
+* :mod:`repro.live.client` — pipelined async client facade.
+* :mod:`repro.live.cluster` — in-process N-replica bootstrapper.
+"""
+
+from .client import LiveClient, LiveETFailed
+from .cluster import LiveCluster
+from .durable_queue import DurableInbox, DurableOutbox
+from .engine import (
+    CommuLiveEngine,
+    ENGINES,
+    LiveEngine,
+    OrdupLiveEngine,
+    QueryOutcome,
+    QueryTimeout,
+    RowaLiveEngine,
+    make_engine,
+)
+from .server import ReplicaServer
+
+__all__ = [
+    "LiveClient",
+    "LiveETFailed",
+    "LiveCluster",
+    "DurableInbox",
+    "DurableOutbox",
+    "CommuLiveEngine",
+    "ENGINES",
+    "LiveEngine",
+    "OrdupLiveEngine",
+    "QueryOutcome",
+    "QueryTimeout",
+    "RowaLiveEngine",
+    "make_engine",
+    "ReplicaServer",
+]

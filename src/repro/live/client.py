@@ -1,0 +1,188 @@
+"""Async concurrent client for live replica servers.
+
+Mirrors the simulator's :class:`repro.client.Client` facade — issue
+epsilon-transactions with an inconsistency budget, get plain values
+back — but over a real socket, with request pipelining: many
+coroutines can share one :class:`LiveClient`, and responses are
+matched to requests by id, so concurrent ETs genuinely overlap on the
+wire.
+
+    client = await LiveClient.connect("127.0.0.1", 7000)
+    await client.increment("balance", 100)          # async update
+    value = await client.read("balance", epsilon=2) # bounded error
+    strict = await client.read("balance", epsilon=0)  # serializable
+    await client.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.operations import (
+    AppendOp,
+    DecrementOp,
+    IncrementOp,
+    Operation,
+    WriteOp,
+)
+from ..core.transactions import EpsilonSpec, UNLIMITED
+from .protocol import encode_ops, encode_spec, read_frame, write_frame
+
+__all__ = ["LiveClient", "LiveETFailed"]
+
+
+class LiveETFailed(RuntimeError):
+    """Raised when the server reports an ET failure."""
+
+    def __init__(self, error: str, code: str = "") -> None:
+        super().__init__(error)
+        self.code = code
+
+
+class LiveClient:
+    """A pipelined client connection to one replica server."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._waiting: Dict[int, asyncio.Future] = {}
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "LiveClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        await write_frame(writer, {"type": "client-hello"})
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    break
+                rid = frame.get("id")
+                fut = self._waiting.pop(rid, None)
+                if fut is not None and not fut.done():
+                    fut.set_result(frame)
+        except (ConnectionError, asyncio.CancelledError, Exception):
+            pass
+        finally:
+            for fut in self._waiting.values():
+                if not fut.done():
+                    fut.set_exception(
+                        ConnectionError("server connection closed")
+                    )
+            self._waiting.clear()
+
+    async def request(self, verb: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request; await and unwrap its response."""
+        if self._closed:
+            raise ConnectionError("client is closed")
+        rid = next(self._ids)
+        fut = asyncio.get_event_loop().create_future()
+        self._waiting[rid] = fut
+        async with self._write_lock:
+            await write_frame(
+                self._writer,
+                {"type": "request", "id": rid, "verb": verb, **fields},
+            )
+        frame = await fut
+        if not frame.get("ok"):
+            raise LiveETFailed(
+                frame.get("error", "ET failed"), frame.get("code", "")
+            )
+        return frame
+
+    # -- updates -------------------------------------------------------------
+
+    async def update(
+        self,
+        operations: Sequence[Operation],
+        spec: Optional[EpsilonSpec] = None,
+    ) -> Dict[str, Any]:
+        """Submit a (possibly multi-operation) update ET."""
+        fields: Dict[str, Any] = {"ops": encode_ops(list(operations))}
+        if spec is not None:
+            fields["spec"] = encode_spec(spec)
+        return await self.request("update", **fields)
+
+    async def write(self, key: str, value: Any) -> Dict[str, Any]:
+        return await self.update([WriteOp(key, value)])
+
+    async def increment(self, key: str, amount: float = 1) -> Dict[str, Any]:
+        return await self.update([IncrementOp(key, amount)])
+
+    async def decrement(self, key: str, amount: float = 1) -> Dict[str, Any]:
+        return await self.update([DecrementOp(key, amount)])
+
+    async def append(self, key: str, item: Any) -> Dict[str, Any]:
+        return await self.update([AppendOp(key, item)])
+
+    # -- queries -------------------------------------------------------------
+
+    async def query(
+        self, keys: Sequence[str], spec: Optional[EpsilonSpec] = None
+    ) -> Dict[str, Any]:
+        """Full-fidelity query: values plus error accounting."""
+        fields: Dict[str, Any] = {"keys": list(keys)}
+        if spec is not None:
+            fields["spec"] = encode_spec(spec)
+        return await self.request("query", **fields)
+
+    async def read(
+        self,
+        key: str,
+        epsilon: float = UNLIMITED,
+        value_epsilon: float = UNLIMITED,
+    ) -> Any:
+        """Read one key with the given inconsistency budget."""
+        result = await self.query(
+            [key],
+            EpsilonSpec(import_limit=epsilon, value_limit=value_epsilon),
+        )
+        return result["values"][key]
+
+    async def read_many(
+        self,
+        keys: Sequence[str],
+        epsilon: float = UNLIMITED,
+        value_epsilon: float = UNLIMITED,
+    ) -> Dict[str, Any]:
+        """One query ET over several keys (a consistent unit of error)."""
+        result = await self.query(
+            list(keys),
+            EpsilonSpec(import_limit=epsilon, value_limit=value_epsilon),
+        )
+        return dict(result["values"])
+
+    # -- introspection -------------------------------------------------------
+
+    async def values(self) -> Dict[str, Any]:
+        """Full store contents at the connected replica."""
+        return (await self.request("values"))["values"]
+
+    async def stats(self) -> Dict[str, Any]:
+        return (await self.request("stats"))["stats"]
+
+    async def ping(self) -> Dict[str, Any]:
+        return await self.request("ping")
+
+    async def close(self) -> None:
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass

@@ -1,0 +1,174 @@
+"""In-process live cluster bootstrapper for tests and demos.
+
+Spins up N :class:`ReplicaServer` instances on localhost ephemeral
+ports inside one event loop, wires their peer addresses, and offers
+the control operations the integration tests need: clients, settle
+(live quiescence), convergence checks, and kill/restart of individual
+replicas (which exercises the durable-queue recovery path — a
+restarted replica replays its logs and peers' channel loops re-deliver
+whatever it missed).
+
+    cluster = LiveCluster(n_sites=3, method="commu", data_dir=tmp)
+    await cluster.start()
+    client = await cluster.client("site0")
+    await client.increment("x", 5)
+    await cluster.settle()
+    assert await cluster.converged()
+    await cluster.stop()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .client import LiveClient
+from .server import ReplicaServer
+
+__all__ = ["LiveCluster"]
+
+
+class LiveCluster:
+    """N live replicas on localhost, managed as one unit."""
+
+    def __init__(
+        self,
+        n_sites: int = 3,
+        method: str = "commu",
+        data_dir: Optional[pathlib.Path] = None,
+        host: str = "127.0.0.1",
+        fsync: bool = False,
+    ) -> None:
+        if n_sites < 1:
+            raise ValueError("a cluster needs at least one site")
+        self.names: List[str] = ["site%d" % i for i in range(n_sites)]
+        self.method = method
+        self.host = host
+        self.fsync = fsync
+        self._own_tmp: Optional[tempfile.TemporaryDirectory] = None
+        if data_dir is None:
+            self._own_tmp = tempfile.TemporaryDirectory(prefix="repro-live-")
+            data_dir = pathlib.Path(self._own_tmp.name)
+        self.data_dir = pathlib.Path(data_dir)
+        self.servers: Dict[str, ReplicaServer] = {}
+        self.addrs: Dict[str, Tuple[str, int]] = {}
+        self._clients: List[LiveClient] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _make_server(self, name: str) -> ReplicaServer:
+        return ReplicaServer(
+            name,
+            peers=self.names,
+            data_dir=self.data_dir / name,
+            method=self.method,
+            fsync=self.fsync,
+        )
+
+    async def start(self) -> None:
+        """Boot every replica, then connect the peer mesh."""
+        for name in self.names:
+            server = self._make_server(name)
+            port = await server.bind(self.host, 0)
+            self.servers[name] = server
+            self.addrs[name] = (self.host, port)
+        for server in self.servers.values():
+            server.set_peers(self.addrs)
+            server.start_channels()
+
+    async def stop(self) -> None:
+        for client in self._clients:
+            await client.close()
+        self._clients.clear()
+        for server in self.servers.values():
+            await server.stop()
+        self.servers.clear()
+        if self._own_tmp is not None:
+            self._own_tmp.cleanup()
+            self._own_tmp = None
+
+    async def kill(self, name: str) -> None:
+        """Crash one replica: its volatile state is gone, its durable
+        logs survive.  Peers keep retrying delivery until restart."""
+        server = self.servers.pop(name)
+        await server.stop()
+
+    async def restart(self, name: str) -> None:
+        """Recover a killed replica from its durable queues."""
+        if name in self.servers:
+            raise RuntimeError("%s is still running" % name)
+        server = self._make_server(name)
+        port = await server.bind(self.host, 0)
+        self.servers[name] = server
+        self.addrs[name] = (self.host, port)
+        server.set_peers(self.addrs)
+        server.start_channels()
+        # Everyone else re-points their channels at the new address.
+        for other in self.servers.values():
+            other.set_peers(self.addrs)
+
+    # -- access --------------------------------------------------------------
+
+    async def client(self, name: str) -> LiveClient:
+        """Open a (cluster-managed) client connection to one replica."""
+        host, port = self.addrs[name]
+        client = await LiveClient.connect(host, port)
+        self._clients.append(client)
+        return client
+
+    # -- cluster-wide probes -------------------------------------------------
+
+    async def settle(self, timeout: float = 30.0) -> None:
+        """Wait until every replica is quiescent: all durable queues
+        drained, no held-back MSets, no update awaiting peer acks."""
+        deadline = time.monotonic() + timeout
+        while True:
+            drained = True
+            for name in list(self.servers):
+                client = await self.client(name)
+                try:
+                    stats = await client.stats()
+                finally:
+                    await client.close()
+                    self._clients.remove(client)
+                if not stats.get("drained"):
+                    drained = False
+                    break
+            if drained:
+                return
+            if time.monotonic() > deadline:
+                raise TimeoutError("cluster did not settle in %.1fs" % timeout)
+            await asyncio.sleep(0.05)
+
+    async def site_values(self) -> Dict[str, Dict[str, object]]:
+        out = {}
+        for name in list(self.servers):
+            client = await self.client(name)
+            try:
+                out[name] = await client.values()
+            finally:
+                await client.close()
+                self._clients.remove(client)
+        return out
+
+    async def converged(self) -> bool:
+        """All running replicas hold identical values."""
+        values = await self.site_values()
+        snapshots = [
+            _canonical(site_values) for site_values in values.values()
+        ]
+        return all(snap == snapshots[0] for snap in snapshots)
+
+
+def _canonical(values: Dict[str, object]) -> Dict[str, object]:
+    """Normalize sequence-valued objects (appends commute as multisets)."""
+    out: Dict[str, object] = {}
+    for key, value in values.items():
+        if isinstance(value, (list, tuple)):
+            out[key] = tuple(sorted(map(repr, value)))
+        else:
+            out[key] = value
+    return out

@@ -1,0 +1,166 @@
+"""File-backed durable stable queues for the live runtime.
+
+The live analogue of :mod:`repro.sim.stable_queue`: the paper factors
+message loss out of replica control by giving every channel an
+at-least-once, persistently-retried queue; here the persistence is a
+real append-only JSONL log on disk, so queue contents survive process
+restarts (Ravishankar-style asynchronous checkpointing of the channel
+state).
+
+Two halves, matching the two ends of a channel:
+
+* :class:`DurableOutbox` — the sender's half.  ``append`` assigns the
+  next channel sequence number and durably logs the payload *before*
+  the caller acknowledges anything to a client; ``ack`` advances the
+  contiguous delivery frontier.  After a restart everything past the
+  frontier is pending again and will be re-sent.
+* :class:`DurableInbox` — the receiver's half.  ``record`` durably logs
+  a received payload and deduplicates by sequence number (the channel
+  is FIFO, so a contiguous frontier suffices); ``replay`` yields every
+  recorded payload in receipt order for crash recovery.
+
+The application-visible contract is exactly-once FIFO per channel:
+at-least-once retries on the sender plus frontier dedup on the
+receiver.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["DurableOutbox", "DurableInbox"]
+
+
+def _append_json_line(handle, obj: Dict[str, Any], fsync: bool) -> None:
+    handle.write(json.dumps(obj, separators=(",", ":")) + "\n")
+    handle.flush()
+    if fsync:
+        os.fsync(handle.fileno())
+
+
+def _read_json_lines(path: pathlib.Path) -> Iterator[Dict[str, Any]]:
+    if not path.exists():
+        return
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                # A torn final line from a crash mid-append: everything
+                # before it is intact, the torn record was never
+                # acknowledged to anyone, so it is safe to drop.
+                return
+
+
+class DurableOutbox:
+    """Sender half of one durable (src, dst) channel."""
+
+    def __init__(self, path: pathlib.Path, fsync: bool = False) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self._ack_path = self.path.with_suffix(self.path.suffix + ".ack")
+        #: highest contiguously acknowledged sequence number.
+        self.frontier = 0
+        if self._ack_path.exists():
+            try:
+                self.frontier = int(self._ack_path.read_text().strip() or 0)
+            except ValueError:
+                self.frontier = 0
+        #: unacknowledged payloads by sequence number, insertion-ordered.
+        self._pending: Dict[int, Any] = {}
+        self._seq = self.frontier
+        for record in _read_json_lines(self.path):
+            seq = int(record["seq"])
+            self._seq = max(self._seq, seq)
+            if seq > self.frontier:
+                self._pending[seq] = record["payload"]
+        self._log = self.path.open("a", encoding="utf-8")
+
+    def append(self, payload: Any) -> int:
+        """Durably enqueue ``payload``; returns its sequence number."""
+        self._seq += 1
+        seq = self._seq
+        _append_json_line(
+            self._log, {"seq": seq, "payload": payload}, self.fsync
+        )
+        self._pending[seq] = payload
+        return seq
+
+    def ack(self, seqno: int) -> None:
+        """The receiver confirmed durable receipt of ``seqno``."""
+        if seqno in self._pending:
+            del self._pending[seqno]
+        if seqno > self.frontier and not any(
+            s <= seqno for s in self._pending
+        ):
+            self.frontier = max(self.frontier, seqno)
+            self._ack_path.write_text(str(self.frontier))
+
+    def pending(self) -> List[Tuple[int, Any]]:
+        """Unacknowledged (seqno, payload) pairs in FIFO order."""
+        return sorted(self._pending.items())
+
+    def drained(self) -> bool:
+        return not self._pending
+
+    @property
+    def backlog(self) -> int:
+        return len(self._pending)
+
+    def close(self) -> None:
+        if not self._log.closed:
+            self._log.close()
+
+
+class DurableInbox:
+    """Receiver half of one durable (src, dst) channel."""
+
+    def __init__(self, path: pathlib.Path, fsync: bool = False) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        #: highest sequence number durably recorded, contiguous from 1.
+        self.frontier = 0
+        self._records: List[Tuple[int, Any]] = []
+        for record in _read_json_lines(self.path):
+            seq = int(record["seq"])
+            if seq == self.frontier + 1:
+                self._records.append((seq, record["payload"]))
+                self.frontier = seq
+        self._log = self.path.open("a", encoding="utf-8")
+
+    def record(self, seqno: int, payload: Any) -> bool:
+        """Durably record one received payload.
+
+        Returns True when the payload is fresh (first receipt), False
+        for a duplicate.  Out-of-order receipts beyond ``frontier + 1``
+        are refused (also False): the sender re-sends in order, so a
+        gap can only mean a dropped earlier frame.
+        """
+        if seqno != self.frontier + 1:
+            return False
+        _append_json_line(
+            self._log, {"seq": seqno, "payload": payload}, self.fsync
+        )
+        self._records.append((seqno, payload))
+        self.frontier = seqno
+        return True
+
+    def duplicate(self, seqno: int) -> bool:
+        """True when ``seqno`` was already recorded (needs re-ack only)."""
+        return seqno <= self.frontier
+
+    def replay(self) -> List[Tuple[int, Any]]:
+        """All recorded (seqno, payload) pairs in receipt order."""
+        return list(self._records)
+
+    def close(self) -> None:
+        if not self._log.closed:
+            self._log.close()

@@ -1,0 +1,440 @@
+"""Live replica-control engines: method logic minus the transport.
+
+Each engine owns one site's store and divergence-control state and
+exposes the same three method-specific steps the simulator's
+:class:`~repro.replica.base.ReplicaControlMethod` does — update
+validation, MSet processing, and query admission — but driven by an
+asyncio event loop and wall-clock time instead of the deterministic
+simulator.  The ordering and lock-counter state machines are the
+*shared* classes from :mod:`repro.replica.base`
+(:class:`OrderedApplyBuffer`, :class:`LockCounterSiteState`), so sim
+and live provably run the same MSet-processing logic.
+
+Engines are transport-agnostic: the server layer decides how MSets
+travel (durable queues over TCP) and calls :meth:`LiveEngine.accept`
+for every delivered MSet, local or remote.  All mutation happens under
+the engine's condition variable; queries wait on it for divergence
+control, exactly like the simulator's ``QueryRunner`` retry loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.operations import Operation
+from ..core.transactions import EpsilonSpec, UNLIMITED, make_et
+from ..replica.base import LockCounterSiteState, OrderedApplyBuffer
+from ..replica.commu import CommutativeOperations, NonCommutativeError
+from ..replica.mset import MSet, MSetKind
+from ..storage.kv import KeyValueStore
+
+__all__ = [
+    "LiveEngine",
+    "CommuLiveEngine",
+    "OrdupLiveEngine",
+    "RowaLiveEngine",
+    "QueryOutcome",
+    "QueryTimeout",
+    "make_engine",
+    "ENGINES",
+]
+
+
+class QueryTimeout(RuntimeError):
+    """A query could not be admitted within its deadline."""
+
+
+@dataclass
+class QueryOutcome:
+    """What a live query observed, with its error accounting."""
+
+    values: Dict[str, Any] = field(default_factory=dict)
+    #: number of distinct concurrent update ETs whose effects were
+    #: observed (the paper's inconsistency counter).
+    inconsistency: int = 0
+    #: tids of the imported update ETs.
+    overlap: Tuple[Any, ...] = ()
+    #: times the query blocked on divergence control.
+    waits: int = 0
+
+
+class _QueryBudget:
+    """Import accounting for one query: count and value-drift limits."""
+
+    def __init__(self, spec: EpsilonSpec) -> None:
+        self.spec = spec
+        self.imported: Set[Any] = set()
+        self.drift_used = 0.0
+
+    def try_charge(
+        self,
+        sources: Set[Any],
+        drift_of: Callable[[Any], Optional[float]],
+    ) -> bool:
+        """Charge for each new source; False (and no change) when over."""
+        new = sorted(sources - self.imported)
+        if not new:
+            return True
+        if len(self.imported) + len(new) > self.spec.import_limit:
+            return False
+        if self.spec.value_limit != UNLIMITED:
+            total = 0.0
+            for source in new:
+                drift = drift_of(source)
+                if drift is None:  # unknown drift counts as unbounded
+                    return False
+                total += drift
+            if self.drift_used + total > self.spec.value_limit:
+                return False
+            self.drift_used += total
+        self.imported.update(new)
+        return True
+
+    def reset(self) -> None:
+        self.imported.clear()
+        self.drift_used = 0.0
+
+
+class LiveEngine:
+    """Shared machinery for the live replica-control engines."""
+
+    method_name = "?"
+    #: True when updates must acquire a global order token first.
+    needs_order = False
+    #: True when an update commit waits for every peer's durable ack
+    #: (the synchronous write-all baseline).
+    sync_commit = False
+
+    def __init__(
+        self,
+        site: str,
+        peers: Sequence[str],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.site = site
+        self.peers = tuple(peers)
+        self.clock = clock
+        self.store = KeyValueStore()
+        #: guards all engine state; queries wait on it.
+        self.cond = asyncio.Condition()
+        #: tid -> worst-case value drift of that update (None=unbounded).
+        self._drift: Dict[Any, Optional[float]] = {}
+        #: tid -> values read by a read-modify-report update at its
+        #: origin's apply instant (standard read-then-write semantics).
+        self.read_results: Dict[Any, Dict[str, Any]] = {}
+        self.applied_count = 0
+
+    # -- update path ---------------------------------------------------------
+
+    def validate_update(self, ops: Sequence[Operation]) -> None:
+        """Raise when the operation mix violates the method restriction."""
+
+    def make_mset(
+        self,
+        tid: Any,
+        ops: Sequence[Operation],
+        order: Optional[Tuple[int, int]] = None,
+    ) -> MSet:
+        return MSet(
+            tid, MSetKind.UPDATE, tuple(ops), origin=self.site, order=order
+        )
+
+    async def accept(self, mset: MSet, local: bool = False) -> List[MSet]:
+        """Process one delivered MSet; returns the MSets applied now.
+
+        ``local`` marks the origin's own copy (it may carry divergence
+        obligations a remote copy does not).  Recovery replays both
+        kinds through this same entry point.
+        """
+        raise NotImplementedError
+
+    def _note_drift(self, mset: MSet) -> None:
+        total: Optional[float] = 0.0
+        for op in mset.ops:
+            delta = op.value_delta()
+            if delta is None:
+                total = None
+                break
+            total += delta
+        self._drift[mset.tid] = total
+
+    def _apply_ops(self, mset: MSet) -> None:
+        reads = mset.get_info("reads")
+        if reads and mset.origin == self.site:
+            # The update's reads execute at its apply instant, before
+            # its own writes (read-modify-report).
+            self.read_results[mset.tid] = {
+                key: self.store.get(key, 0) for key in reads
+            }
+        for op in mset.ops:
+            self.store.apply(op, default=0)
+        self.applied_count += 1
+
+    def pop_read_results(self, tid: Any) -> Dict[str, Any]:
+        return self.read_results.pop(tid, {})
+
+    async def fully_acked(self, tid: Any, keys: Sequence[str]) -> None:
+        """Every peer durably holds this local update's MSet."""
+
+    # -- query path ----------------------------------------------------------
+
+    async def query(
+        self,
+        keys: Sequence[str],
+        spec: EpsilonSpec,
+        timeout: float = 30.0,
+    ) -> QueryOutcome:
+        raise NotImplementedError
+
+    async def _wait_for_change(
+        self, outcome: QueryOutcome, deadline: float
+    ) -> None:
+        """Block (counted) until engine state changes or the deadline."""
+        outcome.waits += 1
+        remaining = deadline - self.clock()
+        if remaining <= 0:
+            raise QueryTimeout(
+                "query at %s blocked beyond its deadline" % self.site
+            )
+        try:
+            await asyncio.wait_for(
+                self.cond.wait(), timeout=min(remaining, 0.25)
+            )
+        except asyncio.TimeoutError:
+            pass  # re-check state; protects against missed notifies
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Current store contents (convergence assertions)."""
+        return self.store.as_dict()
+
+    def quiescent(self) -> bool:
+        """No method-level work outstanding at this site."""
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "method": self.method_name,
+            "applied": self.applied_count,
+            "quiescent": self.quiescent(),
+        }
+
+
+class CommuLiveEngine(LiveEngine):
+    """COMMU over real sockets.
+
+    MSets apply in arrival order (the operation-semantics restriction
+    makes any order equivalent); divergence bounding reuses the
+    simulator's lock-counter state: the origin holds every written
+    object's counter from local commit until all peers have durably
+    acknowledged the MSet, so origin-site queries observe cluster-wide
+    in-flight inconsistency.
+    """
+
+    method_name = "COMMU"
+
+    def __init__(self, site, peers, clock=time.monotonic) -> None:
+        super().__init__(site, peers, clock)
+        self.state = LockCounterSiteState()
+
+    def validate_update(self, ops: Sequence[Operation]) -> None:
+        # The simulator's validator is the single source of truth for
+        # the COMMU operation restriction.
+        CommutativeOperations.check_commutative(make_et(list(ops)))
+
+    async def accept(self, mset: MSet, local: bool = False) -> List[MSet]:
+        async with self.cond:
+            if local:
+                # Held until every peer durably acks (fully_acked).
+                self.state.raise_counters(mset.tid, mset.keys)
+            self._note_drift(mset)
+            self._apply_ops(mset)
+            self.state.note_applied(self.clock(), mset.tid, mset.keys)
+            self.cond.notify_all()
+        return [mset]
+
+    async def fully_acked(self, tid: Any, keys: Sequence[str]) -> None:
+        async with self.cond:
+            self.state.release_counters(tid, keys)
+            self.cond.notify_all()
+
+    async def query(
+        self,
+        keys: Sequence[str],
+        spec: EpsilonSpec,
+        timeout: float = 30.0,
+    ) -> QueryOutcome:
+        outcome = QueryOutcome()
+        budget = _QueryBudget(spec)
+        deadline = self.clock() + timeout
+        start = self.clock()
+        index = 0
+        ordered_keys = list(keys)
+        while index < len(ordered_keys):
+            advanced = False
+            async with self.cond:
+                key = ordered_keys[index]
+                # Inconsistency sources: in-flight updates holding the
+                # key's counter plus updates applied since the query
+                # began (mixed observations).
+                sources = self.state.holders_of(
+                    key
+                ) | self.state.applied_since(key, start)
+                if budget.try_charge(sources, self._drift.get):
+                    outcome.values[key] = self.store.get(key, 0)
+                    index += 1
+                    advanced = True
+                else:
+                    # COMMU blocked-query semantics: discard partial
+                    # reads and re-serialize after the conflicting
+                    # updates.
+                    index = 0
+                    outcome.values.clear()
+                    budget.reset()
+                    await self._wait_for_change(outcome, deadline)
+                    start = self.clock()
+            if advanced:
+                # Yield between reads so update applies genuinely
+                # interleave with the query — the inconsistency ESR
+                # bounds is exactly this interleaving.
+                await asyncio.sleep(0)
+        outcome.inconsistency = len(budget.imported)
+        outcome.overlap = tuple(sorted(budget.imported))
+        return outcome
+
+    def quiescent(self) -> bool:
+        return not self.state.holders
+
+    def stats(self) -> Dict[str, Any]:
+        out = super().stats()
+        out["held_keys"] = len(self.state.holders)
+        return out
+
+
+class OrdupLiveEngine(LiveEngine):
+    """ORDUP over real sockets (central ordering).
+
+    Every update acquires a gap-free sequence token from the cluster's
+    order server; each site feeds delivered MSets through the shared
+    :class:`OrderedApplyBuffer` and applies them in token order.  Free
+    queries charge their counter for writers applied beyond the
+    query's start frontier; an exhausted counter converts the query to
+    ordered mode — an atomic prefix-consistent snapshot read.
+    """
+
+    method_name = "ORDUP"
+    needs_order = True
+
+    def __init__(self, site, peers, clock=time.monotonic) -> None:
+        super().__init__(site, peers, clock)
+        self.buffer = OrderedApplyBuffer()
+        #: key -> (order token, tid) of the last applied writer.
+        self.last_writer: Dict[str, Tuple[Tuple[int, int], Any]] = {}
+        #: highest order token applied, gap-free.
+        self.frontier: Tuple[int, int] = (0, 0)
+
+    async def accept(self, mset: MSet, local: bool = False) -> List[MSet]:
+        assert mset.order is not None, "ORDUP MSets carry an order token"
+        applied: List[MSet] = []
+        async with self.cond:
+            for ready in self.buffer.offer(mset.order[0], mset):
+                self._note_drift(ready)
+                self._apply_ops(ready)
+                self.frontier = max(self.frontier, ready.order)
+                for key in ready.keys:
+                    self.last_writer[key] = (ready.order, ready.tid)
+                applied.append(ready)
+            if applied:
+                self.cond.notify_all()
+        return applied
+
+    async def query(
+        self,
+        keys: Sequence[str],
+        spec: EpsilonSpec,
+        timeout: float = 30.0,
+    ) -> QueryOutcome:
+        outcome = QueryOutcome()
+        budget = _QueryBudget(spec)
+        ordered_keys = list(keys)
+        ordered_mode = spec.is_strict
+        if not ordered_mode:
+            async with self.cond:
+                start_frontier = self.frontier
+            for key in ordered_keys:
+                async with self.cond:
+                    # An applied writer beyond the query's start
+                    # frontier is an out-of-order observation.
+                    writer = self.last_writer.get(key)
+                    sources: Set[Any] = set()
+                    if writer is not None and writer[0] > start_frontier:
+                        sources = {writer[1]}
+                    if not budget.try_charge(sources, self._drift.get):
+                        # Counter exhausted: convert to ordered mode.
+                        outcome.waits += 1
+                        ordered_mode = True
+                        break
+                    outcome.values[key] = self.store.get(key, 0)
+                await asyncio.sleep(0)  # let applies interleave
+        if ordered_mode:
+            # Ordered mode: one atomic snapshot under the engine lock
+            # is a prefix of the global update order, hence
+            # serializable ("the query ET is allowed to proceed only
+            # when it is running in the global order").
+            async with self.cond:
+                for key in ordered_keys:
+                    outcome.values[key] = self.store.get(key, 0)
+        outcome.inconsistency = len(budget.imported)
+        outcome.overlap = tuple(sorted(budget.imported))
+        return outcome
+
+    def quiescent(self) -> bool:
+        return self.buffer.drained()
+
+    def stats(self) -> Dict[str, Any]:
+        out = super().stats()
+        out["frontier"] = list(self.frontier)
+        out["held_back"] = self.buffer.held
+        return out
+
+
+class RowaLiveEngine(CommuLiveEngine):
+    """Synchronous write-all baseline (ROWA-style commit).
+
+    Identical MSet processing to COMMU, but the origin's commit
+    acknowledgement waits until every peer has durably received the
+    MSet — the read-one-write-all coordination cost the asynchronous
+    methods avoid.  Used by the live benchmark as the sync baseline.
+    """
+
+    method_name = "ROWA"
+    sync_commit = True
+
+    def validate_update(self, ops: Sequence[Operation]) -> None:
+        # ROWA has no operation-semantics restriction; convergence for
+        # non-commutative mixes is the application's concern here.
+        pass
+
+
+ENGINES = {
+    "commu": CommuLiveEngine,
+    "ordup": OrdupLiveEngine,
+    "rowa": RowaLiveEngine,
+}
+
+
+def make_engine(
+    method: str, site: str, peers: Sequence[str]
+) -> LiveEngine:
+    try:
+        factory = ENGINES[method.lower()]
+    except KeyError:
+        raise ValueError(
+            "unknown live method %r (have: %s)"
+            % (method, ", ".join(sorted(ENGINES)))
+        ) from None
+    return factory(site, peers)

@@ -1,0 +1,225 @@
+"""Length-prefixed JSON wire protocol for the live replica runtime.
+
+Every frame on the wire is a 4-byte big-endian length followed by a
+UTF-8 JSON object.  The payload vocabulary reuses the simulator's
+operation algebra and MSet types: operations and epsilon specs are
+encoded structurally (class -> tag), so a live server and the
+deterministic simulator speak about the *same* transactions.
+
+Frame kinds exchanged:
+
+* client -> server: ``{"type": "request", "id": n, "verb": ..., ...}``
+* server -> client: ``{"type": "response", "id": n, "ok": bool, ...}``
+* peer -> peer:     ``{"type": "mset", "src": site, "seq": n,
+  "mset": {...}}`` answered by ``{"type": "ack", "seq": n}``
+* hello frames identify the connection role
+  (``{"type": "peer-hello", "src": site}``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..core.operations import (
+    AppendOp,
+    DecrementOp,
+    DivideOp,
+    IncrementOp,
+    MultiplyOp,
+    Operation,
+    ReadOp,
+    TimestampedWriteOp,
+    WriteOp,
+)
+from ..core.transactions import EpsilonSpec, UNLIMITED
+from ..replica.mset import MSet
+
+__all__ = [
+    "MAX_FRAME",
+    "ProtocolError",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+    "encode_op",
+    "decode_op",
+    "encode_ops",
+    "decode_ops",
+    "encode_spec",
+    "decode_spec",
+    "encode_mset",
+    "decode_mset",
+]
+
+#: Upper bound on a single frame; a peer announcing more is corrupt.
+MAX_FRAME = 16 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """Raised on malformed frames or unknown payload tags."""
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """Serialize one message to its on-wire representation."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ProtocolError("frame of %d bytes exceeds MAX_FRAME" % len(body))
+    return _LEN.pack(len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError("frame of %d bytes exceeds MAX_FRAME" % length)
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("undecodable frame: %s" % exc) from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return obj
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, obj: Dict[str, Any]
+) -> None:
+    """Write one frame and flush it to the socket."""
+    writer.write(encode_frame(obj))
+    await writer.drain()
+
+
+# -- operation algebra <-> JSON ----------------------------------------------
+
+_OP_TAGS = {
+    ReadOp: "read",
+    WriteOp: "write",
+    IncrementOp: "inc",
+    DecrementOp: "dec",
+    MultiplyOp: "mul",
+    DivideOp: "div",
+    AppendOp: "append",
+    TimestampedWriteOp: "tswrite",
+}
+
+
+def encode_op(op: Operation) -> Dict[str, Any]:
+    tag = _OP_TAGS.get(type(op))
+    if tag is None:
+        raise ProtocolError("operation %r has no wire encoding" % op)
+    out: Dict[str, Any] = {"t": tag, "key": op.key}
+    if isinstance(op, (IncrementOp, DecrementOp, MultiplyOp, DivideOp)):
+        out["amount"] = op.amount
+    elif isinstance(op, WriteOp):
+        out["value"] = op.value
+    elif isinstance(op, AppendOp):
+        out["item"] = op.item
+    elif isinstance(op, TimestampedWriteOp):
+        out["value"] = op.value
+        out["ts"] = list(op.timestamp)
+    return out
+
+
+def decode_op(data: Dict[str, Any]) -> Operation:
+    tag = data.get("t")
+    key = data.get("key")
+    if not isinstance(key, str):
+        raise ProtocolError("operation without a key: %r" % (data,))
+    if tag == "read":
+        return ReadOp(key)
+    if tag == "write":
+        return WriteOp(key, data.get("value"))
+    if tag == "inc":
+        return IncrementOp(key, data.get("amount", 0))
+    if tag == "dec":
+        return DecrementOp(key, data.get("amount", 0))
+    if tag == "mul":
+        return MultiplyOp(key, data.get("amount", 0))
+    if tag == "div":
+        return DivideOp(key, data.get("amount", 0))
+    if tag == "append":
+        return AppendOp(key, data.get("item"))
+    if tag == "tswrite":
+        ts = data.get("ts", (0, 0))
+        return TimestampedWriteOp(key, data.get("value"), tuple(ts))
+    raise ProtocolError("unknown operation tag %r" % tag)
+
+
+def encode_ops(ops: Sequence[Operation]) -> list:
+    return [encode_op(op) for op in ops]
+
+
+def decode_ops(data: Sequence[Dict[str, Any]]) -> Tuple[Operation, ...]:
+    return tuple(decode_op(d) for d in data)
+
+
+# -- epsilon specs -----------------------------------------------------------
+
+
+def _limit_out(value: float) -> Any:
+    return None if value == UNLIMITED else value
+
+
+def _limit_in(value: Any) -> float:
+    return UNLIMITED if value is None else float(value)
+
+
+def encode_spec(spec: EpsilonSpec) -> Dict[str, Any]:
+    return {
+        "import": _limit_out(spec.import_limit),
+        "export": _limit_out(spec.export_limit),
+        "value": _limit_out(spec.value_limit),
+    }
+
+
+def decode_spec(data: Optional[Dict[str, Any]]) -> EpsilonSpec:
+    if not data:
+        return EpsilonSpec()
+    return EpsilonSpec(
+        import_limit=_limit_in(data.get("import")),
+        export_limit=_limit_in(data.get("export")),
+        value_limit=_limit_in(data.get("value")),
+    )
+
+
+# -- MSets -------------------------------------------------------------------
+
+
+def encode_mset(mset: MSet) -> Dict[str, Any]:
+    return {
+        "tid": mset.tid,
+        "kind": mset.kind,
+        "ops": encode_ops(mset.ops),
+        "origin": mset.origin,
+        "order": list(mset.order) if mset.order is not None else None,
+        "txn": mset.txn_number,
+        "info": [[k, v] for k, v in mset.info],
+    }
+
+
+def decode_mset(data: Dict[str, Any]) -> MSet:
+    order = data.get("order")
+    return MSet(
+        tid=data.get("tid"),
+        kind=data.get("kind", "update"),
+        ops=decode_ops(data.get("ops", ())),
+        origin=data.get("origin", ""),
+        order=tuple(order) if order is not None else None,
+        txn_number=data.get("txn"),
+        info=tuple((k, v) for k, v in data.get("info", ())),
+    )

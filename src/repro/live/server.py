@@ -1,0 +1,561 @@
+"""Asyncio TCP replica server: one site of a live replicated system.
+
+A :class:`ReplicaServer` hosts a site's store and divergence-control
+engine (:mod:`repro.live.engine`) and speaks the length-prefixed JSON
+protocol (:mod:`repro.live.protocol`) on a single listening socket,
+serving two kinds of connections:
+
+* **clients** submit epsilon-transactions — ``update`` and ``query``
+  verbs plus introspection (``values``, ``stats``, ``ping``);
+* **peers** deliver update MSets over per-channel durable queues and
+  receive acknowledgements.
+
+Durability contract (the paper's stable queues, live): an update ET is
+acknowledged to its client only after its MSet has been appended to the
+site's local durable log *and* every outbound channel log.  A replica
+killed and restarted replays its inbound logs through the engine and
+resumes its outbound channels, so acknowledged updates are never lost
+and peers' retries are deduplicated by channel sequence number.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.operations import is_write
+from ..replica.mset import MSet, MSetKind
+from .durable_queue import DurableInbox, DurableOutbox
+from .engine import LiveEngine, QueryTimeout, make_engine
+from .protocol import (
+    ProtocolError,
+    decode_mset,
+    decode_ops,
+    decode_spec,
+    encode_mset,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["ReplicaServer", "LOCAL_CHANNEL"]
+
+#: inbox channel name for the site's own updates.
+LOCAL_CHANNEL = "_local"
+
+
+class ReplicaServer:
+    """One live replica site serving ESR protocols over TCP."""
+
+    def __init__(
+        self,
+        name: str,
+        peers: Sequence[str],
+        data_dir: pathlib.Path,
+        method: str = "commu",
+        fsync: bool = False,
+        retry_base: float = 0.05,
+        retry_max: float = 1.0,
+        query_timeout: float = 30.0,
+        commit_timeout: float = 30.0,
+    ) -> None:
+        self.name = name
+        self.peer_names = tuple(sorted(p for p in peers if p != name))
+        self.data_dir = pathlib.Path(data_dir)
+        self.method = method
+        self.fsync = fsync
+        self.retry_base = retry_base
+        self.retry_max = retry_max
+        self.query_timeout = query_timeout
+        self.commit_timeout = commit_timeout
+        self.engine: LiveEngine = make_engine(method, name, self.peer_names)
+        #: the site hosting the central order server (ORDUP).
+        self.order_site = sorted((name,) + self.peer_names)[0]
+        self.peer_addrs: Dict[str, Tuple[str, int]] = {}
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._running = False
+        self.outboxes: Dict[str, DurableOutbox] = {}
+        self.inboxes: Dict[str, DurableInbox] = {}
+        self._outbox_events: Dict[str, asyncio.Event] = {}
+        self._channel_tasks: List[asyncio.Task] = []
+        self._conn_tasks: Set[asyncio.Task] = set()
+        #: (peer, channel seq) -> local update tid, for ack tracking.
+        self._seq_tid: Dict[Tuple[str, int], Any] = {}
+        #: local update tid -> peers whose durable ack is outstanding.
+        self._unacked: Dict[Any, Set[str]] = {}
+        #: local update tid -> written keys (lock-counter release).
+        self._local_keys: Dict[Any, Tuple[str, ...]] = {}
+        #: tid -> future resolved when the MSet applies locally (ORDUP).
+        self._apply_futures: Dict[Any, asyncio.Future] = {}
+        #: tid -> future resolved when all peers acked (sync commit).
+        self._full_ack_futures: Dict[Any, asyncio.Future] = {}
+        self._order_conn: Optional[
+            Tuple[asyncio.StreamReader, asyncio.StreamWriter]
+        ] = None
+        self._order_lock = asyncio.Lock()
+        self._order_counter = 0
+        self._order_path = self.data_dir / "order.json"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def bind(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Open logs, recover state, and start listening.
+
+        Returns the bound port (useful with ``port=0``).  Channels to
+        peers start separately (:meth:`start_channels`) once peer
+        addresses are known.
+        """
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        for peer in self.peer_names:
+            self.outboxes[peer] = DurableOutbox(
+                self.data_dir / "outbox" / ("%s.log" % peer), self.fsync
+            )
+            self.inboxes[peer] = DurableInbox(
+                self.data_dir / "inbox" / ("%s.log" % peer), self.fsync
+            )
+        self.inboxes[LOCAL_CHANNEL] = DurableInbox(
+            self.data_dir / "inbox" / ("%s.log" % LOCAL_CHANNEL), self.fsync
+        )
+        if self._order_path.exists():
+            try:
+                self._order_counter = int(
+                    json.loads(self._order_path.read_text())["next"]
+                )
+            except (ValueError, KeyError, json.JSONDecodeError):
+                self._order_counter = 0
+        await self._recover()
+        self._running = True
+        self._server = await asyncio.start_server(
+            self._on_connection, host, port
+        )
+        self.host = host
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def _recover(self) -> None:
+        """Replay durable logs through the engine after a restart."""
+        for src, inbox in sorted(self.inboxes.items()):
+            for _seq, payload in inbox.replay():
+                mset = decode_mset(payload["mset"])
+                await self.engine.accept(mset, local=(src == LOCAL_CHANNEL))
+        # Rebuild ack tracking from the outbound backlogs.
+        acked_local: Set[Any] = set()
+        keys_of: Dict[Any, Tuple[str, ...]] = {}
+        for _seq, payload in self.inboxes[LOCAL_CHANNEL].replay():
+            tid = payload["mset"]["tid"]
+            acked_local.add(tid)
+            keys_of[tid] = tuple(
+                {op["key"] for op in payload["mset"]["ops"]}
+            )
+        for peer, outbox in self.outboxes.items():
+            for seq, payload in outbox.pending():
+                tid = payload["mset"]["tid"]
+                self._seq_tid[(peer, seq)] = tid
+                self._unacked.setdefault(tid, set()).add(peer)
+                self._local_keys[tid] = keys_of.get(
+                    tid,
+                    tuple({op["key"] for op in payload["mset"]["ops"]}),
+                )
+                acked_local.discard(tid)
+        # Local updates already acked by every peer before the crash:
+        # release their lock-counters (replay re-raised them).
+        for tid in acked_local:
+            await self.engine.fully_acked(tid, keys_of.get(tid, ()))
+
+    def set_peers(self, addrs: Dict[str, Tuple[str, int]]) -> None:
+        """Install (or update) peer addresses for the channel loops."""
+        for peer, addr in addrs.items():
+            if peer != self.name:
+                self.peer_addrs[peer] = tuple(addr)
+        self._order_conn = None  # re-resolve on next order request
+
+    def start_channels(self) -> None:
+        """Launch one durable sender loop per peer channel."""
+        if self._channel_tasks:
+            return
+        for peer in self.peer_names:
+            self._outbox_events[peer] = asyncio.Event()
+            self._outbox_events[peer].set()
+            self._channel_tasks.append(
+                asyncio.ensure_future(self._channel_loop(peer))
+            )
+
+    async def stop(self) -> None:
+        """Stop serving.  Durable state is already on disk (the
+        stable queues write through), so stop doubles as a crash."""
+        self._running = False
+        if self._server is not None:
+            self._server.close()
+            try:
+                await self._server.wait_closed()
+            except Exception:
+                pass
+            self._server = None
+        for task in self._channel_tasks + list(self._conn_tasks):
+            task.cancel()
+        for task in self._channel_tasks + list(self._conn_tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._channel_tasks = []
+        self._conn_tasks.clear()
+        if self._order_conn is not None:
+            self._order_conn[1].close()
+            self._order_conn = None
+        for box in list(self.outboxes.values()) + list(self.inboxes.values()):
+            box.close()
+        for fut in list(self._apply_futures.values()) + list(
+            self._full_ack_futures.values()
+        ):
+            if not fut.done():
+                fut.cancel()
+        self._apply_futures.clear()
+        self._full_ack_futures.clear()
+
+    # -- channel sender loops ------------------------------------------------
+
+    def _kick_channels(self) -> None:
+        for event in self._outbox_events.values():
+            event.set()
+
+    async def _channel_loop(self, peer: str) -> None:
+        """Persistently retry delivery of this channel's backlog."""
+        outbox = self.outboxes[peer]
+        event = self._outbox_events[peer]
+        backoff = self.retry_base
+        while self._running:
+            if outbox.drained():
+                event.clear()
+                try:
+                    await asyncio.wait_for(event.wait(), timeout=0.5)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            addr = self.peer_addrs.get(peer)
+            if addr is None:
+                await asyncio.sleep(backoff)
+                continue
+            writer = None
+            try:
+                reader, writer = await asyncio.open_connection(*addr)
+                await write_frame(
+                    writer, {"type": "peer-hello", "src": self.name}
+                )
+                backoff = self.retry_base
+                while self._running:
+                    pending = outbox.pending()
+                    if not pending:
+                        event.clear()
+                        try:
+                            await asyncio.wait_for(event.wait(), timeout=0.5)
+                        except asyncio.TimeoutError:
+                            pass
+                        continue
+                    for seq, payload in pending:
+                        await write_frame(
+                            writer,
+                            {
+                                "type": "mset",
+                                "src": self.name,
+                                "seq": seq,
+                                "mset": payload["mset"],
+                            },
+                        )
+                    for _ in pending:
+                        frame = await asyncio.wait_for(
+                            read_frame(reader), timeout=5.0
+                        )
+                        if frame is None:
+                            raise ConnectionResetError("peer closed")
+                        if frame.get("type") == "ack":
+                            await self._on_peer_ack(peer, int(frame["seq"]))
+            except (
+                OSError,
+                ConnectionError,
+                asyncio.TimeoutError,
+                ProtocolError,
+            ):
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, self.retry_max)
+            finally:
+                if writer is not None:
+                    writer.close()
+
+    async def _on_peer_ack(self, peer: str, seq: int) -> None:
+        """A peer durably holds channel message ``seq``."""
+        self.outboxes[peer].ack(seq)
+        tid = self._seq_tid.pop((peer, seq), None)
+        if tid is None:
+            return
+        waiting = self._unacked.get(tid)
+        if waiting is None:
+            return
+        waiting.discard(peer)
+        if not waiting:
+            del self._unacked[tid]
+            keys = self._local_keys.pop(tid, ())
+            await self.engine.fully_acked(tid, keys)
+            fut = self._full_ack_futures.pop(tid, None)
+            if fut is not None and not fut.done():
+                fut.set_result(True)
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        write_lock = asyncio.Lock()
+
+        async def send(obj: Dict[str, Any]) -> None:
+            async with write_lock:
+                await write_frame(writer, obj)
+
+        try:
+            while self._running:
+                try:
+                    frame = await read_frame(reader)
+                except ProtocolError:
+                    break
+                if frame is None:
+                    break
+                kind = frame.get("type")
+                if kind == "mset":
+                    await self._on_mset_frame(frame, send)
+                elif kind == "request":
+                    # Requests may block on divergence control or
+                    # commit acknowledgements: serve them concurrently.
+                    req_task = asyncio.ensure_future(
+                        self._serve_request(frame, send)
+                    )
+                    self._conn_tasks.add(req_task)
+                    req_task.add_done_callback(self._conn_tasks.discard)
+                elif kind in ("peer-hello", "client-hello"):
+                    continue
+                else:
+                    await send(
+                        {"type": "error", "error": "unknown frame %r" % kind}
+                    )
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+
+    async def _on_mset_frame(self, frame: Dict[str, Any], send) -> None:
+        src = frame.get("src", "")
+        seq = int(frame.get("seq", 0))
+        inbox = self.inboxes.get(src)
+        if inbox is None:
+            return  # unknown peer: drop silently
+        if inbox.duplicate(seq):
+            await send({"type": "ack", "seq": seq})
+            return
+        if not inbox.record(seq, {"mset": frame["mset"]}):
+            return  # out-of-order gap: no ack, the sender re-sends
+        mset = decode_mset(frame["mset"])
+        applied = await self.engine.accept(mset, local=False)
+        self._resolve_applied(applied)
+        await send({"type": "ack", "seq": seq})
+
+    def _resolve_applied(self, applied: List[MSet]) -> None:
+        """Applying remote MSets can release held-back local ones."""
+        for mset in applied:
+            fut = self._apply_futures.pop(mset.tid, None)
+            if fut is not None and not fut.done():
+                fut.set_result(True)
+
+    # -- request serving -------------------------------------------------------
+
+    async def _serve_request(self, frame: Dict[str, Any], send) -> None:
+        rid = frame.get("id")
+        verb = frame.get("verb")
+        try:
+            handler = {
+                "update": self._handle_update,
+                "query": self._handle_query,
+                "values": self._handle_values,
+                "stats": self._handle_stats,
+                "order": self._handle_order,
+                "ping": self._handle_ping,
+            }.get(verb)
+            if handler is None:
+                raise ValueError("unknown verb %r" % verb)
+            body = await handler(frame)
+            await send({"type": "response", "id": rid, "ok": True, **body})
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # surfaced to the client, not fatal
+            try:
+                await send(
+                    {
+                        "type": "response",
+                        "id": rid,
+                        "ok": False,
+                        "error": str(exc),
+                        "code": type(exc).__name__,
+                    }
+                )
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_ping(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return {"site": self.name, "method": self.engine.method_name}
+
+    async def _handle_values(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return {"values": self.engine.snapshot()}
+
+    async def _handle_stats(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        backlog = {p: box.backlog for p, box in self.outboxes.items()}
+        stats = self.engine.stats()
+        stats.update(
+            site=self.name,
+            outbound_backlog=backlog,
+            unacked_updates=len(self._unacked),
+            drained=(
+                all(box.drained() for box in self.outboxes.values())
+                and self.engine.quiescent()
+                and not self._unacked
+            ),
+        )
+        return {"stats": stats}
+
+    async def _handle_order(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        if self.name != self.order_site:
+            raise ValueError(
+                "order tokens are issued by %s" % self.order_site
+            )
+        return {"order": list(self._grant_order())}
+
+    def _grant_order(self) -> Tuple[int, int]:
+        """Issue the next gap-free global order token (durable)."""
+        self._order_counter += 1
+        self._order_path.write_text(
+            json.dumps({"next": self._order_counter})
+        )
+        return (self._order_counter, 0)
+
+    async def _acquire_order(self) -> Tuple[int, int]:
+        """Get a token from the cluster's order server, with retry."""
+        if self.name == self.order_site:
+            return self._grant_order()
+        backoff = self.retry_base
+        while self._running:
+            try:
+                async with self._order_lock:
+                    if self._order_conn is None:
+                        addr = self.peer_addrs.get(self.order_site)
+                        if addr is None:
+                            raise ConnectionError("no address for order site")
+                        self._order_conn = await asyncio.open_connection(
+                            *addr
+                        )
+                    reader, writer = self._order_conn
+                    await write_frame(
+                        writer,
+                        {"type": "request", "id": 0, "verb": "order"},
+                    )
+                    reply = await asyncio.wait_for(
+                        read_frame(reader), timeout=5.0
+                    )
+                if reply is None or not reply.get("ok"):
+                    raise ConnectionError("order request failed")
+                order = reply["order"]
+                return (int(order[0]), int(order[1]))
+            except (OSError, ConnectionError, asyncio.TimeoutError):
+                if self._order_conn is not None:
+                    self._order_conn[1].close()
+                    self._order_conn = None
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, self.retry_max)
+        raise ConnectionError("server stopping")
+
+    async def _handle_update(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        ops = decode_ops(frame.get("ops", ()))
+        if not ops:
+            raise ValueError("update without operations")
+        if not any(is_write(op) for op in ops):
+            raise ValueError("update ET must contain a write (use query)")
+        self.engine.validate_update(ops)
+        writes = tuple(op for op in ops if is_write(op))
+        read_keys = [op.key for op in ops if op.is_read_op]
+
+        order = None
+        if self.engine.needs_order:
+            order = await self._acquire_order()
+
+        tid_seq = self.inboxes[LOCAL_CHANNEL].frontier + 1
+        tid = "%s:%d" % (self.name, tid_seq)
+        info = (("reads", read_keys),) if read_keys else ()
+        mset = MSet(
+            tid,
+            MSetKind.UPDATE,
+            writes,
+            origin=self.name,
+            order=order,
+            info=info,
+        )
+        payload = {"mset": encode_mset(mset)}
+
+        # Durability before acknowledgement: the local log first, then
+        # every outbound channel log.  Only then is the update "in the
+        # stable queues" in the paper's sense.
+        self.inboxes[LOCAL_CHANNEL].record(tid_seq, payload)
+        self._local_keys[tid] = mset.keys
+        if self.peer_names:
+            self._unacked[tid] = set(self.peer_names)
+            for peer in self.peer_names:
+                seq = self.outboxes[peer].append(payload)
+                self._seq_tid[(peer, seq)] = tid
+
+        loop = asyncio.get_event_loop()
+        if self.engine.needs_order:
+            self._apply_futures[tid] = loop.create_future()
+        if self.engine.sync_commit and self.peer_names:
+            self._full_ack_futures[tid] = loop.create_future()
+
+        applied = await self.engine.accept(mset, local=True)
+        self._resolve_applied(applied)
+        self._kick_channels()
+
+        if not self.peer_names:
+            await self.engine.fully_acked(tid, self._local_keys.pop(tid, ()))
+
+        if self.engine.needs_order:
+            # Commit once the update executes at its origin in global
+            # order (read-modify-report values are evaluated there).
+            fut = self._apply_futures.get(tid)
+            if fut is not None:
+                await asyncio.wait_for(fut, timeout=self.commit_timeout)
+        if self.engine.sync_commit and self.peer_names:
+            # Synchronous baseline: wait for every peer's durable ack.
+            fut = self._full_ack_futures.get(tid)
+            if fut is not None:
+                await asyncio.wait_for(fut, timeout=self.commit_timeout)
+        values = self.engine.pop_read_results(tid)
+        return {"tid": tid, "values": values}
+
+    async def _handle_query(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        keys = frame.get("keys")
+        if not keys or not all(isinstance(k, str) for k in keys):
+            raise ValueError("query needs a list of string keys")
+        spec = decode_spec(frame.get("spec"))
+        try:
+            outcome = await self.engine.query(
+                keys, spec, timeout=self.query_timeout
+            )
+        except QueryTimeout as exc:
+            raise QueryTimeout(str(exc)) from None
+        return {
+            "values": outcome.values,
+            "inconsistency": outcome.inconsistency,
+            "overlap": list(outcome.overlap),
+            "waits": outcome.waits,
+        }

@@ -30,6 +30,7 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
@@ -58,9 +59,120 @@ __all__ = [
     "QueryRunner",
     "SystemConfig",
     "MethodTraits",
+    "MSetTransport",
+    "OrderedApplyBuffer",
+    "LockCounterSiteState",
 ]
 
 DoneCallback = Callable[[ETResult], None]
+
+
+class MSetTransport:
+    """Transport seam: how MSets leave a site.
+
+    Replica control is split between *what* a site does with an MSet
+    (method logic, shared) and *how* MSets travel between sites
+    (transport, pluggable).  :class:`ReplicatedSystem` implements this
+    interface over simulated stable queues; the live runtime
+    (:mod:`repro.live`) implements the same contract over asyncio TCP
+    with file-backed durable queues.  Both provide at-least-once,
+    dedup-to-exactly-once channel semantics, so method state machines
+    (:class:`OrderedApplyBuffer`, :class:`LockCounterSiteState`) work
+    unchanged on either side of the seam.
+    """
+
+    def send_mset(self, src: str, dst: str, mset: MSet) -> None:
+        raise NotImplementedError
+
+    def broadcast_mset(self, origin: str, mset: MSet) -> None:
+        raise NotImplementedError
+
+
+class OrderedApplyBuffer:
+    """Gap-free holdback buffer for globally ordered MSets (ORDUP).
+
+    Sites receive MSets in arbitrary order but must *apply* them in
+    global sequence.  The buffer holds each MSet until every earlier
+    sequence number has been offered, then releases a maximal in-order
+    run.  Duplicates of already-released sequence numbers are dropped.
+    Transport-agnostic: the simulator's ORDUP and the live ORDUP engine
+    both drive their applies through this class.
+    """
+
+    def __init__(self, expected: int = 1) -> None:
+        #: next sequence number eligible for release.
+        self.expected = expected
+        self._holdback: Dict[int, Any] = {}
+
+    def offer(self, seqno: int, item: Any) -> List[Any]:
+        """Add one ordered item; return the items now ready, in order."""
+        if seqno < self.expected:
+            return []  # duplicate of an already-released MSet
+        self._holdback[seqno] = item
+        ready: List[Any] = []
+        while self.expected in self._holdback:
+            ready.append(self._holdback.pop(self.expected))
+            self.expected += 1
+        return ready
+
+    @property
+    def held(self) -> int:
+        """MSets waiting for an earlier sequence number."""
+        return len(self._holdback)
+
+    def drained(self) -> bool:
+        return not self._holdback
+
+
+@dataclass
+class LockCounterSiteState:
+    """Per-site lock-counter state (COMMU's divergence device).
+
+    Tracks which update ETs currently hold each object's lock-counter
+    at this site, plus the applied-update history that lets in-flight
+    queries detect mixed observations (an update applied between two of
+    their reads).  Timestamps are supplied by the caller — simulated
+    time in the simulator, wall-clock time in the live runtime — which
+    keeps the state machine transport-agnostic.
+    """
+
+    #: key -> set of update tids holding the counter here.
+    holders: Dict[str, Set[TransactionID]] = field(default_factory=dict)
+    #: key -> [(apply time, tid)] of updates applied at this site.
+    applied: Dict[str, List[Tuple[float, TransactionID]]] = field(
+        default_factory=dict
+    )
+
+    def note_applied(
+        self, time: float, tid: TransactionID, keys: Sequence[str]
+    ) -> None:
+        for key in keys:
+            self.applied.setdefault(key, []).append((time, tid))
+
+    def applied_since(self, key: str, start: float) -> Set[TransactionID]:
+        return {tid for t, tid in self.applied.get(key, ()) if t > start}
+
+    def raise_counters(
+        self, tid: TransactionID, keys: Sequence[str]
+    ) -> None:
+        for key in keys:
+            self.holders.setdefault(key, set()).add(tid)
+
+    def release_counters(
+        self, tid: TransactionID, keys: Sequence[str]
+    ) -> None:
+        for key in keys:
+            held = self.holders.get(key)
+            if held is not None:
+                held.discard(tid)
+                if not held:
+                    self.holders.pop(key, None)
+
+    def count(self, key: str) -> int:
+        return len(self.holders.get(key, ()))
+
+    def holders_of(self, key: str) -> Set[TransactionID]:
+        return set(self.holders.get(key, ()))
 
 
 @dataclass(frozen=True)
@@ -311,8 +423,13 @@ class QueryRunner:
         self.on_done(self.result)
 
 
-class ReplicatedSystem:
-    """An assembled replicated system running one control method."""
+class ReplicatedSystem(MSetTransport):
+    """An assembled replicated system running one control method.
+
+    Implements :class:`MSetTransport` over the simulator's stable-queue
+    mesh; the live runtime provides the same transport contract over
+    real sockets.
+    """
 
     def __init__(
         self,

@@ -37,7 +37,6 @@ Two variants, both from the paper:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.operations import ReadOp, commutes
@@ -51,6 +50,7 @@ from ..core.transactions import (
 from ..sim.site import Site
 from .base import (
     DoneCallback,
+    LockCounterSiteState,
     MethodTraits,
     QueryRunner,
     ReplicaControlMethod,
@@ -66,43 +66,10 @@ class NonCommutativeError(ValueError):
     """Raised when an update ET's writes are not mutually commutative."""
 
 
-@dataclass
-class _SiteState:
-    """Per-site COMMU state: who holds each object's lock-counter."""
-
-    #: key -> set of update tids holding the counter here.
-    holders: Dict[str, Set[TransactionID]] = field(default_factory=dict)
-    #: key -> [(apply time, tid)] of updates applied at this site; lets
-    #: in-flight queries detect mixed observations (an update applied
-    #: between two of their reads).
-    applied: Dict[str, List[Tuple[float, TransactionID]]] = field(
-        default_factory=dict
-    )
-
-    def note_applied(self, time: float, tid: TransactionID, keys: Tuple[str, ...]) -> None:
-        for key in keys:
-            self.applied.setdefault(key, []).append((time, tid))
-
-    def applied_since(self, key: str, start: float) -> Set[TransactionID]:
-        return {tid for t, tid in self.applied.get(key, ()) if t > start}
-
-    def raise_counters(self, tid: TransactionID, keys: Tuple[str, ...]) -> None:
-        for key in keys:
-            self.holders.setdefault(key, set()).add(tid)
-
-    def release_counters(self, tid: TransactionID, keys: Tuple[str, ...]) -> None:
-        for key in keys:
-            held = self.holders.get(key)
-            if held is not None:
-                held.discard(tid)
-                if not held:
-                    self.holders.pop(key, None)
-
-    def count(self, key: str) -> int:
-        return len(self.holders.get(key, ()))
-
-    def holders_of(self, key: str) -> Set[TransactionID]:
-        return set(self.holders.get(key, ()))
+#: Per-site COMMU state lives in the transport-agnostic
+#: :class:`~repro.replica.base.LockCounterSiteState`, shared with the
+#: live runtime's COMMU engine.
+_SiteState = LockCounterSiteState
 
 
 class CommutativeOperations(ReplicaControlMethod):

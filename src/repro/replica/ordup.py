@@ -50,7 +50,13 @@ from ..core.transactions import (
 )
 from ..sim.clocks import CentralOrderServer, GlobalOrder, LamportClock
 from ..sim.site import Site
-from .base import DoneCallback, MethodTraits, ReplicaControlMethod, ReplicatedSystem
+from .base import (
+    DoneCallback,
+    MethodTraits,
+    OrderedApplyBuffer,
+    ReplicaControlMethod,
+    ReplicatedSystem,
+)
 from .common import MethodRuntime
 from .mset import MSet, MSetKind
 
@@ -64,10 +70,9 @@ _FLUSH_ACK = "ordup-flush-ack"
 class _SiteState:
     """Per-site ORDUP state."""
 
-    #: next central sequence number this site will execute.
-    expected: int = 1
-    #: held-back MSets by sequence number (central mode).
-    holdback: Dict[int, MSet] = field(default_factory=dict)
+    #: gap-free holdback buffer (central mode); shared with the live
+    #: runtime's ORDUP engine via :class:`OrderedApplyBuffer`.
+    buffer: OrderedApplyBuffer = field(default_factory=OrderedApplyBuffer)
     #: key -> (order token, tid) of the last applied writer.
     last_writer: Dict[str, Tuple[GlobalOrder, TransactionID]] = field(
         default_factory=dict
@@ -239,11 +244,8 @@ class OrderedUpdates(ReplicaControlMethod):
         state = self.states[site.name]
         assert mset.order is not None
         if self.ordering == "central":
-            seqno = mset.order[0]
-            if seqno < state.expected:
-                return  # duplicate of an already-executed MSet
-            state.holdback[seqno] = mset
-            self._drain_central(site)
+            for ready in state.buffer.offer(mset.order[0], mset):
+                self._execute(site, ready)
         else:
             self.clocks[site.name].witness(mset.order)
             if mset.origin != site.name:
@@ -253,14 +255,6 @@ class OrderedUpdates(ReplicaControlMethod):
             state.lamport_buffer.append(mset)
             state.lamport_buffer.sort(key=lambda m: m.order)
             self._drain_lamport(site)
-
-    def _drain_central(self, site: Site) -> None:
-        """Feed the executor every in-sequence held-back MSet."""
-        state = self.states[site.name]
-        while state.expected in state.holdback:
-            mset = state.holdback.pop(state.expected)
-            state.expected += 1
-            self._execute(site, mset)
 
     def _execute(self, site: Site, mset: MSet) -> None:
         executor = self.system.executors[site.name]
@@ -442,7 +436,7 @@ class OrderedUpdates(ReplicaControlMethod):
         if self.runtime.in_flight_updates():
             return False
         for state in self.states.values():
-            if state.holdback or state.lamport_buffer:
+            if state.buffer.held or state.lamport_buffer:
                 return False
         return True
 

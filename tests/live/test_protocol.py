@@ -1,0 +1,175 @@
+"""Wire protocol tests: framing and payload codecs."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.core.operations import (
+    AppendOp,
+    DecrementOp,
+    DivideOp,
+    IncrementOp,
+    MultiplyOp,
+    ReadOp,
+    TimestampedWriteOp,
+    WriteOp,
+)
+from repro.core.transactions import EpsilonSpec, UNLIMITED
+from repro.live.protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    decode_mset,
+    decode_op,
+    decode_ops,
+    decode_spec,
+    encode_frame,
+    encode_mset,
+    encode_op,
+    encode_ops,
+    encode_spec,
+    read_frame,
+)
+from repro.replica.mset import MSet
+
+
+def _feed(*payloads: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    for payload in payloads:
+        reader.feed_data(payload)
+    reader.feed_eof()
+    return reader
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = encode_frame({"type": "ping", "n": 7})
+
+        async def scenario():
+            return await read_frame(_feed(frame))
+
+        assert asyncio.run(scenario()) == {"type": "ping", "n": 7}
+
+    def test_many_frames_in_sequence(self):
+        frames = [encode_frame({"i": i}) for i in range(5)]
+
+        async def scenario():
+            reader = _feed(*frames)
+            return [await read_frame(reader) for _ in range(6)]
+
+        got = asyncio.run(scenario())
+        assert got[:5] == [{"i": i} for i in range(5)]
+        assert got[5] is None  # clean EOF after the last frame
+
+    def test_eof_mid_frame_is_none(self):
+        frame = encode_frame({"big": "x" * 100})
+
+        async def scenario():
+            return await read_frame(_feed(frame[:20]))
+
+        assert asyncio.run(scenario()) is None
+
+    def test_oversized_length_rejected(self):
+        header = struct.pack(">I", MAX_FRAME + 1)
+
+        async def scenario():
+            return await read_frame(_feed(header))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(scenario())
+
+    def test_undecodable_body_rejected(self):
+        junk = struct.pack(">I", 4) + b"\xff\xfe\x00\x01"
+
+        async def scenario():
+            return await read_frame(_feed(junk))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(scenario())
+
+    def test_non_object_payload_rejected(self):
+        frame = struct.pack(">I", 7) + b"[1,2,3]"
+
+        async def scenario():
+            return await read_frame(_feed(frame))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(scenario())
+
+
+class TestOperationCodec:
+    OPS = [
+        ReadOp("k"),
+        WriteOp("k", "v"),
+        WriteOp("k", None),
+        IncrementOp("k", 3),
+        DecrementOp("k", 1.5),
+        MultiplyOp("k", 2),
+        DivideOp("k", 4),
+        AppendOp("log", {"event": "x"}),
+        TimestampedWriteOp("k", 9, (3, "site1")),
+    ]
+
+    @pytest.mark.parametrize("op", OPS, ids=lambda o: type(o).__name__)
+    def test_roundtrip(self, op):
+        decoded = decode_op(encode_op(op))
+        assert type(decoded) is type(op)
+        assert decoded.key == op.key
+
+    def test_batch_roundtrip_preserves_order(self):
+        decoded = decode_ops(encode_ops(self.OPS))
+        assert [type(op) for op in decoded] == [type(op) for op in self.OPS]
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_op({"t": "frobnicate", "key": "k"})
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_op({"t": "inc"})
+
+
+class TestSpecCodec:
+    def test_unlimited_encodes_as_null(self):
+        data = encode_spec(EpsilonSpec())
+        assert data == {"import": None, "export": None, "value": None}
+        spec = decode_spec(data)
+        assert spec.import_limit == UNLIMITED
+        assert spec.value_limit == UNLIMITED
+
+    def test_finite_limits_roundtrip(self):
+        spec = EpsilonSpec(import_limit=3, export_limit=0, value_limit=2.5)
+        back = decode_spec(encode_spec(spec))
+        assert back.import_limit == 3
+        assert back.export_limit == 0
+        assert back.value_limit == 2.5
+
+    def test_missing_spec_is_unlimited(self):
+        spec = decode_spec(None)
+        assert spec.import_limit == UNLIMITED
+
+
+class TestMSetCodec:
+    def test_roundtrip(self):
+        mset = MSet(
+            tid="site0:4",
+            kind="update",
+            ops=(IncrementOp("x", 2), AppendOp("log", "e")),
+            origin="site0",
+            order=(17,),
+            txn_number=4,
+            info=(("reads", ["x"]),),
+        )
+        back = decode_mset(encode_mset(mset))
+        assert back.tid == "site0:4"
+        assert back.origin == "site0"
+        assert back.order == (17,)
+        assert back.txn_number == 4
+        assert [type(op) for op in back.ops] == [IncrementOp, AppendOp]
+        assert dict(back.info)["reads"] == ["x"]
+
+    def test_orderless_mset_roundtrip(self):
+        mset = MSet(tid="site1:1", ops=(WriteOp("y", 5),), origin="site1")
+        back = decode_mset(encode_mset(mset))
+        assert back.order is None
+        assert back.ops[0].value == 5

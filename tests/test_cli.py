@@ -35,6 +35,25 @@ class TestRun:
             main([])
 
 
+class TestRunFailure:
+    def test_raising_experiment_gives_nonzero_exit(self, capsys, monkeypatch):
+        def boom():
+            raise RuntimeError("synthetic experiment failure")
+
+        monkeypatch.setitem(EXPERIMENTS, "T2", boom)
+        assert main(["run", "T2"]) == 1
+        err = capsys.readouterr().err
+        assert "T2" in err and "synthetic experiment failure" in err
+
+    def test_failure_does_not_abort_remaining_ids(self, capsys, monkeypatch):
+        monkeypatch.setitem(
+            EXPERIMENTS, "T2", lambda: (_ for _ in ()).throw(ValueError("x"))
+        )
+        assert main(["run", "T2", "T3"]) == 1
+        captured = capsys.readouterr()
+        assert "Table 3" in captured.out
+
+
 class TestRunWithOutput:
     def test_saves_files(self, tmp_path, capsys):
         out = tmp_path / "results"

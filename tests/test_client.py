@@ -136,3 +136,51 @@ class TestFailureSurface:
         client = Client(system, "site0")
         with pytest.raises(NonCommutativeError):
             client.update([IncrementOp("x", 1), MultiplyOp("x", 2)])
+
+    def test_unknown_site_names_the_site(self):
+        with pytest.raises(KeyError, match="nowhere"):
+            Client(_system(), "nowhere")
+
+    def test_empty_update_batch_rejected(self):
+        client = Client(_system(), "site0")
+        with pytest.raises(ValueError):
+            client.update([])
+
+    def test_mixed_read_write_batch_rejected_by_commu(self):
+        """COMMU applies updates at every replica independently, so an
+        update ET may not embed reads; the error says to use ORDUP."""
+        from repro.core.operations import ReadOp
+        from repro.replica.commu import NonCommutativeError
+
+        client = Client(_system(), "site0")
+        with pytest.raises(NonCommutativeError, match="ORDUP"):
+            client.update([ReadOp("x"), IncrementOp("x", 1)])
+        # The rejected ET left no partial effects behind.
+        assert client.read("x") == 0
+
+    def test_mixed_read_write_batch_allowed_by_ordup(self):
+        from repro.core.operations import ReadOp
+        from repro.replica.ordup import OrderedUpdates
+
+        system = _system(method=OrderedUpdates())
+        client = Client(system, "site0")
+        client.increment("x", 10)
+        client.settle()
+        result = client.update([ReadOp("x"), IncrementOp("x", 5)])
+        assert result.values["x"] == 10  # read at the ET's serial position
+        client.settle()
+        assert client.read("x", epsilon=0) == 15
+
+    def test_strict_read_on_unknown_key_is_default(self):
+        client = Client(_system(), "site0")
+        assert client.read("never-written", epsilon=0) == 0
+
+    def test_etfailed_carries_the_result(self):
+        from repro.core.transactions import ETResult, ETStatus, make_et
+
+        result = ETResult(
+            et=make_et([IncrementOp("x", 1)]), status=ETStatus.ABORTED
+        )
+        err = ETFailed(result)
+        assert err.result is result
+        assert "ABORTED" in str(err) or "aborted" in str(err)

@@ -1,0 +1,15 @@
+"""The package version is single-sourced from pyproject.toml."""
+
+import pathlib
+import re
+
+import repro
+
+
+def test_version_matches_pyproject():
+    pyproject = pathlib.Path(repro.__file__).resolve().parents[2]
+    pyproject = pyproject / "pyproject.toml"
+    declared = re.search(
+        r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+    ).group(1)
+    assert repro.__version__ == declared
