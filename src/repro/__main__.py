@@ -12,6 +12,7 @@ Usage::
         --data /var/lib/repro/site0 --method commu
 
     python -m repro live-demo            # 3-replica cluster demo
+    python -m repro chaos --seed 7       # seeded fault-injection run
 """
 
 from __future__ import annotations
@@ -183,6 +184,23 @@ def _cmd_live_demo(args: argparse.Namespace) -> int:
     return asyncio.run(main())
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .live.chaos import ChaosConfig, run_chaos_sync
+
+    config = ChaosConfig(
+        seed=args.seed,
+        n_sites=args.sites,
+        method=args.method,
+        n_updates=args.updates,
+        n_queries=args.queries,
+        workload_duration=args.duration,
+        crash=not args.no_crash,
+    )
+    report = run_chaos_sync(config)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -224,6 +242,25 @@ def main(argv: List[str] = None) -> int:
         "--method", default="commu", choices=("commu", "ordup", "rowa")
     )
     demo.add_argument("--updates", type=int, default=200)
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection run asserting the ESR invariants",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--sites", type=int, default=3)
+    chaos.add_argument(
+        "--method", default="commu", choices=("commu", "ordup", "rowa")
+    )
+    chaos.add_argument("--updates", type=int, default=120)
+    chaos.add_argument("--queries", type=int, default=36)
+    chaos.add_argument(
+        "--duration", type=float, default=4.0,
+        help="seconds the workload is paced to span",
+    )
+    chaos.add_argument(
+        "--no-crash", action="store_true",
+        help="skip the crash/restart phase (keep drops/partition)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -231,6 +268,8 @@ def main(argv: List[str] = None) -> int:
         return _cmd_serve(args)
     if args.command == "live-demo":
         return _cmd_live_demo(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return _cmd_run(args.ids, args.out)
 
 

@@ -14,14 +14,22 @@ Layers:
   durable queues that survive process restarts.
 * :mod:`repro.live.engine` — transport-agnostic COMMU / ORDUP engines
   plus the synchronous write-all (ROWA) baseline.
-* :mod:`repro.live.server` — a per-replica asyncio TCP server.
-* :mod:`repro.live.client` — pipelined async client facade.
+* :mod:`repro.live.server` — a per-replica asyncio TCP server with
+  heartbeat failure detection and degraded-mode query handling.
+* :mod:`repro.live.client` — pipelined async client facade with
+  per-request timeouts, reconnect, and failover.
 * :mod:`repro.live.cluster` — in-process N-replica bootstrapper.
+* :mod:`repro.live.faults` — seeded fault injection (drop / delay /
+  duplicate / reorder / partition / crash schedules).
+* :mod:`repro.live.chaos` — randomized-but-seeded chaos harness
+  asserting the paper's invariants under faults.
 """
 
-from .client import LiveClient, LiveETFailed
+from .chaos import ChaosConfig, ChaosReport, run_chaos, run_chaos_sync
+from .client import LiveClient, LiveETFailed, RequestTimeout
 from .cluster import LiveCluster
 from .durable_queue import DurableInbox, DurableOutbox
+from .faults import CrashEvent, FaultPlan, FrameFate, LinkFaults
 from .engine import (
     CommuLiveEngine,
     ENGINES,
@@ -32,12 +40,21 @@ from .engine import (
     RowaLiveEngine,
     make_engine,
 )
-from .server import ReplicaServer
+from .server import ReplicaServer, Unavailable
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "run_chaos",
+    "run_chaos_sync",
     "LiveClient",
     "LiveETFailed",
+    "RequestTimeout",
     "LiveCluster",
+    "CrashEvent",
+    "FaultPlan",
+    "FrameFate",
+    "LinkFaults",
     "DurableInbox",
     "DurableOutbox",
     "CommuLiveEngine",
@@ -49,4 +66,5 @@ __all__ = [
     "RowaLiveEngine",
     "make_engine",
     "ReplicaServer",
+    "Unavailable",
 ]

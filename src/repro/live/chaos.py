@@ -1,0 +1,381 @@
+"""Chaos harness: seeded fault schedules against a live cluster.
+
+Turns the paper's availability argument (experiment E9) into an
+empirical live result.  One :func:`run_chaos` run boots a real
+localhost TCP cluster, installs a seeded
+:class:`~repro.live.faults.FaultPlan` (frame drops, delays,
+duplications, reorders), and drives a concurrent update/query workload
+while the harness injects one network partition and one crash/restart.
+Throughout and afterwards it checks the invariants the paper claims
+hold under exactly this abuse:
+
+* **No acknowledged update is ever lost** — for every key, the
+  converged value is at least the number of client-acknowledged
+  increments (and at most the number attempted, catching
+  double-application by the retry machinery just as much as loss).
+* **Query error never exceeds the declared epsilon budget** — every
+  bounded query's reported inconsistency is within its limit, faults
+  or not.
+* **Degraded-mode honesty** — during the partition, the isolated
+  replica keeps answering epsilon-bounded queries, while an
+  ``epsilon = 0`` query fails fast with the typed ``UNAVAILABLE`` code
+  instead of hanging.
+* **Convergence at quiescence** — after all faults heal, every replica
+  settles to identical one-copy state.
+
+Reproducible from the CLI::
+
+    python -m repro chaos --seed 7
+    python -m repro chaos --seed 7 --method ordup --no-crash
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.transactions import EpsilonSpec
+from .client import LiveClient, LiveETFailed, RequestTimeout
+from .cluster import LiveCluster
+from .faults import FaultPlan, LinkFaults
+
+__all__ = ["ChaosConfig", "ChaosReport", "run_chaos", "run_chaos_sync"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One reproducible chaos scenario.  Everything randomized is
+    drawn from ``seed``, so a report names the exact run to replay."""
+
+    seed: int = 0
+    n_sites: int = 3
+    method: str = "commu"
+    n_updates: int = 120
+    n_queries: int = 36
+    update_workers: int = 6
+    query_workers: int = 4
+    #: the update/query workload is paced to span this many seconds so
+    #: it overlaps the fault schedule below.
+    workload_duration: float = 4.0
+    keys: Tuple[str, ...] = ("acct0", "acct1", "acct2", "acct3")
+    epsilons: Tuple[int, ...] = (1, 2, 5, 10)
+    #: link fault rates, applied to every inter-replica link.
+    drop: float = 0.08
+    duplicate: float = 0.05
+    reorder: float = 0.10
+    delay_max: float = 0.012
+    #: partition: isolate the last site for ``partition_duration``.
+    partition_at: float = 0.3
+    partition_duration: float = 2.0
+    #: crash/restart of the last site after the partition heals.
+    crash: bool = True
+    crash_at: float = 2.6
+    crash_duration: float = 0.5
+    #: failure-detector tuning for the cluster under test.
+    heartbeat_interval: float = 0.15
+    suspect_after: float = 0.6
+    request_timeout: float = 20.0
+    settle_timeout: float = 60.0
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos run observed, and whether the invariants held."""
+
+    config: ChaosConfig
+    acked: Dict[str, int] = field(default_factory=dict)
+    attempted: Dict[str, int] = field(default_factory=dict)
+    final: Dict[str, Any] = field(default_factory=dict)
+    update_failures: int = 0
+    queries_ok: int = 0
+    bounded_failures: int = 0
+    epsilon_violations: List[Tuple[float, int]] = field(default_factory=list)
+    #: strict probe during the partition: (elapsed seconds, error code).
+    strict_probe: Optional[Tuple[float, str]] = None
+    #: bounded probe during the partition at the isolated replica.
+    partition_bounded_ok: Optional[bool] = None
+    partition_bounded_inconsistency: Optional[int] = None
+    converged: bool = False
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def violations(self) -> List[str]:
+        """Every broken invariant, as human-readable findings."""
+        out: List[str] = []
+        for epsilon, seen in self.epsilon_violations:
+            out.append(
+                "epsilon budget breached: query with epsilon=%s observed "
+                "inconsistency %d" % (epsilon, seen)
+            )
+        for key in sorted(set(self.acked) | set(self.final)):
+            acked = self.acked.get(key, 0)
+            attempted = self.attempted.get(key, 0)
+            got = self.final.get(key, 0)
+            if got < acked:
+                out.append(
+                    "acked update lost: %s converged to %s but %d "
+                    "increments were acknowledged" % (key, got, acked)
+                )
+            if got > attempted:
+                out.append(
+                    "update double-applied: %s converged to %s but only "
+                    "%d increments were attempted" % (key, got, attempted)
+                )
+        if self.strict_probe is not None:
+            elapsed, code = self.strict_probe
+            if code != "UNAVAILABLE":
+                out.append(
+                    "partitioned epsilon=0 query did not fail with "
+                    "UNAVAILABLE (got %r)" % code
+                )
+            if elapsed >= 1.0:
+                out.append(
+                    "partitioned epsilon=0 query took %.2fs to fail "
+                    "(must be < 1 s)" % elapsed
+                )
+        if self.partition_bounded_ok is False:
+            out.append(
+                "bounded query did not answer during the partition"
+            )
+        if not self.converged:
+            out.append("replicas did not converge after faults healed")
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations()
+
+    def render(self) -> str:
+        cfg = self.config
+        lines = [
+            "Chaos run: seed=%d method=%s sites=%d (drop=%.0f%% dup=%.0f%% "
+            "reorder=%.0f%% delay<=%.0fms, 1 partition%s)"
+            % (
+                cfg.seed,
+                cfg.method.upper(),
+                cfg.n_sites,
+                cfg.drop * 100,
+                cfg.duplicate * 100,
+                cfg.reorder * 100,
+                cfg.delay_max * 1e3,
+                ", 1 crash/restart" if cfg.crash else "",
+            ),
+            "",
+            "updates: %d acked, %d failed-or-unknown of %d attempted"
+            % (
+                sum(self.acked.values()),
+                self.update_failures,
+                sum(self.attempted.values()),
+            ),
+            "queries: %d answered within budget, %d unavailable/timed out"
+            % (self.queries_ok, self.bounded_failures),
+        ]
+        if self.strict_probe is not None:
+            elapsed, code = self.strict_probe
+            lines.append(
+                "partitioned epsilon=0 probe: %s in %.0f ms"
+                % (code or "(succeeded)", elapsed * 1e3)
+            )
+        if self.partition_bounded_inconsistency is not None:
+            lines.append(
+                "partitioned bounded probe: answered with "
+                "inconsistency=%d" % self.partition_bounded_inconsistency
+            )
+        lines.append(
+            "faults injected: "
+            + ", ".join(
+                "%s=%d" % (k, v) for k, v in sorted(self.fault_counts.items())
+            )
+        )
+        lines.append("converged after heal: %s" % ("yes" if self.converged else "NO"))
+        lines.append("")
+        problems = self.violations()
+        if problems:
+            lines.append("INVARIANT VIOLATIONS (%d):" % len(problems))
+            lines.extend("  - " + p for p in problems)
+        else:
+            lines.append(
+                "all invariants held: no acked-update loss, no epsilon "
+                "breach, honest degradation, converged (%.1fs wall)"
+                % self.wall_seconds
+            )
+        return "\n".join(lines)
+
+
+async def run_chaos(
+    config: ChaosConfig, data_dir: Optional[pathlib.Path] = None
+) -> ChaosReport:
+    """Execute one seeded chaos scenario; never raises on invariant
+    failure — inspect :meth:`ChaosReport.violations`."""
+    started = time.monotonic()
+    plan = FaultPlan(
+        config.seed,
+        default=LinkFaults(
+            drop=config.drop,
+            duplicate=config.duplicate,
+            reorder=config.reorder,
+            delay_max=config.delay_max,
+        ),
+    )
+    cluster = LiveCluster(
+        n_sites=config.n_sites,
+        method=config.method,
+        data_dir=data_dir,
+        faults=plan,
+        suspect_after=config.suspect_after,
+        heartbeat_interval=config.heartbeat_interval,
+    )
+    report = ChaosReport(config=config)
+    rng = random.Random(config.seed)
+    await cluster.start()
+    try:
+        await _drive_scenario(cluster, plan, config, rng, report)
+        # All faults are healed; the rate-based ones (drops, delays)
+        # stay on, proving settle tolerates steady-state loss too.
+        await cluster.settle(timeout=config.settle_timeout)
+        report.converged = await cluster.converged()
+        values = await cluster.site_values()
+        if values:
+            any_site = next(iter(values.values()))
+            report.final = {
+                key: any_site.get(key, 0) for key in config.keys
+            }
+    finally:
+        report.fault_counts = dict(plan.counts)
+        report.wall_seconds = time.monotonic() - started
+        await cluster.stop()
+    return report
+
+
+async def _drive_scenario(cluster, plan, config, rng, report) -> None:
+    names = list(cluster.names)
+    isolated = names[-1]
+    clients: Dict[str, LiveClient] = {}
+    for name in names:
+        clients[name] = await cluster.client(
+            name, request_timeout=config.request_timeout
+        )
+    #: sites safe to aim workload at (shrinks around the crash window).
+    targets = set(names)
+
+    async def one_update(key: str, site: str) -> None:
+        report.attempted[key] = report.attempted.get(key, 0) + 1
+        try:
+            await clients[site].increment(key, 1)
+        except (LiveETFailed, ConnectionError, OSError, asyncio.TimeoutError):
+            report.update_failures += 1
+        else:
+            report.acked[key] = report.acked.get(key, 0) + 1
+
+    async def update_worker(quota: int, worker_rng: random.Random) -> None:
+        pace = config.workload_duration / max(quota, 1)
+        for _ in range(quota):
+            site = worker_rng.choice(sorted(targets))
+            key = worker_rng.choice(config.keys)
+            await one_update(key, site)
+            await asyncio.sleep(worker_rng.uniform(0.5, 1.0) * pace)
+
+    async def query_worker(quota: int, worker_rng: random.Random) -> None:
+        pace = config.workload_duration / max(quota, 1)
+        for i in range(quota):
+            site = worker_rng.choice(sorted(targets))
+            epsilon = config.epsilons[i % len(config.epsilons)]
+            key = worker_rng.choice(config.keys)
+            try:
+                outcome = await clients[site].query(
+                    [key], EpsilonSpec(import_limit=epsilon)
+                )
+            except (
+                LiveETFailed,
+                ConnectionError,
+                OSError,
+                asyncio.TimeoutError,
+            ):
+                report.bounded_failures += 1
+            else:
+                report.queries_ok += 1
+                if outcome["inconsistency"] > epsilon:
+                    report.epsilon_violations.append(
+                        (epsilon, outcome["inconsistency"])
+                    )
+            await asyncio.sleep(worker_rng.uniform(0.5, 1.0) * pace)
+
+    async def partition_phase() -> None:
+        await asyncio.sleep(config.partition_at)
+        heal_at = (
+            time.monotonic()
+            + config.partition_duration
+        )
+        plan.partition([[isolated], [n for n in names if n != isolated]])
+        # Let the failure detector age the severed peers out.
+        await asyncio.sleep(
+            config.suspect_after + 3 * config.heartbeat_interval
+        )
+        probe_key = config.keys[0]
+        t0 = time.monotonic()
+        try:
+            await clients[isolated].read(probe_key, epsilon=0, timeout=5.0)
+        except LiveETFailed as exc:
+            report.strict_probe = (time.monotonic() - t0, exc.code)
+        except (ConnectionError, OSError) as exc:
+            report.strict_probe = (
+                time.monotonic() - t0,
+                type(exc).__name__,
+            )
+        else:
+            report.strict_probe = (time.monotonic() - t0, "")
+        # Availability: the partitioned replica still answers bounded
+        # queries, with honest error accounting.
+        try:
+            outcome = await clients[isolated].query(
+                [probe_key], EpsilonSpec(import_limit=10_000), timeout=5.0
+            )
+        except (LiveETFailed, ConnectionError, OSError):
+            report.partition_bounded_ok = False
+        else:
+            report.partition_bounded_ok = True
+            report.partition_bounded_inconsistency = outcome[
+                "inconsistency"
+            ]
+        await asyncio.sleep(max(0.0, heal_at - time.monotonic()))
+        plan.heal_all()
+
+    async def crash_phase() -> None:
+        if not config.crash:
+            return
+        await asyncio.sleep(config.crash_at)
+        victim = isolated
+        targets.discard(victim)
+        await cluster.kill(victim)
+        await asyncio.sleep(config.crash_duration)
+        await cluster.restart(victim)
+        # The restarted replica listens on a fresh port: re-dial.
+        await clients[victim].close()
+        clients[victim] = await cluster.client(
+            victim, request_timeout=config.request_timeout
+        )
+        targets.add(victim)
+
+    per_updater = max(1, config.n_updates // config.update_workers)
+    per_querier = max(1, config.n_queries // config.query_workers)
+    tasks = [
+        update_worker(per_updater, random.Random(rng.random()))
+        for _ in range(config.update_workers)
+    ]
+    tasks += [
+        query_worker(per_querier, random.Random(rng.random()))
+        for _ in range(config.query_workers)
+    ]
+    tasks += [partition_phase(), crash_phase()]
+    await asyncio.gather(*tasks)
+
+
+def run_chaos_sync(
+    config: ChaosConfig, data_dir: Optional[pathlib.Path] = None
+) -> ChaosReport:
+    """Blocking wrapper for CLI / benchmark use."""
+    return asyncio.run(run_chaos(config, data_dir))

@@ -7,18 +7,37 @@ coroutines can share one :class:`LiveClient`, and responses are
 matched to requests by id, so concurrent ETs genuinely overlap on the
 wire.
 
+Robustness: requests take a per-request ``timeout``; a broken
+connection is redialed automatically with jittered exponential
+backoff, optionally failing over across a list of replica addresses.
+Idempotent verbs (``query``, ``values``, ``stats``, ``ping``) are
+retried transparently after a reconnect; updates are *not* retried by
+default — a timed-out update may still have committed, and blind
+re-submission would double-apply it (opt in with ``retry_updates``
+when the workload is tolerant, e.g. monotonic counters checked
+externally).
+
     client = await LiveClient.connect("127.0.0.1", 7000)
     await client.increment("balance", 100)          # async update
     value = await client.read("balance", epsilon=2) # bounded error
     strict = await client.read("balance", epsilon=0)  # serializable
     await client.close()
+
+Failover::
+
+    client = await LiveClient.connect(
+        "127.0.0.1", 7000,
+        failover=[("127.0.0.1", 7001), ("127.0.0.1", 7002)],
+        request_timeout=5.0,
+    )
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Any, Dict, List, Optional, Sequence
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.operations import (
     AppendOp,
@@ -28,72 +47,265 @@ from ..core.operations import (
     WriteOp,
 )
 from ..core.transactions import EpsilonSpec, UNLIMITED
-from .protocol import encode_ops, encode_spec, read_frame, write_frame
+from .protocol import (
+    ProtocolError,
+    encode_ops,
+    encode_spec,
+    read_frame,
+    write_frame,
+)
 
-__all__ = ["LiveClient", "LiveETFailed"]
+__all__ = ["LiveClient", "LiveETFailed", "RequestTimeout"]
+
+#: verbs that are safe to re-issue after a reconnect.
+_IDEMPOTENT_VERBS = frozenset({"query", "values", "stats", "ping", "order"})
 
 
 class LiveETFailed(RuntimeError):
-    """Raised when the server reports an ET failure."""
+    """Raised when the server reports an ET failure.
+
+    ``code`` carries the server's typed error code; ``"UNAVAILABLE"``
+    means the replica honestly refused an ``epsilon = 0`` request while
+    partitioned from its peers — retry with a relaxed budget or at
+    another replica.
+    """
 
     def __init__(self, error: str, code: str = "") -> None:
         super().__init__(error)
         self.code = code
+
+    @property
+    def unavailable(self) -> bool:
+        return self.code == "UNAVAILABLE"
+
+
+class RequestTimeout(ConnectionError):
+    """A request exceeded its client-side deadline.  The request may
+    or may not have executed at the server."""
 
 
 class LiveClient:
     """A pipelined client connection to one replica server."""
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        addrs: Sequence[Tuple[str, int]],
+        request_timeout: Optional[float] = None,
+        reconnect: bool = True,
+        max_attempts: int = 4,
+        backoff_base: float = 0.05,
+        backoff_max: float = 1.0,
+        retry_updates: bool = False,
+        rng: Optional[random.Random] = None,
     ) -> None:
-        self._reader = reader
-        self._writer = writer
+        if not addrs:
+            raise ValueError("LiveClient needs at least one address")
+        self._addrs: List[Tuple[str, int]] = [
+            (host, int(port)) for host, port in addrs
+        ]
+        self._request_timeout = request_timeout
+        self._reconnect = reconnect
+        self._max_attempts = max(1, max_attempts)
+        self._backoff_base = backoff_base
+        self._backoff_max = backoff_max
+        self._retry_updates = retry_updates
+        self._rng = rng if rng is not None else random.Random()
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
         self._ids = itertools.count(1)
         self._waiting: Dict[int, asyncio.Future] = {}
         self._write_lock = asyncio.Lock()
+        self._dial_lock = asyncio.Lock()
         self._closed = False
-        self._reader_task = asyncio.ensure_future(self._read_loop())
+        self._reader_task: Optional[asyncio.Task] = None
+        #: observability: completed redials since construction.
+        self.reconnects = 0
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "LiveClient":
-        reader, writer = await asyncio.open_connection(host, port)
-        await write_frame(writer, {"type": "client-hello"})
-        return cls(reader, writer)
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        failover: Sequence[Tuple[str, int]] = (),
+        **options: Any,
+    ) -> "LiveClient":
+        """Dial the primary address (``failover`` addresses are used
+        when redialing after a connection failure)."""
+        client = cls([(host, port)] + list(failover), **options)
+        await client._ensure_connected()
+        return client
 
-    async def _read_loop(self) -> None:
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None and not self._writer.is_closing()
+
+    # -- connection management -----------------------------------------------
+
+    async def _ensure_connected(self) -> None:
+        if self._closed:
+            raise ConnectionError("client is closed")
+        if self.connected:
+            return
+        async with self._dial_lock:
+            if self._closed:
+                raise ConnectionError("client is closed")
+            if self.connected:
+                return
+            await self._dial()
+
+    async def _dial(self) -> None:
+        """Try each address with jittered exponential backoff."""
+        redial = self._reader_task is not None
+        self._teardown_connection()
+        last_error: Optional[BaseException] = None
+        for attempt in range(self._max_attempts):
+            for host, port in self._addrs:
+                if self._closed:
+                    raise ConnectionError("client is closed")
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        host, port
+                    )
+                except (OSError, ConnectionError) as exc:
+                    last_error = exc
+                    continue
+                await write_frame(writer, {"type": "client-hello"})
+                self._reader = reader
+                self._writer = writer
+                self._reader_task = asyncio.ensure_future(
+                    self._read_loop(reader)
+                )
+                if redial:
+                    self.reconnects += 1
+                return
+            if attempt < self._max_attempts - 1:
+                await asyncio.sleep(self._backoff(attempt))
+        raise ConnectionError(
+            "could not reach any of %r: %s" % (self._addrs, last_error)
+        )
+
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff with full jitter (decorrelates a herd
+        of clients redialing a recovering replica)."""
+        ceiling = min(
+            self._backoff_base * (2 ** attempt), self._backoff_max
+        )
+        return self._rng.uniform(0, ceiling)
+
+    def _teardown_connection(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        self._reader = None
+        self._fail_waiting(ConnectionError("connection lost"))
+
+    def _fail_waiting(self, error: Exception) -> None:
+        for fut in self._waiting.values():
+            if not fut.done():
+                fut.set_exception(error)
+        self._waiting.clear()
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
         try:
             while True:
-                frame = await read_frame(self._reader)
+                frame = await read_frame(reader)
                 if frame is None:
                     break
                 rid = frame.get("id")
                 fut = self._waiting.pop(rid, None)
                 if fut is not None and not fut.done():
                     fut.set_result(frame)
-        except (ConnectionError, asyncio.CancelledError, Exception):
-            pass
+        except asyncio.CancelledError:
+            return  # close()/redial cancelled us; they handle cleanup
+        except (ConnectionError, OSError, ProtocolError):
+            pass  # the connection died; fail the waiters below
         finally:
-            for fut in self._waiting.values():
-                if not fut.done():
-                    fut.set_exception(
-                        ConnectionError("server connection closed")
-                    )
-            self._waiting.clear()
+            if self._reader is reader:
+                # Mark the connection dead so the next request redials
+                # instead of writing into a half-closed socket.
+                self._reader = None
+                if self._writer is not None:
+                    self._writer.close()
+                    self._writer = None
+                self._fail_waiting(
+                    ConnectionError("server connection closed")
+                )
 
-    async def request(self, verb: str, **fields: Any) -> Dict[str, Any]:
-        """Send one request; await and unwrap its response."""
+    # -- requests ------------------------------------------------------------
+
+    async def request(
+        self,
+        verb: str,
+        timeout: Optional[float] = None,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """Send one request; await and unwrap its response.
+
+        ``timeout`` (or the client-wide ``request_timeout``) bounds the
+        whole round trip.  Connection failures are retried with
+        reconnect/failover for idempotent verbs; updates surface the
+        error to the caller unless ``retry_updates`` was set.
+        """
+        if timeout is None:
+            timeout = self._request_timeout
+        retryable = self._reconnect and (
+            verb in _IDEMPOTENT_VERBS or self._retry_updates
+        )
+        attempts = self._max_attempts if retryable else 1
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            if attempt:
+                await asyncio.sleep(self._backoff(attempt - 1))
+            try:
+                return await self._request_once(verb, timeout, fields)
+            except RequestTimeout:
+                raise  # the deadline is global, never re-spent
+            except (ConnectionError, OSError) as exc:
+                last_error = exc
+                continue
+        assert last_error is not None
+        raise last_error
+
+    async def _request_once(
+        self,
+        verb: str,
+        timeout: Optional[float],
+        fields: Dict[str, Any],
+    ) -> Dict[str, Any]:
         if self._closed:
             raise ConnectionError("client is closed")
+        if self._reconnect:
+            await self._ensure_connected()
+        elif not self.connected:
+            raise ConnectionError("client is not connected")
         rid = next(self._ids)
-        fut = asyncio.get_event_loop().create_future()
+        fut: asyncio.Future = asyncio.get_event_loop().create_future()
         self._waiting[rid] = fut
-        async with self._write_lock:
-            await write_frame(
-                self._writer,
-                {"type": "request", "id": rid, "verb": verb, **fields},
-            )
-        frame = await fut
+        try:
+            async with self._write_lock:
+                await write_frame(
+                    self._writer,
+                    {"type": "request", "id": rid, "verb": verb, **fields},
+                )
+        except (ConnectionError, OSError):
+            # The send never made it out: drop the orphan future so it
+            # cannot leak (and cannot be resolved by a later response
+            # reusing the id after a reconnect).
+            self._waiting.pop(rid, None)
+            raise
+        try:
+            if timeout is not None:
+                frame = await asyncio.wait_for(fut, timeout=timeout)
+            else:
+                frame = await fut
+        except asyncio.TimeoutError:
+            self._waiting.pop(rid, None)
+            raise RequestTimeout(
+                "%s request exceeded %.3fs" % (verb, timeout)
+            ) from None
         if not frame.get("ok"):
             raise LiveETFailed(
                 frame.get("error", "ET failed"), frame.get("code", "")
@@ -106,12 +318,13 @@ class LiveClient:
         self,
         operations: Sequence[Operation],
         spec: Optional[EpsilonSpec] = None,
+        timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Submit a (possibly multi-operation) update ET."""
         fields: Dict[str, Any] = {"ops": encode_ops(list(operations))}
         if spec is not None:
             fields["spec"] = encode_spec(spec)
-        return await self.request("update", **fields)
+        return await self.request("update", timeout=timeout, **fields)
 
     async def write(self, key: str, value: Any) -> Dict[str, Any]:
         return await self.update([WriteOp(key, value)])
@@ -128,24 +341,29 @@ class LiveClient:
     # -- queries -------------------------------------------------------------
 
     async def query(
-        self, keys: Sequence[str], spec: Optional[EpsilonSpec] = None
+        self,
+        keys: Sequence[str],
+        spec: Optional[EpsilonSpec] = None,
+        timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Full-fidelity query: values plus error accounting."""
         fields: Dict[str, Any] = {"keys": list(keys)}
         if spec is not None:
             fields["spec"] = encode_spec(spec)
-        return await self.request("query", **fields)
+        return await self.request("query", timeout=timeout, **fields)
 
     async def read(
         self,
         key: str,
         epsilon: float = UNLIMITED,
         value_epsilon: float = UNLIMITED,
+        timeout: Optional[float] = None,
     ) -> Any:
         """Read one key with the given inconsistency budget."""
         result = await self.query(
             [key],
             EpsilonSpec(import_limit=epsilon, value_limit=value_epsilon),
+            timeout=timeout,
         )
         return result["values"][key]
 
@@ -176,13 +394,21 @@ class LiveClient:
 
     async def close(self) -> None:
         self._closed = True
-        self._reader_task.cancel()
-        try:
-            await self._reader_task
-        except (asyncio.CancelledError, Exception):
-            pass
-        self._writer.close()
-        try:
-            await self._writer.wait_closed()
-        except Exception:
-            pass
+        task = self._reader_task
+        self._reader_task = None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._fail_waiting(ConnectionError("client closed"))
+        writer = self._writer
+        self._writer = None
+        self._reader = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

@@ -8,6 +8,11 @@ replicas (which exercises the durable-queue recovery path — a
 restarted replica replays its logs and peers' channel loops re-deliver
 whatever it missed).
 
+A shared :class:`~repro.live.faults.FaultPlan` can be installed to
+inject transport faults into every server's peer channels; the
+:meth:`partition` / :meth:`heal` helpers drive it for the common
+split-brain scenario.
+
     cluster = LiveCluster(n_sites=3, method="commu", data_dir=tmp)
     await cluster.start()
     client = await cluster.client("site0")
@@ -26,6 +31,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .client import LiveClient
+from .faults import FaultPlan
 from .server import ReplicaServer
 
 __all__ = ["LiveCluster"]
@@ -41,6 +47,9 @@ class LiveCluster:
         data_dir: Optional[pathlib.Path] = None,
         host: str = "127.0.0.1",
         fsync: bool = False,
+        faults: Optional[FaultPlan] = None,
+        suspect_after: float = 0.75,
+        heartbeat_interval: float = 0.25,
     ) -> None:
         if n_sites < 1:
             raise ValueError("a cluster needs at least one site")
@@ -48,6 +57,9 @@ class LiveCluster:
         self.method = method
         self.host = host
         self.fsync = fsync
+        self.faults = faults
+        self.suspect_after = suspect_after
+        self.heartbeat_interval = heartbeat_interval
         self._own_tmp: Optional[tempfile.TemporaryDirectory] = None
         if data_dir is None:
             self._own_tmp = tempfile.TemporaryDirectory(prefix="repro-live-")
@@ -56,6 +68,9 @@ class LiveCluster:
         self.servers: Dict[str, ReplicaServer] = {}
         self.addrs: Dict[str, Tuple[str, int]] = {}
         self._clients: List[LiveClient] = []
+        #: one cached introspection connection per replica, reused by
+        #: settle()/site_values() instead of a dial per 50 ms poll.
+        self._probe_clients: Dict[str, LiveClient] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -66,6 +81,9 @@ class LiveCluster:
             data_dir=self.data_dir / name,
             method=self.method,
             fsync=self.fsync,
+            faults=self.faults,
+            suspect_after=self.suspect_after,
+            heartbeat_interval=self.heartbeat_interval,
         )
 
     async def start(self) -> None:
@@ -83,6 +101,9 @@ class LiveCluster:
         for client in self._clients:
             await client.close()
         self._clients.clear()
+        for client in self._probe_clients.values():
+            await client.close()
+        self._probe_clients.clear()
         for server in self.servers.values():
             await server.stop()
         self.servers.clear()
@@ -95,6 +116,7 @@ class LiveCluster:
         logs survive.  Peers keep retrying delivery until restart."""
         server = self.servers.pop(name)
         await server.stop()
+        await self._drop_probe(name)
 
     async def restart(self, name: str) -> None:
         """Recover a killed replica from its durable queues."""
@@ -109,31 +131,69 @@ class LiveCluster:
         # Everyone else re-points their channels at the new address.
         for other in self.servers.values():
             other.set_peers(self.addrs)
+        await self._drop_probe(name)  # old address is stale
+
+    # -- fault helpers -------------------------------------------------------
+
+    def partition(self, groups: Sequence[Sequence[str]]) -> None:
+        """Sever every inter-group link (requires an installed plan)."""
+        if self.faults is None:
+            raise RuntimeError("cluster was built without a FaultPlan")
+        self.faults.partition(groups)
+
+    def heal(self) -> None:
+        """Heal all severed links."""
+        if self.faults is None:
+            raise RuntimeError("cluster was built without a FaultPlan")
+        self.faults.heal_all()
 
     # -- access --------------------------------------------------------------
 
-    async def client(self, name: str) -> LiveClient:
+    async def client(self, name: str, **options) -> LiveClient:
         """Open a (cluster-managed) client connection to one replica."""
         host, port = self.addrs[name]
-        client = await LiveClient.connect(host, port)
+        client = await LiveClient.connect(host, port, **options)
         self._clients.append(client)
         return client
+
+    async def _probe(self, name: str) -> LiveClient:
+        """The cached stats/values connection for one replica."""
+        client = self._probe_clients.get(name)
+        if client is None:
+            host, port = self.addrs[name]
+            client = await LiveClient.connect(
+                host, port, reconnect=False, request_timeout=5.0
+            )
+            self._probe_clients[name] = client
+        return client
+
+    async def _drop_probe(self, name: str) -> None:
+        client = self._probe_clients.pop(name, None)
+        if client is not None:
+            await client.close()
 
     # -- cluster-wide probes -------------------------------------------------
 
     async def settle(self, timeout: float = 30.0) -> None:
         """Wait until every replica is quiescent: all durable queues
-        drained, no held-back MSets, no update awaiting peer acks."""
+        drained, no held-back MSets, no update awaiting peer acks.
+
+        Reuses one cached connection per replica across poll
+        iterations rather than dialing each replica every 50 ms.
+        """
         deadline = time.monotonic() + timeout
         while True:
             drained = True
             for name in list(self.servers):
-                client = await self.client(name)
                 try:
+                    client = await self._probe(name)
                     stats = await client.stats()
-                finally:
-                    await client.close()
-                    self._clients.remove(client)
+                except (ConnectionError, OSError):
+                    # A replica mid-restart (or a stale cached address):
+                    # drop the probe and try again next round.
+                    await self._drop_probe(name)
+                    drained = False
+                    break
                 if not stats.get("drained"):
                     drained = False
                     break
@@ -143,15 +203,19 @@ class LiveCluster:
                 raise TimeoutError("cluster did not settle in %.1fs" % timeout)
             await asyncio.sleep(0.05)
 
+    async def site_stats(self) -> Dict[str, Dict[str, object]]:
+        """Stats from every running replica (peer health, backlogs)."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name in list(self.servers):
+            client = await self._probe(name)
+            out[name] = await client.stats()
+        return out
+
     async def site_values(self) -> Dict[str, Dict[str, object]]:
         out = {}
         for name in list(self.servers):
-            client = await self.client(name)
-            try:
-                out[name] = await client.values()
-            finally:
-                await client.close()
-                self._clients.remove(client)
+            client = await self._probe(name)
+            out[name] = await client.values()
         return out
 
     async def converged(self) -> bool:

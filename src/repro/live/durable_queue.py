@@ -44,18 +44,28 @@ def _append_json_line(handle, obj: Dict[str, Any], fsync: bool) -> None:
 def _read_json_lines(path: pathlib.Path) -> Iterator[Dict[str, Any]]:
     if not path.exists():
         return
-    with path.open("r", encoding="utf-8") as handle:
+    with path.open("rb") as handle:
         for line in handle:
             line = line.strip()
             if not line:
                 continue
             try:
-                yield json.loads(line)
-            except json.JSONDecodeError:
+                record = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
                 # A torn final line from a crash mid-append: everything
                 # before it is intact, the torn record was never
                 # acknowledged to anyone, so it is safe to drop.
                 return
+            if (
+                not isinstance(record, dict)
+                or not isinstance(record.get("seq"), int)
+                or "payload" not in record
+            ):
+                # Decodable but structurally corrupt (e.g. a partial
+                # buffer flush that happens to be valid JSON): same
+                # torn-tail reasoning — it was never acknowledged.
+                return
+            yield record
 
 
 class DurableOutbox:

@@ -126,6 +126,9 @@ class LiveEngine:
         #: origin's apply instant (standard read-then-write semantics).
         self.read_results: Dict[Any, Dict[str, Any]] = {}
         self.applied_count = 0
+        #: instant of the last applied MSet (None before the first) —
+        #: exposed as apply staleness for failure-detection dashboards.
+        self.last_applied_at: Optional[float] = None
 
     # -- update path ---------------------------------------------------------
 
@@ -172,6 +175,7 @@ class LiveEngine:
         for op in mset.ops:
             self.store.apply(op, default=0)
         self.applied_count += 1
+        self.last_applied_at = self.clock()
 
     def pop_read_results(self, tid: Any) -> Dict[str, Any]:
         return self.read_results.pop(tid, {})
@@ -217,9 +221,13 @@ class LiveEngine:
         return True
 
     def stats(self) -> Dict[str, Any]:
+        age = None
+        if self.last_applied_at is not None:
+            age = round(self.clock() - self.last_applied_at, 4)
         return {
             "method": self.method_name,
             "applied": self.applied_count,
+            "apply_staleness": age,
             "quiescent": self.quiescent(),
         }
 

@@ -1,0 +1,212 @@
+"""Seeded fault injection for the live replica runtime.
+
+The live analogue of :mod:`repro.sim.failures`: where the simulator
+schedules crash and partition events on a virtual clock, this module
+perturbs the *real* inter-replica transport — frames between live
+:class:`~repro.live.server.ReplicaServer` peers can be dropped,
+delayed, duplicated, and reordered, and directed links can be severed
+outright (partitions).  Injection happens at the frame layer inside
+the sender's channel loop, so the wire format and the durable-queue
+contract are untouched: a dropped or reordered frame looks exactly
+like network loss, and the at-least-once retry + frontier dedup
+machinery must absorb it.
+
+Determinism: every directed link draws its fate stream from its own
+:class:`random.Random` seeded by ``(plan seed, src, dst)``, so the
+sequence of drop/delay/duplicate decisions *per link* is reproducible
+across runs regardless of how asyncio interleaves the channels.
+(Which payload meets which fate still depends on scheduling — the
+guarantee is a deterministic fault *pressure*, which is what the chaos
+invariant checks need.)
+
+Usage::
+
+    plan = FaultPlan(seed=7, default=LinkFaults(drop=0.05, delay_max=0.01))
+    cluster = LiveCluster(n_sites=3, faults=plan)
+    ...
+    plan.partition([["site2"], ["site0", "site1"]])   # sever cross links
+    plan.heal_all()                                   # end the partition
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["LinkFaults", "FrameFate", "CrashEvent", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-directed-link fault rates applied to outbound frames."""
+
+    #: probability an outbound frame is silently dropped.
+    drop: float = 0.0
+    #: probability a (non-dropped) frame is sent twice.
+    duplicate: float = 0.0
+    #: probability a pending send batch is shuffled before sending.
+    reorder: float = 0.0
+    #: uniform added latency range, seconds.
+    delay_min: float = 0.0
+    delay_max: float = 0.0
+
+    def quiet(self) -> bool:
+        """True when this spec injects nothing."""
+        return not (
+            self.drop or self.duplicate or self.reorder or self.delay_max
+        )
+
+
+@dataclass(frozen=True)
+class FrameFate:
+    """What the plan decided for one outbound frame."""
+
+    drop: bool = False
+    duplicate: bool = False
+    delay: float = 0.0
+
+
+#: the do-nothing fate, shared to avoid per-frame allocation.
+_CLEAN = FrameFate()
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Crash ``site`` at ``at`` seconds into the run, restart after
+    ``duration`` more.  The chaos harness executes these; the plan only
+    carries the schedule so one seed describes the whole scenario."""
+
+    site: str
+    at: float
+    duration: float
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of transport misbehavior.
+
+    One plan is shared by every replica of a cluster; each server
+    consults it from its peer channel loops.  All state mutations
+    (sever/heal) take effect on the next frame, so partitions can be
+    driven from test code while the cluster runs.
+    """
+
+    def __init__(
+        self, seed: int = 0, default: Optional[LinkFaults] = None
+    ) -> None:
+        self.seed = seed
+        self.default = default if default is not None else LinkFaults()
+        self._links: Dict[Tuple[str, str], LinkFaults] = {}
+        self._severed: Set[Tuple[str, str]] = set()
+        self._rngs: Dict[Tuple[str, str], random.Random] = {}
+        self.crashes: List[CrashEvent] = []
+        #: observability: how much damage was actually injected.
+        self.counts: Dict[str, int] = {
+            "dropped": 0,
+            "duplicated": 0,
+            "delayed": 0,
+            "reordered": 0,
+            "blocked": 0,
+        }
+
+    # -- configuration -------------------------------------------------------
+
+    def set_default(self, faults: LinkFaults) -> None:
+        self.default = faults
+
+    def set_link(self, src: str, dst: str, faults: LinkFaults) -> None:
+        """Override the fault rates of one directed link."""
+        self._links[(src, dst)] = faults
+
+    def faults_for(self, src: str, dst: str) -> LinkFaults:
+        return self._links.get((src, dst), self.default)
+
+    def schedule_crash(self, site: str, at: float, duration: float) -> None:
+        self.crashes.append(CrashEvent(site, at, duration))
+
+    # -- partitions ----------------------------------------------------------
+
+    def sever(self, src: str, dst: str) -> None:
+        """Cut the directed link ``src -> dst`` (frames stop flowing)."""
+        self._severed.add((src, dst))
+
+    def sever_site(self, site: str, others: Iterable[str]) -> None:
+        """Isolate ``site`` from ``others`` in both directions."""
+        for other in others:
+            if other != site:
+                self.sever(site, other)
+                self.sever(other, site)
+
+    def partition(self, groups: Sequence[Sequence[str]]) -> None:
+        """Sever every directed link that crosses a group boundary."""
+        for i, group in enumerate(groups):
+            for j, other in enumerate(groups):
+                if i == j:
+                    continue
+                for src in group:
+                    for dst in other:
+                        self.sever(src, dst)
+
+    def heal(self, src: str, dst: str) -> None:
+        self._severed.discard((src, dst))
+
+    def heal_all(self) -> None:
+        """End every partition; links resume their rate-based faults."""
+        self._severed.clear()
+
+    def is_severed(self, src: str, dst: str) -> bool:
+        if (src, dst) in self._severed:
+            self.counts["blocked"] += 1
+            return True
+        return False
+
+    @property
+    def severed_links(self) -> Tuple[Tuple[str, str], ...]:
+        return tuple(sorted(self._severed))
+
+    # -- frame fates ---------------------------------------------------------
+
+    def _rng(self, src: str, dst: str) -> random.Random:
+        key = (src, dst)
+        rng = self._rngs.get(key)
+        if rng is None:
+            # str seeding hashes with sha512 — stable across processes,
+            # unlike hash() which PYTHONHASHSEED randomizes.
+            rng = random.Random("%d|%s>%s" % (self.seed, src, dst))
+            self._rngs[key] = rng
+        return rng
+
+    def frame_fate(self, src: str, dst: str) -> FrameFate:
+        """Decide the fate of the next outbound frame on a link."""
+        faults = self.faults_for(src, dst)
+        if faults.quiet():
+            return _CLEAN
+        rng = self._rng(src, dst)
+        drop = rng.random() < faults.drop
+        duplicate = (not drop) and rng.random() < faults.duplicate
+        delay = 0.0
+        if faults.delay_max > 0:
+            delay = rng.uniform(faults.delay_min, faults.delay_max)
+        if drop:
+            self.counts["dropped"] += 1
+        if duplicate:
+            self.counts["duplicated"] += 1
+        if delay:
+            self.counts["delayed"] += 1
+        return FrameFate(drop=drop, duplicate=duplicate, delay=delay)
+
+    def reorder_batch(self, src: str, dst: str, batch: List) -> List:
+        """Possibly shuffle one pending send batch (FIFO violation).
+
+        The receiver's inbox refuses out-of-order sequence numbers, so
+        a reordered batch forces the retry path — exactly the stress
+        the stable-queue contract must absorb.
+        """
+        faults = self.faults_for(src, dst)
+        if len(batch) > 1 and faults.reorder:
+            rng = self._rng(src, dst)
+            if rng.random() < faults.reorder:
+                batch = list(batch)
+                rng.shuffle(batch)
+                self.counts["reordered"] += 1
+        return batch

@@ -16,6 +16,21 @@ site's local durable log *and* every outbound channel log.  A replica
 killed and restarted replays its inbound logs through the engine and
 resumes its outbound channels, so acknowledged updates are never lost
 and peers' retries are deduplicated by channel sequence number.
+
+Failure detection and graceful degradation: channel loops double as a
+heartbeat path — any acknowledgement or heartbeat reply marks the peer
+*alive*; a peer silent for longer than ``suspect_after`` seconds is
+*suspected*, the server enters **degraded mode**, and ``epsilon = 0``
+queries fail fast with a typed :class:`Unavailable` error instead of
+blocking until their timeout.  Epsilon-bounded queries keep answering
+throughout (the paper's availability claim), with their inconsistency
+accounting intact.  Peer health, per-peer staleness, and outbound
+backlog are exposed via the ``stats`` verb.
+
+Fault injection (:mod:`repro.live.faults`) plugs into the channel
+loops: an installed :class:`~repro.live.faults.FaultPlan` can drop,
+delay, duplicate, and reorder outbound peer frames or sever directed
+links entirely, without touching the wire format.
 """
 
 from __future__ import annotations
@@ -29,6 +44,7 @@ from ..core.operations import is_write
 from ..replica.mset import MSet, MSetKind
 from .durable_queue import DurableInbox, DurableOutbox
 from .engine import LiveEngine, QueryTimeout, make_engine
+from .faults import FaultPlan
 from .protocol import (
     ProtocolError,
     decode_mset,
@@ -39,10 +55,22 @@ from .protocol import (
     write_frame,
 )
 
-__all__ = ["ReplicaServer", "LOCAL_CHANNEL"]
+__all__ = ["ReplicaServer", "Unavailable", "LOCAL_CHANNEL"]
 
 #: inbox channel name for the site's own updates.
 LOCAL_CHANNEL = "_local"
+
+
+class Unavailable(RuntimeError):
+    """A request that needs full replica agreement cannot be served
+    because one or more peers are unreachable (degraded mode).
+
+    Carried to clients as error code ``UNAVAILABLE`` so they can
+    distinguish honest refusal from transient failures and retry
+    elsewhere or relax their epsilon budget.
+    """
+
+    code = "UNAVAILABLE"
 
 
 class ReplicaServer:
@@ -59,6 +87,10 @@ class ReplicaServer:
         retry_max: float = 1.0,
         query_timeout: float = 30.0,
         commit_timeout: float = 30.0,
+        heartbeat_interval: float = 0.25,
+        suspect_after: float = 0.75,
+        ack_timeout: float = 2.0,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.name = name
         self.peer_names = tuple(sorted(p for p in peers if p != name))
@@ -69,6 +101,10 @@ class ReplicaServer:
         self.retry_max = retry_max
         self.query_timeout = query_timeout
         self.commit_timeout = commit_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.suspect_after = suspect_after
+        self.ack_timeout = ack_timeout
+        self.faults = faults
         self.engine: LiveEngine = make_engine(method, name, self.peer_names)
         #: the site hosting the central order server (ORDUP).
         self.order_site = sorted((name,) + self.peer_names)[0]
@@ -82,6 +118,10 @@ class ReplicaServer:
         self._outbox_events: Dict[str, asyncio.Event] = {}
         self._channel_tasks: List[asyncio.Task] = []
         self._conn_tasks: Set[asyncio.Task] = set()
+        #: peer -> monotonic instant of last evidence it is alive.
+        self.peer_last_seen: Dict[str, float] = {}
+        #: peer -> consecutive channel connect/send failures.
+        self.channel_failures: Dict[str, int] = {}
         #: (peer, channel seq) -> local update tid, for ack tracking.
         self._seq_tid: Dict[Tuple[str, int], Any] = {}
         #: local update tid -> peers whose durable ack is outstanding.
@@ -176,7 +216,11 @@ class ReplicaServer:
         """Launch one durable sender loop per peer channel."""
         if self._channel_tasks:
             return
+        now = self.engine.clock()
         for peer in self.peer_names:
+            # Grace period: a freshly booted cluster is not "degraded"
+            # before the first heartbeat round had a chance to land.
+            self.peer_last_seen.setdefault(peer, now)
             self._outbox_events[peer] = asyncio.Event()
             self._outbox_events[peer].set()
             self._channel_tasks.append(
@@ -216,28 +260,53 @@ class ReplicaServer:
         self._apply_futures.clear()
         self._full_ack_futures.clear()
 
+    # -- peer health ---------------------------------------------------------
+
+    def _note_peer_alive(self, peer: str) -> None:
+        if peer in self.outboxes or peer in self.inboxes:
+            self.peer_last_seen[peer] = self.engine.clock()
+            self.channel_failures[peer] = 0
+
+    def peer_alive(self, peer: str) -> bool:
+        """True while we have recent evidence the peer is reachable."""
+        seen = self.peer_last_seen.get(peer)
+        if seen is None:
+            return False
+        return self.engine.clock() - seen < self.suspect_after
+
+    def suspected_peers(self) -> Tuple[str, ...]:
+        """Peers currently failing the heartbeat deadline."""
+        return tuple(
+            p for p in self.peer_names if not self.peer_alive(p)
+        )
+
+    def degraded(self) -> bool:
+        """True when any peer is suspected: full agreement is off the
+        table, only epsilon-bounded service remains."""
+        return bool(self.suspected_peers())
+
     # -- channel sender loops ------------------------------------------------
 
     def _kick_channels(self) -> None:
         for event in self._outbox_events.values():
             event.set()
 
+    def _link_severed(self, dst: str) -> bool:
+        return self.faults is not None and self.faults.is_severed(
+            self.name, dst
+        )
+
     async def _channel_loop(self, peer: str) -> None:
-        """Persistently retry delivery of this channel's backlog."""
+        """Persistently retry delivery of this channel's backlog, and
+        heartbeat the peer while the channel is idle."""
         outbox = self.outboxes[peer]
         event = self._outbox_events[peer]
         backoff = self.retry_base
         while self._running:
-            if outbox.drained():
-                event.clear()
-                try:
-                    await asyncio.wait_for(event.wait(), timeout=0.5)
-                except asyncio.TimeoutError:
-                    pass
-                continue
             addr = self.peer_addrs.get(peer)
-            if addr is None:
+            if addr is None or self._link_severed(peer):
                 await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, self.retry_max)
                 continue
             writer = None
             try:
@@ -247,43 +316,127 @@ class ReplicaServer:
                 )
                 backoff = self.retry_base
                 while self._running:
-                    pending = outbox.pending()
-                    if not pending:
+                    if self._link_severed(peer):
+                        raise ConnectionResetError(
+                            "link %s->%s severed" % (self.name, peer)
+                        )
+                    if outbox.pending():
+                        await self._send_backlog(peer, reader, writer)
+                    else:
+                        await self._heartbeat(peer, reader, writer)
                         event.clear()
                         try:
-                            await asyncio.wait_for(event.wait(), timeout=0.5)
+                            await asyncio.wait_for(
+                                event.wait(),
+                                timeout=self.heartbeat_interval,
+                            )
                         except asyncio.TimeoutError:
                             pass
-                        continue
-                    for seq, payload in pending:
-                        await write_frame(
-                            writer,
-                            {
-                                "type": "mset",
-                                "src": self.name,
-                                "seq": seq,
-                                "mset": payload["mset"],
-                            },
-                        )
-                    for _ in pending:
-                        frame = await asyncio.wait_for(
-                            read_frame(reader), timeout=5.0
-                        )
-                        if frame is None:
-                            raise ConnectionResetError("peer closed")
-                        if frame.get("type") == "ack":
-                            await self._on_peer_ack(peer, int(frame["seq"]))
             except (
                 OSError,
                 ConnectionError,
                 asyncio.TimeoutError,
                 ProtocolError,
             ):
+                self.channel_failures[peer] = (
+                    self.channel_failures.get(peer, 0) + 1
+                )
                 await asyncio.sleep(backoff)
                 backoff = min(backoff * 2, self.retry_max)
             finally:
                 if writer is not None:
                     writer.close()
+
+    async def _send_backlog(
+        self,
+        peer: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Send the channel's pending window, then drain replies.
+
+        Under fault injection some frames are dropped, delayed,
+        duplicated, or sent out of order; whatever goes unacknowledged
+        within ``ack_timeout`` simply stays pending and is re-sent on
+        the next pass — the durable queue's at-least-once discipline
+        does the recovery, no special cases.
+        """
+        outbox = self.outboxes[peer]
+        batch = outbox.pending()
+        if self.faults is not None:
+            batch = self.faults.reorder_batch(self.name, peer, batch)
+        sent_any = False
+        for seq, payload in batch:
+            frame = {
+                "type": "mset",
+                "src": self.name,
+                "seq": seq,
+                "mset": payload["mset"],
+            }
+            copies = 1
+            if self.faults is not None:
+                fate = self.faults.frame_fate(self.name, peer)
+                if fate.delay:
+                    await asyncio.sleep(fate.delay)
+                if fate.drop:
+                    continue
+                if fate.duplicate:
+                    copies = 2
+            for _ in range(copies):
+                await write_frame(writer, frame)
+            sent_any = True
+        if not sent_any:
+            # Everything was dropped: back off a beat so a high drop
+            # rate cannot spin this loop hot.
+            await asyncio.sleep(self.retry_base)
+            return
+        target = {seq for seq, _ in batch}
+        deadline = self.engine.clock() + self.ack_timeout
+        while target & {seq for seq, _ in outbox.pending()}:
+            remaining = deadline - self.engine.clock()
+            if remaining <= 0:
+                return  # unacked remainder re-sends on the next pass
+            try:
+                frame = await asyncio.wait_for(
+                    read_frame(reader), timeout=remaining
+                )
+            except asyncio.TimeoutError:
+                return
+            if frame is None:
+                raise ConnectionResetError("peer closed")
+            kind = frame.get("type")
+            if kind == "ack":
+                self._note_peer_alive(peer)
+                await self._on_peer_ack(peer, int(frame["seq"]))
+            elif kind == "hb-ack":
+                self._note_peer_alive(peer)
+
+    async def _heartbeat(
+        self,
+        peer: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """One idle-channel liveness probe.  A lost reply is not an
+        error — the peer just stays un-refreshed and ages toward
+        suspicion."""
+        if self.faults is not None:
+            fate = self.faults.frame_fate(self.name, peer)
+            if fate.delay:
+                await asyncio.sleep(fate.delay)
+            if fate.drop:
+                return
+        await write_frame(writer, {"type": "hb", "src": self.name})
+        try:
+            frame = await asyncio.wait_for(
+                read_frame(reader), timeout=self.ack_timeout
+            )
+        except asyncio.TimeoutError:
+            return
+        if frame is None:
+            raise ConnectionResetError("peer closed")
+        if frame.get("type") in ("hb-ack", "ack"):
+            self._note_peer_alive(peer)
 
     async def _on_peer_ack(self, peer: str, seq: int) -> None:
         """A peer durably holds channel message ``seq``."""
@@ -336,7 +489,13 @@ class ReplicaServer:
                     )
                     self._conn_tasks.add(req_task)
                     req_task.add_done_callback(self._conn_tasks.discard)
+                elif kind == "hb":
+                    self._note_peer_alive(str(frame.get("src", "")))
+                    await send({"type": "hb-ack", "src": self.name})
                 elif kind in ("peer-hello", "client-hello"):
+                    src = frame.get("src")
+                    if src:
+                        self._note_peer_alive(str(src))
                     continue
                 else:
                     await send(
@@ -355,6 +514,7 @@ class ReplicaServer:
         inbox = self.inboxes.get(src)
         if inbox is None:
             return  # unknown peer: drop silently
+        self._note_peer_alive(src)
         if inbox.duplicate(seq):
             await send({"type": "ack", "seq": seq})
             return
@@ -400,7 +560,8 @@ class ReplicaServer:
                         "id": rid,
                         "ok": False,
                         "error": str(exc),
-                        "code": type(exc).__name__,
+                        "code": getattr(exc, "code", None)
+                        or type(exc).__name__,
                     }
                 )
             except (ConnectionError, OSError):
@@ -413,11 +574,26 @@ class ReplicaServer:
         return {"values": self.engine.snapshot()}
 
     async def _handle_stats(self, frame: Dict[str, Any]) -> Dict[str, Any]:
-        backlog = {p: box.backlog for p, box in self.outboxes.items()}
+        now = self.engine.clock()
+        peers: Dict[str, Dict[str, Any]] = {}
+        for peer in self.peer_names:
+            seen = self.peer_last_seen.get(peer)
+            peers[peer] = {
+                "alive": self.peer_alive(peer),
+                "staleness": (
+                    None if seen is None else round(now - seen, 4)
+                ),
+                "backlog": self.outboxes[peer].backlog,
+                "failures": self.channel_failures.get(peer, 0),
+            }
         stats = self.engine.stats()
         stats.update(
             site=self.name,
-            outbound_backlog=backlog,
+            peers=peers,
+            degraded=self.degraded(),
+            outbound_backlog={
+                p: box.backlog for p, box in self.outboxes.items()
+            },
             unacked_updates=len(self._unacked),
             drained=(
                 all(box.drained() for box in self.outboxes.values())
@@ -449,6 +625,10 @@ class ReplicaServer:
         backoff = self.retry_base
         while self._running:
             try:
+                if self._link_severed(self.order_site):
+                    raise ConnectionError(
+                        "link to order site %s severed" % self.order_site
+                    )
                 async with self._order_lock:
                     if self._order_conn is None:
                         addr = self.peer_addrs.get(self.order_site)
@@ -468,6 +648,7 @@ class ReplicaServer:
                 if reply is None or not reply.get("ok"):
                     raise ConnectionError("order request failed")
                 order = reply["order"]
+                self._note_peer_alive(self.order_site)
                 return (int(order[0]), int(order[1]))
             except (OSError, ConnectionError, asyncio.TimeoutError):
                 if self._order_conn is not None:
@@ -547,15 +728,60 @@ class ReplicaServer:
         if not keys or not all(isinstance(k, str) for k in keys):
             raise ValueError("query needs a list of string keys")
         spec = decode_spec(frame.get("spec"))
-        try:
-            outcome = await self.engine.query(
-                keys, spec, timeout=self.query_timeout
-            )
-        except QueryTimeout as exc:
-            raise QueryTimeout(str(exc)) from None
+        if spec.is_strict and self.peer_names:
+            outcome = await self._strict_query_guarded(keys, spec)
+        else:
+            try:
+                outcome = await self.engine.query(
+                    keys, spec, timeout=self.query_timeout
+                )
+            except QueryTimeout as exc:
+                raise QueryTimeout(str(exc)) from None
         return {
             "values": outcome.values,
             "inconsistency": outcome.inconsistency,
             "overlap": list(outcome.overlap),
             "waits": outcome.waits,
         }
+
+    async def _strict_query_guarded(self, keys, spec):
+        """Serve an ``epsilon = 0`` query with degraded-mode fail-fast.
+
+        A strict query must reflect full replica agreement; while a
+        peer is suspected that agreement cannot be reached (COMMU's
+        lock counters stay raised, ORDUP's order stream may be ahead
+        elsewhere), so the honest answer is a typed ``UNAVAILABLE``
+        within a bounded time — not a silent hang until the query
+        timeout.  The guard also trips for queries already in flight
+        when the partition starts.
+        """
+        if self.degraded():
+            raise Unavailable(
+                "epsilon=0 query refused: peers %s suspected"
+                % ",".join(self.suspected_peers())
+            )
+        query_task = asyncio.ensure_future(
+            self.engine.query(keys, spec, timeout=self.query_timeout)
+        )
+        watcher = asyncio.ensure_future(self._until_degraded())
+        try:
+            done, _ = await asyncio.wait(
+                {query_task, watcher},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        finally:
+            for task in (query_task, watcher):
+                if not task.done():
+                    task.cancel()
+        if query_task in done:
+            watcher.cancel()
+            return query_task.result()  # raises QueryTimeout if it lost
+        raise Unavailable(
+            "epsilon=0 query aborted: peers %s became unreachable"
+            % ",".join(self.suspected_peers())
+        )
+
+    async def _until_degraded(self) -> None:
+        """Resolve when the server enters degraded mode."""
+        while not self.degraded():
+            await asyncio.sleep(self.heartbeat_interval / 2)

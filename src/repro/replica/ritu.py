@@ -276,6 +276,15 @@ class ReadIndependentUpdates(ReplicaControlMethod):
         if latest.txn_number <= store.vtnc:
             return latest.value, False
         source = latest.writer if latest.writer is not None else latest.txn_number
+        if source not in self.runtime.in_flight_touching(key):
+            # Above the VTNC only because a *different* delayed MSet
+            # holds the contiguous frontier back: the version's own
+            # writer has fully propagated, so every replica already has
+            # it and reading it imports no inconsistency.  Charging
+            # here would let the counter exceed the query's overlap
+            # (the paper's upper bound), since a finished update is by
+            # definition not in the overlap.
+            return latest.value, False
         if self.runtime.try_charge(et.tid, {source}):
             return latest.value, True
         try:

@@ -1,0 +1,183 @@
+"""Client robustness: timeouts, reconnect, failover, and the
+no-leaked-future guarantee on failed sends."""
+
+import asyncio
+import socket
+
+import pytest
+
+import repro.live.client as client_module
+from repro.live import LiveCluster, LiveETFailed
+from repro.live.client import LiveClient, RequestTimeout
+from repro.live.server import ReplicaServer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _free_port() -> int:
+    """A port that was free a moment ago (nothing listens on it)."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+class TestFailedSendLeavesNoOrphanFuture:
+    def test_send_failure_pops_the_waiting_future(
+        self, tmp_path, monkeypatch
+    ):
+        """A request whose send raises must not leak its future in
+        ``_waiting`` (the leak would pin memory and could mismatch a
+        later response to the wrong caller)."""
+
+        async def scenario():
+            cluster = LiveCluster(n_sites=1, method="commu", data_dir=tmp_path)
+            await cluster.start()
+            try:
+                client = await cluster.client("site0", reconnect=False)
+                real_write_frame = client_module.write_frame
+                calls = {"n": 0}
+
+                async def flaky_write_frame(writer, obj):
+                    if obj.get("type") == "request":
+                        calls["n"] += 1
+                        if calls["n"] == 1:
+                            raise ConnectionResetError("boom mid-send")
+                    await real_write_frame(writer, obj)
+
+                monkeypatch.setattr(
+                    client_module, "write_frame", flaky_write_frame
+                )
+                with pytest.raises(ConnectionError):
+                    await client.ping()
+                assert client._waiting == {}
+                # The connection itself survived (nothing was written):
+                # the next request must work and clean up after itself.
+                reply = await client.ping()
+                assert reply["site"] == "site0"
+                assert client._waiting == {}
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+
+class TestRequestTimeout:
+    def test_unanswered_request_times_out(self):
+        """A server that accepts but never replies must not hang the
+        client past its per-request deadline."""
+
+        async def scenario():
+            async def black_hole(reader, writer):
+                try:
+                    while await reader.read(4096):
+                        pass
+                finally:
+                    writer.close()
+
+            server = await asyncio.start_server(
+                black_hole, "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            try:
+                client = await LiveClient.connect("127.0.0.1", port)
+                with pytest.raises(RequestTimeout):
+                    await client.request("ping", timeout=0.2)
+                assert client._waiting == {}
+                await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+
+class TestReconnect:
+    def test_client_redials_a_restarted_server(self, tmp_path):
+        async def scenario():
+            server = ReplicaServer(
+                "solo", peers=["solo"], data_dir=tmp_path / "a"
+            )
+            port = await server.bind("127.0.0.1", 0)
+            client = await LiveClient.connect(
+                "127.0.0.1", port, request_timeout=5.0
+            )
+            assert (await client.ping())["site"] == "solo"
+            await server.stop()
+
+            # Same address, fresh process-equivalent: reconnect works.
+            server2 = ReplicaServer(
+                "solo", peers=["solo"], data_dir=tmp_path / "b"
+            )
+            await server2.bind("127.0.0.1", port)
+            try:
+                assert (await client.ping())["site"] == "solo"
+                assert client.reconnects >= 1
+            finally:
+                await client.close()
+                await server2.stop()
+
+        run(scenario())
+
+    def test_no_reconnect_when_disabled(self, tmp_path):
+        async def scenario():
+            server = ReplicaServer(
+                "solo", peers=["solo"], data_dir=tmp_path
+            )
+            port = await server.bind("127.0.0.1", 0)
+            client = await LiveClient.connect(
+                "127.0.0.1", port, reconnect=False
+            )
+            await client.ping()
+            await server.stop()
+            await asyncio.sleep(0.05)
+            with pytest.raises((ConnectionError, LiveETFailed)):
+                await client.ping()
+            await client.close()
+
+        run(scenario())
+
+
+class TestFailover:
+    def test_dead_primary_fails_over_to_live_replica(self, tmp_path):
+        async def scenario():
+            cluster = LiveCluster(n_sites=1, method="commu", data_dir=tmp_path)
+            await cluster.start()
+            try:
+                dead = _free_port()
+                host, live = cluster.addrs["site0"]
+                client = await LiveClient.connect(
+                    "127.0.0.1",
+                    dead,
+                    failover=[(host, live)],
+                    request_timeout=5.0,
+                )
+                reply = await client.ping()
+                assert reply["site"] == "site0"
+                await client.close()
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_updates_are_not_retried_by_default(self, tmp_path):
+        """An update that dies on the wire surfaces the error rather
+        than risking double-application via blind re-submission."""
+
+        async def scenario():
+            server = ReplicaServer(
+                "solo", peers=["solo"], data_dir=tmp_path
+            )
+            port = await server.bind("127.0.0.1", 0)
+            client = await LiveClient.connect("127.0.0.1", port)
+            await client.increment("x", 1)
+            await server.stop()
+            await asyncio.sleep(0.05)
+            with pytest.raises((ConnectionError, OSError)):
+                await client.increment("x", 1)
+            await client.close()
+
+        run(scenario())

@@ -66,6 +66,73 @@ class TestOutbox:
         reloaded.close()
 
 
+class TestCrashAtomicity:
+    """A replica killed mid-append leaves a truncated or corrupt tail
+    record; recovery must skip exactly that record and keep every
+    previously acknowledged entry."""
+
+    def test_inbox_truncated_tail_keeps_acked_entries(self, tmp_path):
+        path = tmp_path / "peer.log"
+        inbox = DurableInbox(path)
+        for i in range(1, 4):
+            inbox.record(i, {"n": i})  # all three were acked upstream
+        inbox.close()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"seq": 4, "payload": {"n"')  # killed here
+
+        recovered = DurableInbox(path)
+        assert recovered.frontier == 3
+        assert [p["n"] for _, p in recovered.replay()] == [1, 2, 3]
+        # The torn seqno was never acked, so its reuse is correct.
+        assert recovered.record(4, {"n": 4}) is True
+        recovered.close()
+
+    def test_inbox_corrupt_json_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "peer.log"
+        inbox = DurableInbox(path)
+        inbox.record(1, "kept")
+        inbox.close()
+        with path.open("ab") as handle:
+            handle.write(b"\x00\xffgarbage not json\n")
+
+        recovered = DurableInbox(path)
+        assert recovered.replay() == [(1, "kept")]
+        assert recovered.frontier == 1
+        recovered.close()
+
+    def test_structurally_corrupt_tail_is_skipped(self, tmp_path):
+        """Valid JSON that is not a whole queue record (e.g. a partial
+        buffer flush) must be treated like a torn tail, not crash
+        recovery."""
+        path = tmp_path / "peer.log"
+        outbox = DurableOutbox(path)
+        outbox.append("kept")
+        outbox.close()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"seq": "not-an-int"}\n')
+
+        recovered = DurableOutbox(path)
+        assert recovered.pending() == [(1, "kept")]
+        assert recovered.append("next") == 2
+        recovered.close()
+
+    def test_outbox_truncated_tail_keeps_acked_frontier(self, tmp_path):
+        path = tmp_path / "peer.log"
+        outbox = DurableOutbox(path)
+        for i in range(3):
+            outbox.append({"n": i})
+        outbox.ack(1)
+        outbox.close()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"seq": 4, "pa')  # crash mid-append
+
+        recovered = DurableOutbox(path)
+        assert recovered.frontier == 1  # acked work survives
+        assert [seq for seq, _ in recovered.pending()] == [2, 3]
+        assert recovered.append({"n": "retry"}) == 4
+        recovered.close()
+
+
 class TestInbox:
     def test_record_and_replay(self, tmp_path):
         inbox = DurableInbox(tmp_path / "peer.log")

@@ -1,0 +1,116 @@
+"""Unit tests for the seeded fault-injection plan."""
+
+from repro.live.faults import FaultPlan, FrameFate, LinkFaults
+
+
+class TestLinkFaults:
+    def test_default_is_quiet(self):
+        assert LinkFaults().quiet()
+        assert not LinkFaults(drop=0.1).quiet()
+        assert not LinkFaults(delay_max=0.01).quiet()
+
+
+class TestFrameFates:
+    def test_quiet_link_never_injects(self):
+        plan = FaultPlan(seed=1)
+        for _ in range(50):
+            assert plan.frame_fate("a", "b") == FrameFate()
+        assert plan.counts["dropped"] == 0
+
+    def test_fate_stream_is_deterministic_per_seed(self):
+        """Two plans with the same seed issue identical per-link fate
+        streams, regardless of how calls interleave across links."""
+        spec = LinkFaults(drop=0.3, duplicate=0.2, delay_max=0.01)
+        one = FaultPlan(seed=42, default=spec)
+        two = FaultPlan(seed=42, default=spec)
+        # Interleave links differently on the two plans.
+        fates_one = [one.frame_fate("a", "b") for _ in range(40)]
+        for _ in range(40):
+            one.frame_fate("b", "a")
+        for i in range(40):
+            two.frame_fate("b", "a")
+        fates_two = [two.frame_fate("a", "b") for _ in range(40)]
+        assert fates_one == fates_two
+
+    def test_different_seeds_differ(self):
+        spec = LinkFaults(drop=0.5)
+        one = FaultPlan(seed=1, default=spec)
+        two = FaultPlan(seed=2, default=spec)
+        fates_one = [one.frame_fate("a", "b").drop for _ in range(64)]
+        fates_two = [two.frame_fate("a", "b").drop for _ in range(64)]
+        assert fates_one != fates_two
+
+    def test_per_link_override(self):
+        plan = FaultPlan(seed=0)
+        plan.set_link("a", "b", LinkFaults(drop=1.0))
+        assert plan.frame_fate("a", "b").drop
+        assert not plan.frame_fate("b", "a").drop  # default stays quiet
+
+    def test_counts_accumulate(self):
+        plan = FaultPlan(seed=0, default=LinkFaults(drop=1.0))
+        for _ in range(5):
+            plan.frame_fate("a", "b")
+        assert plan.counts["dropped"] == 5
+
+
+class TestPartitions:
+    def test_sever_is_directed(self):
+        plan = FaultPlan()
+        plan.sever("a", "b")
+        assert plan.is_severed("a", "b")
+        assert not plan.is_severed("b", "a")
+
+    def test_partition_severs_only_cross_group_links(self):
+        plan = FaultPlan()
+        plan.partition([["a", "b"], ["c"]])
+        assert plan.is_severed("a", "c")
+        assert plan.is_severed("c", "a")
+        assert plan.is_severed("b", "c")
+        assert not plan.is_severed("a", "b")
+        assert not plan.is_severed("b", "a")
+
+    def test_heal_all_restores_every_link(self):
+        plan = FaultPlan()
+        plan.partition([["a"], ["b", "c"]])
+        assert plan.severed_links
+        plan.heal_all()
+        assert not plan.severed_links
+        assert not plan.is_severed("a", "b")
+
+    def test_sever_site_isolates_both_directions(self):
+        plan = FaultPlan()
+        plan.sever_site("a", ["b", "c"])
+        assert plan.is_severed("a", "b")
+        assert plan.is_severed("b", "a")
+        assert plan.is_severed("c", "a")
+        assert not plan.is_severed("b", "c")
+
+    def test_blocked_count_tracks_severed_checks(self):
+        plan = FaultPlan()
+        plan.sever("a", "b")
+        plan.is_severed("a", "b")
+        plan.is_severed("a", "b")
+        assert plan.counts["blocked"] == 2
+
+
+class TestReorder:
+    def test_reorder_preserves_the_batch_contents(self):
+        plan = FaultPlan(seed=5, default=LinkFaults(reorder=1.0))
+        batch = [(i, "payload%d" % i) for i in range(8)]
+        shuffled = plan.reorder_batch("a", "b", list(batch))
+        assert sorted(shuffled) == batch
+        assert shuffled != batch  # seed 5 shuffles 8 elements
+        assert plan.counts["reordered"] == 1
+
+    def test_singleton_batches_never_reorder(self):
+        plan = FaultPlan(seed=0, default=LinkFaults(reorder=1.0))
+        assert plan.reorder_batch("a", "b", [(1, "x")]) == [(1, "x")]
+        assert plan.counts["reordered"] == 0
+
+
+class TestCrashSchedule:
+    def test_schedule_is_recorded(self):
+        plan = FaultPlan()
+        plan.schedule_crash("site2", at=1.5, duration=0.5)
+        (event,) = plan.crashes
+        assert (event.site, event.at, event.duration) == ("site2", 1.5, 0.5)

@@ -171,6 +171,47 @@ class TestCrashRecovery:
         run(scenario())
 
 
+class TestTornTailRecovery:
+    def test_kill_mid_append_loses_no_acked_update(self, tmp_path):
+        """Crash while appending to the durable logs: the torn tail
+        record (never acknowledged) is skipped on recovery, and every
+        update that *was* acknowledged survives."""
+
+        async def scenario():
+            cluster = LiveCluster(n_sites=3, method="commu", data_dir=tmp_path)
+            await cluster.start()
+            try:
+                c2 = await cluster.client("site2")
+                for _ in range(10):
+                    await c2.increment("k", 1)  # all 10 acked
+                await cluster.kill("site2")
+
+                # Simulate the kill landing mid-append: torn partial
+                # records at the tail of the local inbox and an outbox.
+                site_dir = tmp_path / "site2"
+                with (site_dir / "inbox" / "_local.log").open(
+                    "a", encoding="utf-8"
+                ) as handle:
+                    handle.write('{"seq": 11, "payload": {"ms')
+                with (site_dir / "outbox" / "site0.log").open(
+                    "a", encoding="utf-8"
+                ) as handle:
+                    handle.write('{"seq": 11,')
+
+                await cluster.restart("site2")
+                await cluster.settle(timeout=60)
+                assert await cluster.converged()
+                values = await cluster.site_values()
+                for name in cluster.names:
+                    assert values[name]["k"] == 10, (
+                        "%s lost acked updates: %r" % (name, values[name])
+                    )
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+
 class TestOrdupSemantics:
     def test_read_modify_write_reads_at_serial_position(self, tmp_path):
         async def scenario():
