@@ -5,12 +5,21 @@ Three replica sites keep a counter.  Updates are commutative increments
 propagated asynchronously (the COMMU method); queries read one replica
 and declare how much inconsistency they tolerate.
 
+The program talks to the system through the shared client verb surface
+(``write`` / ``increment`` / ``read`` / ``query`` / ``settle`` ...),
+which the live runtime's ``LiveClient`` mirrors verb-for-verb — the
+same code ports to real sockets by swapping the constructor and adding
+``await``.  Failures from either backend share one taxonomy:
+``repro.ETError`` with a stable ``code``.
+
 Run:  python examples/quickstart.py
 """
 
 from repro import (
+    Client,
     CommutativeOperations,
     EpsilonSpec,
+    ETError,
     IncrementOp,
     QueryET,
     ReadOp,
@@ -77,7 +86,25 @@ def main() -> None:
                     result.waits,
                 )
             )
-    final = system.sites["site0"].store.get("counter")
+
+    # The same system through the shared client verb surface.  The live
+    # runtime's LiveClient exposes these exact verbs (``await``-ed), so
+    # this block ports to real sockets unchanged in structure.
+    alice = Client(system, "site0")
+    bob = Client(system, "site2")
+    alice.increment("counter", 25)  # local commit, async spread
+    alice.decrement("counter", 25)
+    bob.settle()  # drain propagation to quiescence
+
+    # Both backends raise the shared ETError taxonomy: catch one type,
+    # branch on the stable code (UNAVAILABLE / EPSILON_EXCEEDED /
+    # ABORTED).  A live replica cut off from its peers would surface
+    # here as code == "UNAVAILABLE" instead of a hang.
+    try:
+        final = bob.read("counter", epsilon=0)  # serializable read
+    except ETError as exc:
+        print("strict read failed honestly: code=%s (%s)" % (exc.code, exc))
+        final = bob.read("counter")  # fall back to an unbounded read
     print()
     print("final counter value at every replica: %s (expected 100)" % final)
     assert final == 100

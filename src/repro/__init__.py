@@ -86,6 +86,7 @@ from .workload import WorkloadGenerator, WorkloadSpec, drive
 from .metrics import RunMetrics, divergence_of, summarize
 from .harness import AuditReport, audit
 from .client import Client, ETFailed
+from .errors import ABORTED, EPSILON_EXCEEDED, ETError, UNAVAILABLE
 
 def _detect_version() -> str:
     """Single-source the version from package metadata (pyproject)."""
@@ -131,5 +132,7 @@ __all__ = [
     "RunMetrics", "divergence_of", "summarize",
     "AuditReport", "audit",
     "Client", "ETFailed",
+    # shared failure taxonomy (sim + live)
+    "ABORTED", "EPSILON_EXCEEDED", "ETError", "UNAVAILABLE",
     "__version__",
 ]

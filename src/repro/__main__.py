@@ -111,6 +111,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             data_dir=pathlib.Path(args.data),
             method=args.method,
             fsync=args.fsync,
+            batch_size=args.batch_size,
+            window=args.window,
+            fsync_interval=args.fsync_interval,
         )
         port = await server.bind(args.host, args.port)
         server.set_peers(peers)
@@ -195,6 +198,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         n_queries=args.queries,
         workload_duration=args.duration,
         crash=not args.no_crash,
+        batch_size=args.batch_size,
+        window=args.window,
     )
     report = run_chaos_sync(config)
     print(report.render())
@@ -234,6 +239,19 @@ def main(argv: List[str] = None) -> int:
         "--fsync", action="store_true",
         help="fsync durable logs on every append",
     )
+    serve.add_argument(
+        "--batch-size", type=int, default=32,
+        help="max MSets coalesced into one propagation frame",
+    )
+    serve.add_argument(
+        "--window", type=int, default=4,
+        help="max batch frames in flight per peer channel",
+    )
+    serve.add_argument(
+        "--fsync-interval", type=float, default=0.0,
+        help="min seconds between fsyncs (0 = every group append; "
+        "only meaningful with --fsync)",
+    )
     demo = sub.add_parser(
         "live-demo", help="boot an in-process live cluster and drive it"
     )
@@ -260,6 +278,14 @@ def main(argv: List[str] = None) -> int:
     chaos.add_argument(
         "--no-crash", action="store_true",
         help="skip the crash/restart phase (keep drops/partition)",
+    )
+    chaos.add_argument(
+        "--batch-size", type=int, default=32,
+        help="propagation batch size for the cluster under test",
+    )
+    chaos.add_argument(
+        "--window", type=int, default=4,
+        help="in-flight batch window for the cluster under test",
     )
     args = parser.parse_args(argv)
     if args.command == "list":

@@ -38,17 +38,32 @@ from .core.transactions import (
     UNLIMITED,
     UpdateET,
 )
+from .errors import ABORTED, EPSILON_EXCEEDED, ETError
 from .replica.base import ReplicatedSystem
 
 __all__ = ["Client", "ETFailed"]
 
 
-class ETFailed(RuntimeError):
-    """Raised when a client-issued ET does not commit."""
+class ETFailed(ETError):
+    """Raised when a client-issued ET does not commit.
+
+    Shares :class:`repro.errors.ETError` with the live runtime's
+    ``LiveETFailed``, so portable code catches one type and branches on
+    the stable ``code``; the full :class:`ETResult` stays available as
+    ``exc.result`` for simulator-specific inspection.
+    """
 
     def __init__(self, result: ETResult) -> None:
+        if result.status in (ETStatus.ABORTED, ETStatus.COMPENSATED):
+            code = ABORTED
+        elif not result.within_epsilon:
+            code = EPSILON_EXCEEDED
+        else:
+            code = ""
         super().__init__(
-            "ET %s finished with status %r" % (result.et.tid, result.status)
+            "ET %s finished with status %r"
+            % (result.et.tid, result.status),
+            code,
         )
         self.result = result
 
@@ -141,7 +156,7 @@ class Client:
         return dict(result.values)
 
     def query(
-        self, keys: Sequence[str], spec: EpsilonSpec
+        self, keys: Sequence[str], spec: Optional[EpsilonSpec] = None
     ) -> ETResult:
         """Full-fidelity query: returns the ETResult with its error
         accounting (inconsistency counter, overlap, waits)."""

@@ -1,0 +1,72 @@
+"""Shared failure taxonomy for every client surface.
+
+The simulator's :class:`~repro.client.ETFailed` and the live runtime's
+:class:`~repro.live.client.LiveETFailed` used to be unrelated
+exception types, so portable application code had to catch both.  They
+now share one base, :class:`ETError`, carrying a *stable* ``code``
+string drawn from the small vocabulary below — application code
+branches on ``exc.code`` (or the convenience predicates) and works
+against either backend.
+
+Codes:
+
+* :data:`UNAVAILABLE` — the replica honestly refused a request that
+  needs full replica agreement (``epsilon = 0`` during a partition).
+  Retry elsewhere or relax the budget.
+* :data:`EPSILON_EXCEEDED` — the ET finished outside its declared
+  inconsistency budget (only reachable when a backend chooses to
+  report rather than block; the paper's methods normally block).
+* :data:`ABORTED` — the ET was aborted by the replica control method
+  (e.g. compensation, validation failure).
+
+Catch-all::
+
+    from repro import ETError
+
+    try:
+        client.read("balance", epsilon=0)
+    except ETError as exc:
+        if exc.unavailable:
+            ...  # degrade: retry with a relaxed epsilon
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ABORTED",
+    "EPSILON_EXCEEDED",
+    "ETError",
+    "UNAVAILABLE",
+]
+
+#: a request needing full replica agreement was honestly refused.
+UNAVAILABLE = "UNAVAILABLE"
+#: the ET's observed inconsistency exceeded its declared budget.
+EPSILON_EXCEEDED = "EPSILON_EXCEEDED"
+#: the replica control method aborted the ET.
+ABORTED = "ABORTED"
+
+
+class ETError(RuntimeError):
+    """Base class of every ET failure, simulated or live.
+
+    ``code`` is a stable machine-readable string (one of the module
+    constants, or a backend-specific extension); the exception message
+    stays human-readable prose.
+    """
+
+    code: str = ""
+
+    def __init__(self, message: str, code: str = "") -> None:
+        super().__init__(message)
+        if code:
+            self.code = code
+
+    @property
+    def unavailable(self) -> bool:
+        """True when the replica refused service during degradation."""
+        return self.code == UNAVAILABLE
+
+    @property
+    def aborted(self) -> bool:
+        return self.code == ABORTED

@@ -26,7 +26,7 @@ Layers:
 """
 
 from .chaos import ChaosConfig, ChaosReport, run_chaos, run_chaos_sync
-from .client import LiveClient, LiveETFailed, RequestTimeout
+from .client import LiveClient, LiveETFailed, LiveETResult, RequestTimeout
 from .cluster import LiveCluster
 from .durable_queue import DurableInbox, DurableOutbox
 from .faults import CrashEvent, FaultPlan, FrameFate, LinkFaults
@@ -49,6 +49,7 @@ __all__ = [
     "run_chaos_sync",
     "LiveClient",
     "LiveETFailed",
+    "LiveETResult",
     "RequestTimeout",
     "LiveCluster",
     "CrashEvent",

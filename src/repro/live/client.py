@@ -37,7 +37,8 @@ from __future__ import annotations
 import asyncio
 import itertools
 import random
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Mapping
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.operations import (
     AppendOp,
@@ -47,6 +48,7 @@ from ..core.operations import (
     WriteOp,
 )
 from ..core.transactions import EpsilonSpec, UNLIMITED
+from ..errors import ETError
 from .protocol import (
     ProtocolError,
     encode_ops,
@@ -55,28 +57,64 @@ from .protocol import (
     write_frame,
 )
 
-__all__ = ["LiveClient", "LiveETFailed", "RequestTimeout"]
+__all__ = ["LiveClient", "LiveETFailed", "LiveETResult", "RequestTimeout"]
 
 #: verbs that are safe to re-issue after a reconnect.
-_IDEMPOTENT_VERBS = frozenset({"query", "values", "stats", "ping", "order"})
+_IDEMPOTENT_VERBS = frozenset(
+    {"query", "values", "stats", "ping", "order", "settle"}
+)
 
 
-class LiveETFailed(RuntimeError):
+class LiveETFailed(ETError):
     """Raised when the server reports an ET failure.
 
-    ``code`` carries the server's typed error code; ``"UNAVAILABLE"``
-    means the replica honestly refused an ``epsilon = 0`` request while
-    partitioned from its peers — retry with a relaxed budget or at
-    another replica.
+    Shares :class:`repro.errors.ETError` with the simulator's
+    ``ETFailed``; ``code`` carries the server's typed error code —
+    ``"UNAVAILABLE"`` means the replica honestly refused an
+    ``epsilon = 0`` request while partitioned from its peers (retry
+    with a relaxed budget or at another replica).
     """
 
-    def __init__(self, error: str, code: str = "") -> None:
-        super().__init__(error)
-        self.code = code
 
-    @property
-    def unavailable(self) -> bool:
-        return self.code == "UNAVAILABLE"
+class LiveETResult(Mapping):
+    """Typed outcome of a live query ET.
+
+    Attribute access mirrors the simulator's ``ETResult`` (``values``,
+    ``inconsistency``, ``overlap``, ``waits``) plus the live-only
+    ``degraded`` flag; ``Mapping`` access (``result["values"]``) keeps
+    existing dict-style callers working unchanged.
+    """
+
+    __slots__ = ("values", "inconsistency", "overlap", "waits", "degraded")
+
+    def __init__(self, frame: Dict[str, Any]) -> None:
+        self.values: Dict[str, Any] = dict(frame.get("values", {}))
+        self.inconsistency: float = frame.get("inconsistency", 0)
+        self.overlap: Tuple[str, ...] = tuple(frame.get("overlap", ()))
+        self.waits: int = frame.get("waits", 0)
+        #: True when the serving replica suspected a peer at answer time.
+        self.degraded: bool = bool(frame.get("degraded", False))
+
+    def _as_dict(self) -> Dict[str, Any]:
+        return {
+            "values": self.values,
+            "inconsistency": self.inconsistency,
+            "overlap": list(self.overlap),
+            "waits": self.waits,
+            "degraded": self.degraded,
+        }
+
+    def __getitem__(self, key: str) -> Any:
+        return self._as_dict()[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._as_dict())
+
+    def __len__(self) -> int:
+        return 5
+
+    def __repr__(self) -> str:
+        return "LiveETResult(%r)" % (self._as_dict(),)
 
 
 class RequestTimeout(ConnectionError):
@@ -345,12 +383,14 @@ class LiveClient:
         keys: Sequence[str],
         spec: Optional[EpsilonSpec] = None,
         timeout: Optional[float] = None,
-    ) -> Dict[str, Any]:
-        """Full-fidelity query: values plus error accounting."""
+    ) -> LiveETResult:
+        """Full-fidelity query: values plus error accounting, as a
+        typed :class:`LiveETResult` (dict-style access still works)."""
         fields: Dict[str, Any] = {"keys": list(keys)}
         if spec is not None:
             fields["spec"] = encode_spec(spec)
-        return await self.request("query", timeout=timeout, **fields)
+        frame = await self.request("query", timeout=timeout, **fields)
+        return LiveETResult(frame)
 
     async def read(
         self,
@@ -379,6 +419,17 @@ class LiveClient:
             EpsilonSpec(import_limit=epsilon, value_limit=value_epsilon),
         )
         return dict(result["values"])
+
+    # -- convenience ---------------------------------------------------------
+
+    async def settle(self, timeout: float = 30.0) -> Dict[str, Any]:
+        """Block until the connected replica has drained: outbound
+        channels empty, engine quiescent, every local update fully
+        acknowledged.  Server-side condition wait — no stats polling.
+        """
+        return await self.request(
+            "settle", timeout=timeout + 5.0, wait=timeout
+        )
 
     # -- introspection -------------------------------------------------------
 

@@ -28,7 +28,7 @@ import asyncio
 import pathlib
 import tempfile
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .client import LiveClient
 from .faults import FaultPlan
@@ -50,6 +50,10 @@ class LiveCluster:
         faults: Optional[FaultPlan] = None,
         suspect_after: float = 0.75,
         heartbeat_interval: float = 0.25,
+        batch_size: int = 32,
+        window: int = 4,
+        fsync_interval: float = 0.0,
+        server_options: Optional[Dict[str, Any]] = None,
     ) -> None:
         if n_sites < 1:
             raise ValueError("a cluster needs at least one site")
@@ -60,6 +64,12 @@ class LiveCluster:
         self.faults = faults
         self.suspect_after = suspect_after
         self.heartbeat_interval = heartbeat_interval
+        self.batch_size = batch_size
+        self.window = window
+        self.fsync_interval = fsync_interval
+        #: extra ReplicaServer keyword arguments (retry_base, ...),
+        #: applied uniformly to every replica, including restarts.
+        self.server_options: Dict[str, Any] = dict(server_options or {})
         self._own_tmp: Optional[tempfile.TemporaryDirectory] = None
         if data_dir is None:
             self._own_tmp = tempfile.TemporaryDirectory(prefix="repro-live-")
@@ -69,7 +79,7 @@ class LiveCluster:
         self.addrs: Dict[str, Tuple[str, int]] = {}
         self._clients: List[LiveClient] = []
         #: one cached introspection connection per replica, reused by
-        #: settle()/site_values() instead of a dial per 50 ms poll.
+        #: settle()/site_values() across calls.
         self._probe_clients: Dict[str, LiveClient] = {}
 
     # -- lifecycle -----------------------------------------------------------
@@ -84,6 +94,10 @@ class LiveCluster:
             faults=self.faults,
             suspect_after=self.suspect_after,
             heartbeat_interval=self.heartbeat_interval,
+            batch_size=self.batch_size,
+            window=self.window,
+            fsync_interval=self.fsync_interval,
+            **self.server_options,
         )
 
     async def start(self) -> None:
@@ -178,30 +192,44 @@ class LiveCluster:
         """Wait until every replica is quiescent: all durable queues
         drained, no held-back MSets, no update awaiting peer acks.
 
-        Reuses one cached connection per replica across poll
-        iterations rather than dialing each replica every 50 ms.
+        Each replica blocks the ``settle`` verb on its drain condition
+        (no stats busy-polling); a sweep repeats only while some site
+        actually had to wait — draining site A can enqueue work at
+        site B, so the sweep loops until a pass where every site was
+        already drained on arrival.
         """
         deadline = time.monotonic() + timeout
         while True:
-            drained = True
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    "cluster did not settle in %.1fs" % timeout
+                )
+            any_waited = False
+            clean = True
             for name in list(self.servers):
                 try:
                     client = await self._probe(name)
-                    stats = await client.stats()
+                    reply = await client.settle(timeout=remaining)
                 except (ConnectionError, OSError):
                     # A replica mid-restart (or a stale cached address):
-                    # drop the probe and try again next round.
+                    # drop the probe and re-sweep.
                     await self._drop_probe(name)
-                    drained = False
+                    clean = False
                     break
-                if not stats.get("drained"):
-                    drained = False
-                    break
-            if drained:
+                except Exception as exc:
+                    if "settle timed out" in str(exc):
+                        raise TimeoutError(
+                            "cluster did not settle in %.1fs: %s"
+                            % (timeout, exc)
+                        ) from None
+                    raise
+                if reply.get("waited"):
+                    any_waited = True
+            if clean and not any_waited:
                 return
-            if time.monotonic() > deadline:
-                raise TimeoutError("cluster did not settle in %.1fs" % timeout)
-            await asyncio.sleep(0.05)
+            if not clean:
+                await asyncio.sleep(0.05)  # replica mid-restart: brief pause
 
     async def site_stats(self) -> Dict[str, Dict[str, object]]:
         """Stats from every running replica (peer health, backlogs)."""

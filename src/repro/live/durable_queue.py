@@ -11,13 +11,25 @@ Two halves, matching the two ends of a channel:
 
 * :class:`DurableOutbox` — the sender's half.  ``append`` assigns the
   next channel sequence number and durably logs the payload *before*
-  the caller acknowledges anything to a client; ``ack`` advances the
-  contiguous delivery frontier.  After a restart everything past the
+  the caller acknowledges anything to a client; ``ack_through``
+  processes a cumulative acknowledgement (everything ``<= seq`` is
+  durably held by the receiver) and advances the delivery frontier in
+  one batched truncation.  After a restart everything past the
   frontier is pending again and will be re-sent.
-* :class:`DurableInbox` — the receiver's half.  ``record`` durably logs
-  a received payload and deduplicates by sequence number (the channel
-  is FIFO, so a contiguous frontier suffices); ``replay`` yields every
-  recorded payload in receipt order for crash recovery.
+* :class:`DurableInbox` — the receiver's half.  ``record`` /
+  ``record_many`` durably log received payloads and deduplicate by
+  sequence number (the channel is FIFO, so a contiguous frontier
+  suffices); ``replay`` yields every recorded payload in receipt
+  order for crash recovery.
+
+Group commit: ``append_many`` / ``record_many`` coalesce a whole
+batch of records into a *single* write + flush + (at most one) fsync,
+so the per-record durability cost of the propagation hot path is paid
+once per batch instead of once per MSet.  ``fsync_interval`` further
+rate-limits fsyncs on high-throughput channels: ``0`` (the default)
+syncs every (group) append; ``> 0`` syncs at most once per interval,
+trading a bounded window of durability for throughput — documented,
+opt-in, and irrelevant unless ``fsync=True``.
 
 The application-visible contract is exactly-once FIFO per channel:
 at-least-once retries on the sender plus frontier dedup on the
@@ -29,16 +41,10 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["DurableOutbox", "DurableInbox"]
-
-
-def _append_json_line(handle, obj: Dict[str, Any], fsync: bool) -> None:
-    handle.write(json.dumps(obj, separators=(",", ":")) + "\n")
-    handle.flush()
-    if fsync:
-        os.fsync(handle.fileno())
 
 
 def _read_json_lines(path: pathlib.Path) -> Iterator[Dict[str, Any]]:
@@ -68,13 +74,70 @@ def _read_json_lines(path: pathlib.Path) -> Iterator[Dict[str, Any]]:
             yield record
 
 
-class DurableOutbox:
-    """Sender half of one durable (src, dst) channel."""
+class _DurableLog:
+    """Shared append-side machinery: one JSONL log handle plus the
+    group-commit fsync policy."""
 
-    def __init__(self, path: pathlib.Path, fsync: bool = False) -> None:
+    def __init__(
+        self,
+        path: pathlib.Path,
+        fsync: bool = False,
+        fsync_interval: float = 0.0,
+    ) -> None:
         self.path = pathlib.Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync
+        self.fsync_interval = fsync_interval
+        self._last_fsync = 0.0
+        self._log = None  # opened by subclasses after recovery scan
+
+    def _open_log(self) -> None:
+        self._log = self.path.open("a", encoding="utf-8")
+
+    def _write_records(self, records: Sequence[Dict[str, Any]]) -> None:
+        """Group commit: one write + flush + at most one fsync for the
+        whole batch."""
+        if not records:
+            return
+        self._log.write(
+            "".join(
+                json.dumps(record, separators=(",", ":")) + "\n"
+                for record in records
+            )
+        )
+        self._log.flush()
+        self._maybe_fsync()
+
+    def _maybe_fsync(self) -> None:
+        if not self.fsync:
+            return
+        now = time.monotonic()
+        if (
+            self.fsync_interval > 0
+            and now - self._last_fsync < self.fsync_interval
+        ):
+            return  # rate-limited: the next append inside the window rides free
+        os.fsync(self._log.fileno())
+        self._last_fsync = now
+
+    def close(self) -> None:
+        if self._log is not None and not self._log.closed:
+            self._log.flush()
+            if self.fsync:
+                os.fsync(self._log.fileno())
+            self._log.close()
+
+
+class DurableOutbox(_DurableLog):
+    """Sender half of one durable (src, dst) channel."""
+
+    def __init__(
+        self,
+        path: pathlib.Path,
+        fsync: bool = False,
+        fsync_interval: float = 0.0,
+    ) -> None:
+        super().__init__(path, fsync, fsync_interval)
         self._ack_path = self.path.with_suffix(self.path.suffix + ".ack")
         #: highest contiguously acknowledged sequence number.
         self.frontier = 0
@@ -91,20 +154,30 @@ class DurableOutbox:
             self._seq = max(self._seq, seq)
             if seq > self.frontier:
                 self._pending[seq] = record["payload"]
-        self._log = self.path.open("a", encoding="utf-8")
+        self._open_log()
 
     def append(self, payload: Any) -> int:
         """Durably enqueue ``payload``; returns its sequence number."""
-        self._seq += 1
-        seq = self._seq
-        _append_json_line(
-            self._log, {"seq": seq, "payload": payload}, self.fsync
-        )
-        self._pending[seq] = payload
-        return seq
+        return self.append_many([payload])[0]
+
+    def append_many(self, payloads: Sequence[Any]) -> List[int]:
+        """Group-commit append: one write + fsync for the whole batch.
+
+        Returns the assigned sequence numbers, contiguous and in
+        payload order.
+        """
+        seqs: List[int] = []
+        records: List[Dict[str, Any]] = []
+        for payload in payloads:
+            self._seq += 1
+            records.append({"seq": self._seq, "payload": payload})
+            self._pending[self._seq] = payload
+            seqs.append(self._seq)
+        self._write_records(records)
+        return seqs
 
     def ack(self, seqno: int) -> None:
-        """The receiver confirmed durable receipt of ``seqno``."""
+        """The receiver confirmed durable receipt of exactly ``seqno``."""
         if seqno in self._pending:
             del self._pending[seqno]
         if seqno > self.frontier and not any(
@@ -112,6 +185,23 @@ class DurableOutbox:
         ):
             self.frontier = max(self.frontier, seqno)
             self._ack_path.write_text(str(self.frontier))
+
+    def ack_through(self, seqno: int) -> List[int]:
+        """Cumulative acknowledgement: the receiver durably holds every
+        sequence number ``<= seqno``.
+
+        Drops the whole covered range in one batched truncation (one
+        frontier write instead of one per record) and returns the
+        sequence numbers that were newly acknowledged, in order.
+        """
+        seqno = min(seqno, self._seq)  # never ack past what exists
+        covered = sorted(s for s in self._pending if s <= seqno)
+        for s in covered:
+            del self._pending[s]
+        if seqno > self.frontier:
+            self.frontier = seqno
+            self._ack_path.write_text(str(self.frontier))
+        return covered
 
     def pending(self) -> List[Tuple[int, Any]]:
         """Unacknowledged (seqno, payload) pairs in FIFO order."""
@@ -124,18 +214,17 @@ class DurableOutbox:
     def backlog(self) -> int:
         return len(self._pending)
 
-    def close(self) -> None:
-        if not self._log.closed:
-            self._log.close()
 
-
-class DurableInbox:
+class DurableInbox(_DurableLog):
     """Receiver half of one durable (src, dst) channel."""
 
-    def __init__(self, path: pathlib.Path, fsync: bool = False) -> None:
-        self.path = pathlib.Path(path)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.fsync = fsync
+    def __init__(
+        self,
+        path: pathlib.Path,
+        fsync: bool = False,
+        fsync_interval: float = 0.0,
+    ) -> None:
+        super().__init__(path, fsync, fsync_interval)
         #: highest sequence number durably recorded, contiguous from 1.
         self.frontier = 0
         self._records: List[Tuple[int, Any]] = []
@@ -144,7 +233,7 @@ class DurableInbox:
             if seq == self.frontier + 1:
                 self._records.append((seq, record["payload"]))
                 self.frontier = seq
-        self._log = self.path.open("a", encoding="utf-8")
+        self._open_log()
 
     def record(self, seqno: int, payload: Any) -> bool:
         """Durably record one received payload.
@@ -156,12 +245,34 @@ class DurableInbox:
         """
         if seqno != self.frontier + 1:
             return False
-        _append_json_line(
-            self._log, {"seq": seqno, "payload": payload}, self.fsync
-        )
+        self._write_records([{"seq": seqno, "payload": payload}])
         self._records.append((seqno, payload))
         self.frontier = seqno
         return True
+
+    def record_many(self, items: Sequence[Tuple[int, Any]]) -> int:
+        """Group-commit record of a contiguous batch of receipts.
+
+        ``items`` must start at ``frontier + 1`` and be gap-free; the
+        caller (the batch receive path) filters duplicates and stops at
+        the first gap before calling.  The whole batch lands with one
+        write + flush + fsync.  Returns the number recorded.
+        """
+        records: List[Dict[str, Any]] = []
+        expected = self.frontier + 1
+        for seqno, payload in items:
+            if seqno != expected:
+                raise ValueError(
+                    "non-contiguous batch record: got %d, expected %d"
+                    % (seqno, expected)
+                )
+            records.append({"seq": seqno, "payload": payload})
+            expected += 1
+        self._write_records(records)
+        for seqno, payload in items:
+            self._records.append((seqno, payload))
+            self.frontier = seqno
+        return len(records)
 
     def duplicate(self, seqno: int) -> bool:
         """True when ``seqno`` was already recorded (needs re-ack only)."""
@@ -170,7 +281,3 @@ class DurableInbox:
     def replay(self) -> List[Tuple[int, Any]]:
         """All recorded (seqno, payload) pairs in receipt order."""
         return list(self._records)
-
-    def close(self) -> None:
-        if not self._log.closed:
-            self._log.close()

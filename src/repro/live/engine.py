@@ -152,6 +152,31 @@ class LiveEngine:
         obligations a remote copy does not).  Recovery replays both
         kinds through this same entry point.
         """
+        async with self.cond:
+            applied = self._accept_locked(mset, local)
+            self.cond.notify_all()
+        return applied
+
+    async def accept_batch(
+        self, msets: Sequence[MSet], local: bool = False
+    ) -> List[MSet]:
+        """Process a whole delivered batch under ONE lock acquisition.
+
+        The batched propagation path delivers up to ``batch_size``
+        MSets per frame; acquiring the engine condition once per batch
+        (instead of once per MSet) and notifying waiters once keeps the
+        receive side from thrashing blocked queries awake N times for
+        one frame's worth of state change.
+        """
+        applied: List[MSet] = []
+        async with self.cond:
+            for mset in msets:
+                applied.extend(self._accept_locked(mset, local))
+            self.cond.notify_all()
+        return applied
+
+    def _accept_locked(self, mset: MSet, local: bool) -> List[MSet]:
+        """Method-specific MSet processing; ``self.cond`` is held."""
         raise NotImplementedError
 
     def _note_drift(self, mset: MSet) -> None:
@@ -254,15 +279,13 @@ class CommuLiveEngine(LiveEngine):
         # the COMMU operation restriction.
         CommutativeOperations.check_commutative(make_et(list(ops)))
 
-    async def accept(self, mset: MSet, local: bool = False) -> List[MSet]:
-        async with self.cond:
-            if local:
-                # Held until every peer durably acks (fully_acked).
-                self.state.raise_counters(mset.tid, mset.keys)
-            self._note_drift(mset)
-            self._apply_ops(mset)
-            self.state.note_applied(self.clock(), mset.tid, mset.keys)
-            self.cond.notify_all()
+    def _accept_locked(self, mset: MSet, local: bool) -> List[MSet]:
+        if local:
+            # Held until every peer durably acks (fully_acked).
+            self.state.raise_counters(mset.tid, mset.keys)
+        self._note_drift(mset)
+        self._apply_ops(mset)
+        self.state.note_applied(self.clock(), mset.tid, mset.keys)
         return [mset]
 
     async def fully_acked(self, tid: Any, keys: Sequence[str]) -> None:
@@ -345,19 +368,16 @@ class OrdupLiveEngine(LiveEngine):
         #: highest order token applied, gap-free.
         self.frontier: Tuple[int, int] = (0, 0)
 
-    async def accept(self, mset: MSet, local: bool = False) -> List[MSet]:
+    def _accept_locked(self, mset: MSet, local: bool) -> List[MSet]:
         assert mset.order is not None, "ORDUP MSets carry an order token"
         applied: List[MSet] = []
-        async with self.cond:
-            for ready in self.buffer.offer(mset.order[0], mset):
-                self._note_drift(ready)
-                self._apply_ops(ready)
-                self.frontier = max(self.frontier, ready.order)
-                for key in ready.keys:
-                    self.last_writer[key] = (ready.order, ready.tid)
-                applied.append(ready)
-            if applied:
-                self.cond.notify_all()
+        for ready in self.buffer.offer(mset.order[0], mset):
+            self._note_drift(ready)
+            self._apply_ops(ready)
+            self.frontier = max(self.frontier, ready.order)
+            for key in ready.keys:
+                self.last_writer[key] = (ready.order, ready.tid)
+            applied.append(ready)
         return applied
 
     async def query(

@@ -11,7 +11,12 @@ Frame kinds exchanged:
 * client -> server: ``{"type": "request", "id": n, "verb": ..., ...}``
 * server -> client: ``{"type": "response", "id": n, "ok": bool, ...}``
 * peer -> peer:     ``{"type": "mset", "src": site, "seq": n,
-  "mset": {...}}`` answered by ``{"type": "ack", "seq": n}``
+  "mset": {...}}`` or the batched form ``{"type": "mset-batch",
+  "src": site, "msets": [{"seq": n, "mset": {...}}, ...]}``; both are
+  answered by a *cumulative* ``{"type": "ack", "seq": n}`` covering
+  every channel sequence number ``<= n``.  Single-``mset`` frames
+  remain fully supported so a batching sender interoperates with an
+  older peer and vice versa.
 * hello frames identify the connection role
   (``{"type": "peer-hello", "src": site}``).
 """
@@ -39,10 +44,14 @@ from ..replica.mset import MSet
 
 __all__ = [
     "MAX_FRAME",
+    "MAX_BATCH_ENTRIES",
     "ProtocolError",
     "encode_frame",
     "read_frame",
     "write_frame",
+    "write_frames",
+    "encode_batch_frame",
+    "decode_batch_frame",
     "encode_op",
     "decode_op",
     "encode_ops",
@@ -55,6 +64,12 @@ __all__ = [
 
 #: Upper bound on a single frame; a peer announcing more is corrupt.
 MAX_FRAME = 16 * 1024 * 1024
+
+#: Upper bound on MSets per batch frame; the receiver applies a batch
+#: under one lock acquisition, so this bounds both its memory buffer
+#: and the time the engine lock is held (backpressure against a fast
+#: sender flooding a slow replica).
+MAX_BATCH_ENTRIES = 4096
 
 _LEN = struct.Struct(">I")
 
@@ -102,6 +117,81 @@ async def write_frame(
     """Write one frame and flush it to the socket."""
     writer.write(encode_frame(obj))
     await writer.drain()
+
+
+async def write_frames(
+    writer: asyncio.StreamWriter, objs: Sequence[Dict[str, Any]]
+) -> None:
+    """Write several frames as one buffered burst, draining once.
+
+    The propagation hot path sends a window of batch frames back to
+    back; coalescing them into a single ``write`` + ``drain`` avoids a
+    syscall-per-frame and lets the kernel fill packets.
+    """
+    if not objs:
+        return
+    writer.write(b"".join(encode_frame(obj) for obj in objs))
+    await writer.drain()
+
+
+# -- batch frames ------------------------------------------------------------
+
+
+def encode_batch_frame(
+    src: str, entries: Sequence[Tuple[int, Dict[str, Any]]]
+) -> Dict[str, Any]:
+    """Build one ``mset-batch`` frame from (seq, encoded-mset) pairs.
+
+    Rejects empty batches: an empty batch carries no information and a
+    peer emitting one is malfunctioning.
+    """
+    if not entries:
+        raise ProtocolError("refusing to encode an empty mset-batch")
+    if len(entries) > MAX_BATCH_ENTRIES:
+        raise ProtocolError(
+            "mset-batch of %d entries exceeds MAX_BATCH_ENTRIES"
+            % len(entries)
+        )
+    return {
+        "type": "mset-batch",
+        "src": src,
+        "msets": [{"seq": seq, "mset": mset} for seq, mset in entries],
+    }
+
+
+def decode_batch_frame(
+    frame: Dict[str, Any]
+) -> Tuple[Tuple[int, Dict[str, Any]], ...]:
+    """Validate one ``mset-batch`` frame into (seq, encoded-mset) pairs.
+
+    A legacy single-``mset`` frame is accepted too (returned as a
+    one-entry batch), so the receive path has a single entry point for
+    both wire forms.
+    """
+    if frame.get("type") == "mset":
+        entries: Sequence[Any] = [
+            {"seq": frame.get("seq"), "mset": frame.get("mset")}
+        ]
+    else:
+        raw = frame.get("msets")
+        if not isinstance(raw, list) or not raw:
+            raise ProtocolError("mset-batch frame without msets")
+        entries = raw
+    if len(entries) > MAX_BATCH_ENTRIES:
+        raise ProtocolError(
+            "mset-batch of %d entries exceeds MAX_BATCH_ENTRIES"
+            % len(entries)
+        )
+    out = []
+    for entry in entries:
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("seq"), int)
+            or not isinstance(entry.get("mset"), dict)
+        ):
+            raise ProtocolError("malformed mset-batch entry: %r" % (entry,))
+        out.append((entry["seq"], entry["mset"]))
+    return tuple(out)
 
 
 # -- operation algebra <-> JSON ----------------------------------------------

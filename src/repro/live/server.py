@@ -17,6 +17,19 @@ killed and restarted replays its inbound logs through the engine and
 resumes its outbound channels, so acknowledged updates are never lost
 and peers' retries are deduplicated by channel sequence number.
 
+Propagation hot path (batched + pipelined): each peer channel drains
+its backlog into multi-MSet ``mset-batch`` frames (up to ``batch_size``
+MSets each, written as one buffered burst) and keeps up to ``window``
+batches in flight instead of stop-and-waiting on each acknowledgement.
+Acks are *cumulative* — ``ack.seq`` covers every channel sequence
+number ``<= seq`` — so one reply retires a whole window and the
+outbox truncates in one step.  The receive side records a batch with
+one group-commit append (single write + fsync) and applies it under
+one engine-lock acquisition; backpressure is structural: a receiver
+does not read the next frame from a connection until the current
+batch is durable and applied, so a fast sender fills TCP flow control
+(bounded by ``window`` batches) instead of the receiver's memory.
+
 Failure detection and graceful degradation: channel loops double as a
 heartbeat path — any acknowledgement or heartbeat reply marks the peer
 *alive*; a peer silent for longer than ``suspect_after`` seconds is
@@ -38,7 +51,8 @@ from __future__ import annotations
 import asyncio
 import json
 import pathlib
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.operations import is_write
 from ..replica.mset import MSet, MSetKind
@@ -46,13 +60,17 @@ from .durable_queue import DurableInbox, DurableOutbox
 from .engine import LiveEngine, QueryTimeout, make_engine
 from .faults import FaultPlan
 from .protocol import (
+    MAX_FRAME,
     ProtocolError,
+    decode_batch_frame,
     decode_mset,
     decode_ops,
     decode_spec,
+    encode_batch_frame,
     encode_mset,
     read_frame,
     write_frame,
+    write_frames,
 )
 
 __all__ = ["ReplicaServer", "Unavailable", "LOCAL_CHANNEL"]
@@ -90,6 +108,9 @@ class ReplicaServer:
         heartbeat_interval: float = 0.25,
         suspect_after: float = 0.75,
         ack_timeout: float = 2.0,
+        batch_size: int = 32,
+        window: int = 4,
+        fsync_interval: float = 0.0,
         faults: Optional[FaultPlan] = None,
     ) -> None:
         self.name = name
@@ -97,6 +118,13 @@ class ReplicaServer:
         self.data_dir = pathlib.Path(data_dir)
         self.method = method
         self.fsync = fsync
+        #: max MSets coalesced into one mset-batch frame.
+        self.batch_size = max(1, int(batch_size))
+        #: max batch frames in flight per channel before waiting on acks.
+        self.window = max(1, int(window))
+        #: min seconds between fsyncs on each durable log (0 = every
+        #: group append) — only meaningful with ``fsync=True``.
+        self.fsync_interval = fsync_interval
         self.retry_base = retry_base
         self.retry_max = retry_max
         self.query_timeout = query_timeout
@@ -122,6 +150,13 @@ class ReplicaServer:
         self.peer_last_seen: Dict[str, float] = {}
         #: peer -> consecutive channel connect/send failures.
         self.channel_failures: Dict[str, int] = {}
+        #: peer -> rolling batch-acknowledgement latencies (seconds).
+        self._ack_latencies: Dict[str, Deque[float]] = {}
+        #: peer -> total MSets cumulatively acknowledged since boot.
+        self.acked_msets: Dict[str, int] = {}
+        #: notified whenever the drain condition may have changed; the
+        #: ``settle`` verb waits here instead of clients busy-polling.
+        self._drain_cond = asyncio.Condition()
         #: (peer, channel seq) -> local update tid, for ack tracking.
         self._seq_tid: Dict[Tuple[str, int], Any] = {}
         #: local update tid -> peers whose durable ack is outstanding.
@@ -151,13 +186,19 @@ class ReplicaServer:
         self.data_dir.mkdir(parents=True, exist_ok=True)
         for peer in self.peer_names:
             self.outboxes[peer] = DurableOutbox(
-                self.data_dir / "outbox" / ("%s.log" % peer), self.fsync
+                self.data_dir / "outbox" / ("%s.log" % peer),
+                self.fsync,
+                self.fsync_interval,
             )
             self.inboxes[peer] = DurableInbox(
-                self.data_dir / "inbox" / ("%s.log" % peer), self.fsync
+                self.data_dir / "inbox" / ("%s.log" % peer),
+                self.fsync,
+                self.fsync_interval,
             )
         self.inboxes[LOCAL_CHANNEL] = DurableInbox(
-            self.data_dir / "inbox" / ("%s.log" % LOCAL_CHANNEL), self.fsync
+            self.data_dir / "inbox" / ("%s.log" % LOCAL_CHANNEL),
+            self.fsync,
+            self.fsync_interval,
         )
         if self._order_path.exists():
             try:
@@ -297,10 +338,8 @@ class ReplicaServer:
         )
 
     async def _channel_loop(self, peer: str) -> None:
-        """Persistently retry delivery of this channel's backlog, and
-        heartbeat the peer while the channel is idle."""
-        outbox = self.outboxes[peer]
-        event = self._outbox_events[peer]
+        """Persistently (re)connect one peer channel and run a
+        pipelined delivery session over each connection."""
         backoff = self.retry_base
         while self._running:
             addr = self.peer_addrs.get(peer)
@@ -315,23 +354,7 @@ class ReplicaServer:
                     writer, {"type": "peer-hello", "src": self.name}
                 )
                 backoff = self.retry_base
-                while self._running:
-                    if self._link_severed(peer):
-                        raise ConnectionResetError(
-                            "link %s->%s severed" % (self.name, peer)
-                        )
-                    if outbox.pending():
-                        await self._send_backlog(peer, reader, writer)
-                    else:
-                        await self._heartbeat(peer, reader, writer)
-                        event.clear()
-                        try:
-                            await asyncio.wait_for(
-                                event.wait(),
-                                timeout=self.heartbeat_interval,
-                            )
-                        except asyncio.TimeoutError:
-                            pass
+                await self._channel_session(peer, reader, writer)
             except (
                 OSError,
                 ConnectionError,
@@ -347,79 +370,184 @@ class ReplicaServer:
                 if writer is not None:
                     writer.close()
 
-    async def _send_backlog(
+    async def _channel_session(
         self,
         peer: str,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
-        """Send the channel's pending window, then drain replies.
+        """One connected session: a windowed batch sender pipelined
+        against a cumulative-ack reader.
 
-        Under fault injection some frames are dropped, delayed,
-        duplicated, or sent out of order; whatever goes unacknowledged
-        within ``ack_timeout`` simply stays pending and is re-sent on
-        the next pass — the durable queue's at-least-once discipline
-        does the recovery, no special cases.
+        ``state`` is shared between the two halves: ``sent_hi`` is the
+        highest channel seq handed to this connection, ``inflight`` the
+        (last_seq, sent_at, n_msets) record of each un-retired batch.
         """
+        state = {
+            "sent_hi": self.outboxes[peer].frontier,
+            "inflight": deque(),
+        }
+        sender = asyncio.ensure_future(
+            self._channel_sender(peer, writer, state)
+        )
+        ack_reader = asyncio.ensure_future(
+            self._channel_ack_reader(peer, reader, state)
+        )
+        try:
+            done, _ = await asyncio.wait(
+                {sender, ack_reader}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            for task in (sender, ack_reader):
+                if not task.done():
+                    task.cancel()
+            for task in (sender, ack_reader):
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+        for task in done:
+            exc = task.exception()
+            if exc is not None:
+                raise exc
+
+    async def _channel_sender(
+        self, peer: str, writer: asyncio.StreamWriter, state: Dict[str, Any]
+    ) -> None:
+        """Drain the outbox as batch frames, keeping up to ``window``
+        batches in flight; heartbeat while idle.
+
+        Under fault injection frames are dropped, delayed, duplicated,
+        or reordered; whatever stays unacknowledged past ``ack_timeout``
+        is simply re-sent from the cumulative-ack frontier — the
+        durable queue's at-least-once discipline does the recovery, no
+        special cases."""
         outbox = self.outboxes[peer]
-        batch = outbox.pending()
+        event = self._outbox_events[peer]
+        inflight: Deque[Tuple[int, float, int]] = state["inflight"]
+        while self._running:
+            if self._link_severed(peer):
+                raise ConnectionResetError(
+                    "link %s->%s severed" % (self.name, peer)
+                )
+            # Clear-before-check: an ack or new append landing during
+            # the scan re-sets the event, so the wait below returns
+            # immediately instead of stalling a heartbeat interval.
+            event.clear()
+            now = self.engine.clock()
+            if inflight and now - inflight[0][1] > self.ack_timeout:
+                # Stalled pipeline (dropped/reordered frames or a dead
+                # peer): fall back to the durable frontier and re-send.
+                inflight.clear()
+                state["sent_hi"] = outbox.frontier
+                await asyncio.sleep(self.retry_base)
+                continue
+            fresh = [
+                (seq, payload)
+                for seq, payload in outbox.pending()
+                if seq > state["sent_hi"]
+            ]
+            room = self.window - len(inflight)
+            if fresh and room > 0:
+                await self._send_batches(peer, writer, state, fresh, room)
+                continue
+            if not inflight and outbox.drained():
+                await self._heartbeat_probe(peer, writer)
+            timeout = self.heartbeat_interval
+            if inflight:
+                # Wake in time for the stall deadline of the oldest
+                # in-flight batch.
+                timeout = min(
+                    timeout,
+                    max(
+                        self.retry_base,
+                        self.ack_timeout - (now - inflight[0][1]),
+                    ),
+                )
+            try:
+                await asyncio.wait_for(event.wait(), timeout=timeout)
+            except asyncio.TimeoutError:
+                pass
+
+    async def _send_batches(
+        self,
+        peer: str,
+        writer: asyncio.StreamWriter,
+        state: Dict[str, Any],
+        entries: List[Tuple[int, Any]],
+        room: int,
+    ) -> None:
+        """Chunk ``entries`` into at most ``room`` batch frames and
+        write them as one buffered burst."""
         if self.faults is not None:
-            batch = self.faults.reorder_batch(self.name, peer, batch)
-        sent_any = False
-        for seq, payload in batch:
-            frame = {
-                "type": "mset",
-                "src": self.name,
-                "seq": seq,
-                "mset": payload["mset"],
-            }
+            entries = self.faults.reorder_batch(self.name, peer, entries)
+        now = self.engine.clock()
+        frames: List[Dict[str, Any]] = []
+        for batch in self._plan_batches(entries)[:room]:
+            last_seq = max(seq for seq, _ in batch)
+            state["sent_hi"] = max(state["sent_hi"], last_seq)
+            state["inflight"].append((last_seq, now, len(batch)))
+            if len(batch) == 1:
+                # Single-MSet batches ride the legacy frame so an
+                # older peer interoperates without knowing mset-batch.
+                seq, payload = batch[0]
+                frame = {
+                    "type": "mset",
+                    "src": self.name,
+                    "seq": seq,
+                    "mset": payload["mset"],
+                }
+            else:
+                frame = encode_batch_frame(
+                    self.name,
+                    [(seq, payload["mset"]) for seq, payload in batch],
+                )
             copies = 1
             if self.faults is not None:
                 fate = self.faults.frame_fate(self.name, peer)
                 if fate.delay:
+                    # A link delay holds up everything behind it too:
+                    # flush what is already queued, then stall.
+                    await write_frames(writer, frames)
+                    frames = []
                     await asyncio.sleep(fate.delay)
                 if fate.drop:
-                    continue
+                    continue  # stays inflight; the stall path re-sends
                 if fate.duplicate:
                     copies = 2
-            for _ in range(copies):
-                await write_frame(writer, frame)
-            sent_any = True
-        if not sent_any:
-            # Everything was dropped: back off a beat so a high drop
-            # rate cannot spin this loop hot.
-            await asyncio.sleep(self.retry_base)
-            return
-        target = {seq for seq, _ in batch}
-        deadline = self.engine.clock() + self.ack_timeout
-        while target & {seq for seq, _ in outbox.pending()}:
-            remaining = deadline - self.engine.clock()
-            if remaining <= 0:
-                return  # unacked remainder re-sends on the next pass
-            try:
-                frame = await asyncio.wait_for(
-                    read_frame(reader), timeout=remaining
-                )
-            except asyncio.TimeoutError:
-                return
-            if frame is None:
-                raise ConnectionResetError("peer closed")
-            kind = frame.get("type")
-            if kind == "ack":
-                self._note_peer_alive(peer)
-                await self._on_peer_ack(peer, int(frame["seq"]))
-            elif kind == "hb-ack":
-                self._note_peer_alive(peer)
+            frames.extend([frame] * copies)
+        await write_frames(writer, frames)
 
-    async def _heartbeat(
-        self,
-        peer: str,
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
+    def _plan_batches(
+        self, entries: List[Tuple[int, Any]]
+    ) -> List[List[Tuple[int, Any]]]:
+        """Split pending entries into frames of at most ``batch_size``
+        MSets, cutting early when a frame approaches MAX_FRAME."""
+        batches: List[List[Tuple[int, Any]]] = []
+        current: List[Tuple[int, Any]] = []
+        current_bytes = 0
+        budget = MAX_FRAME // 2
+        for seq, payload in entries:
+            size = len(json.dumps(payload, separators=(",", ":")))
+            if current and (
+                len(current) >= self.batch_size
+                or current_bytes + size > budget
+            ):
+                batches.append(current)
+                current = []
+                current_bytes = 0
+            current.append((seq, payload))
+            current_bytes += size
+        if current:
+            batches.append(current)
+        return batches
+
+    async def _heartbeat_probe(
+        self, peer: str, writer: asyncio.StreamWriter
     ) -> None:
-        """One idle-channel liveness probe.  A lost reply is not an
-        error — the peer just stays un-refreshed and ages toward
-        suspicion."""
+        """One idle-channel liveness probe.  The reply (if any) is
+        consumed by the ack reader; a lost probe is not an error — the
+        peer just stays un-refreshed and ages toward suspicion."""
         if self.faults is not None:
             fate = self.faults.frame_fate(self.name, peer)
             if fate.delay:
@@ -427,34 +555,62 @@ class ReplicaServer:
             if fate.drop:
                 return
         await write_frame(writer, {"type": "hb", "src": self.name})
-        try:
-            frame = await asyncio.wait_for(
-                read_frame(reader), timeout=self.ack_timeout
-            )
-        except asyncio.TimeoutError:
-            return
-        if frame is None:
-            raise ConnectionResetError("peer closed")
-        if frame.get("type") in ("hb-ack", "ack"):
-            self._note_peer_alive(peer)
+
+    async def _channel_ack_reader(
+        self, peer: str, reader: asyncio.StreamReader, state: Dict[str, Any]
+    ) -> None:
+        """Consume cumulative acks (and heartbeat replies) for one
+        connection, retiring in-flight batches and freeing the send
+        window without ever blocking the sender."""
+        event = self._outbox_events[peer]
+        inflight: Deque[Tuple[int, float, int]] = state["inflight"]
+        while self._running:
+            frame = await read_frame(reader)
+            if frame is None:
+                raise ConnectionResetError("peer closed")
+            kind = frame.get("type")
+            if kind == "ack":
+                self._note_peer_alive(peer)
+                seq = int(frame["seq"])
+                now = self.engine.clock()
+                while inflight and inflight[0][0] <= seq:
+                    _, sent_at, count = inflight.popleft()
+                    self._record_ack_latency(peer, now - sent_at, count)
+                await self._on_peer_ack(peer, seq)
+                event.set()  # window freed: wake the sender
+            elif kind == "hb-ack":
+                self._note_peer_alive(peer)
+
+    def _record_ack_latency(
+        self, peer: str, latency: float, n_msets: int
+    ) -> None:
+        lats = self._ack_latencies.get(peer)
+        if lats is None:
+            lats = self._ack_latencies[peer] = deque(maxlen=512)
+        lats.append(latency)
+        self.acked_msets[peer] = self.acked_msets.get(peer, 0) + n_msets
 
     async def _on_peer_ack(self, peer: str, seq: int) -> None:
-        """A peer durably holds channel message ``seq``."""
-        self.outboxes[peer].ack(seq)
-        tid = self._seq_tid.pop((peer, seq), None)
-        if tid is None:
-            return
-        waiting = self._unacked.get(tid)
-        if waiting is None:
-            return
-        waiting.discard(peer)
-        if not waiting:
-            del self._unacked[tid]
-            keys = self._local_keys.pop(tid, ())
-            await self.engine.fully_acked(tid, keys)
-            fut = self._full_ack_futures.pop(tid, None)
-            if fut is not None and not fut.done():
-                fut.set_result(True)
+        """A peer durably holds every channel message ``<= seq``
+        (cumulative acknowledgement)."""
+        covered = self.outboxes[peer].ack_through(seq)
+        for acked_seq in covered:
+            tid = self._seq_tid.pop((peer, acked_seq), None)
+            if tid is None:
+                continue
+            waiting = self._unacked.get(tid)
+            if waiting is None:
+                continue
+            waiting.discard(peer)
+            if not waiting:
+                del self._unacked[tid]
+                keys = self._local_keys.pop(tid, ())
+                await self.engine.fully_acked(tid, keys)
+                fut = self._full_ack_futures.pop(tid, None)
+                if fut is not None and not fut.done():
+                    fut.set_result(True)
+        if covered:
+            await self._notify_drain()
 
     # -- connection handling ---------------------------------------------------
 
@@ -479,8 +635,11 @@ class ReplicaServer:
                 if frame is None:
                     break
                 kind = frame.get("type")
-                if kind == "mset":
-                    await self._on_mset_frame(frame, send)
+                if kind in ("mset", "mset-batch"):
+                    try:
+                        await self._on_mset_batch_frame(frame, send)
+                    except ProtocolError:
+                        break
                 elif kind == "request":
                     # Requests may block on divergence control or
                     # commit acknowledgements: serve them concurrently.
@@ -508,22 +667,40 @@ class ReplicaServer:
                 self._conn_tasks.discard(task)
             writer.close()
 
-    async def _on_mset_frame(self, frame: Dict[str, Any], send) -> None:
+    async def _on_mset_batch_frame(self, frame: Dict[str, Any], send) -> None:
+        """Receive one ``mset`` or ``mset-batch`` frame from a peer.
+
+        The contiguous fresh prefix of the batch is durably recorded
+        with one group-commit append and applied under one engine-lock
+        acquisition, then acknowledged *cumulatively* with the inbox
+        frontier — covering this batch, any duplicates, and anything
+        earlier the sender may not know was acked.  Because the frame
+        is processed inline (the connection reads no further frames
+        until this one is durable and applied), a fast sender fills
+        TCP flow control rather than the receiver's memory.
+        """
         src = frame.get("src", "")
-        seq = int(frame.get("seq", 0))
         inbox = self.inboxes.get(src)
         if inbox is None:
             return  # unknown peer: drop silently
         self._note_peer_alive(src)
-        if inbox.duplicate(seq):
-            await send({"type": "ack", "seq": seq})
-            return
-        if not inbox.record(seq, {"mset": frame["mset"]}):
-            return  # out-of-order gap: no ack, the sender re-sends
-        mset = decode_mset(frame["mset"])
-        applied = await self.engine.accept(mset, local=False)
-        self._resolve_applied(applied)
-        await send({"type": "ack", "seq": seq})
+        entries = decode_batch_frame(frame)
+        fresh: List[Tuple[int, Any]] = []
+        expected = inbox.frontier + 1
+        for seq, encoded in entries:
+            if seq < expected:
+                continue  # duplicate: the cumulative ack re-covers it
+            if seq > expected:
+                break  # gap (reordered/dropped frame): ack the frontier
+            fresh.append((seq, {"mset": encoded}))
+            expected += 1
+        if fresh:
+            inbox.record_many(fresh)
+            msets = [decode_mset(payload["mset"]) for _, payload in fresh]
+            applied = await self.engine.accept_batch(msets, local=False)
+            self._resolve_applied(applied)
+            await self._notify_drain()
+        await send({"type": "ack", "seq": inbox.frontier})
 
     def _resolve_applied(self, applied: List[MSet]) -> None:
         """Applying remote MSets can release held-back local ones."""
@@ -531,6 +708,24 @@ class ReplicaServer:
             fut = self._apply_futures.pop(mset.tid, None)
             if fut is not None and not fut.done():
                 fut.set_result(True)
+
+    # -- drain / settle --------------------------------------------------------
+
+    def _drained(self) -> bool:
+        """True when this site has nothing left to propagate or apply:
+        every outbound channel is empty, the engine holds no buffered
+        or locked work, and no local update awaits a peer ack."""
+        return (
+            all(box.drained() for box in self.outboxes.values())
+            and self.engine.quiescent()
+            and not self._unacked
+        )
+
+    async def _notify_drain(self) -> None:
+        """Wake any ``settle`` waiters; called whenever acks, applies,
+        or local commits may have changed the drain condition."""
+        async with self._drain_cond:
+            self._drain_cond.notify_all()
 
     # -- request serving -------------------------------------------------------
 
@@ -543,6 +738,7 @@ class ReplicaServer:
                 "query": self._handle_query,
                 "values": self._handle_values,
                 "stats": self._handle_stats,
+                "settle": self._handle_settle,
                 "order": self._handle_order,
                 "ping": self._handle_ping,
             }.get(verb)
@@ -578,6 +774,7 @@ class ReplicaServer:
         peers: Dict[str, Dict[str, Any]] = {}
         for peer in self.peer_names:
             seen = self.peer_last_seen.get(peer)
+            lats = self._ack_latencies.get(peer)
             peers[peer] = {
                 "alive": self.peer_alive(peer),
                 "staleness": (
@@ -585,6 +782,13 @@ class ReplicaServer:
                 ),
                 "backlog": self.outboxes[peer].backlog,
                 "failures": self.channel_failures.get(peer, 0),
+                "ack_high_water": self.outboxes[peer].frontier,
+                "acked_msets": self.acked_msets.get(peer, 0),
+                "ack_ms": (
+                    round(sum(lats) / len(lats) * 1000.0, 3)
+                    if lats
+                    else None
+                ),
             }
         stats = self.engine.stats()
         stats.update(
@@ -594,14 +798,56 @@ class ReplicaServer:
             outbound_backlog={
                 p: box.backlog for p, box in self.outboxes.items()
             },
+            ack_high_water={
+                p: box.frontier for p, box in self.outboxes.items()
+            },
+            inbox_frontier={
+                src: box.frontier for src, box in self.inboxes.items()
+            },
             unacked_updates=len(self._unacked),
-            drained=(
-                all(box.drained() for box in self.outboxes.values())
-                and self.engine.quiescent()
-                and not self._unacked
-            ),
+            drained=self._drained(),
         )
         return {"stats": stats}
+
+    async def _handle_settle(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Block until this site is drained (or ``wait`` seconds pass).
+
+        This is the poll-free replacement for clients hammering the
+        ``stats`` verb: waiters sleep on the drain condition and are
+        woken by the ack/apply/commit paths, with a short safety
+        re-check cap in case a wake-up is missed across a restart.
+        """
+        timeout = float(frame.get("wait", 30.0))
+        deadline = self.engine.clock() + timeout
+        waited = False
+        async with self._drain_cond:
+            while not self._drained():
+                waited = True
+                remaining = deadline - self.engine.clock()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        "settle timed out after %.1fs: backlog %r"
+                        % (
+                            timeout,
+                            {
+                                p: box.backlog
+                                for p, box in self.outboxes.items()
+                            },
+                        )
+                    )
+                try:
+                    await asyncio.wait_for(
+                        self._drain_cond.wait(), min(remaining, 0.25)
+                    )
+                except asyncio.TimeoutError:
+                    pass
+        return {
+            "drained": True,
+            "waited": waited,
+            "ack_high_water": {
+                p: self.outboxes[p].frontier for p in self.peer_names
+            },
+        }
 
     async def _handle_order(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         if self.name != self.order_site:
@@ -721,6 +967,7 @@ class ReplicaServer:
             if fut is not None:
                 await asyncio.wait_for(fut, timeout=self.commit_timeout)
         values = self.engine.pop_read_results(tid)
+        await self._notify_drain()
         return {"tid": tid, "values": values}
 
     async def _handle_query(self, frame: Dict[str, Any]) -> Dict[str, Any]:
@@ -742,6 +989,7 @@ class ReplicaServer:
             "inconsistency": outcome.inconsistency,
             "overlap": list(outcome.overlap),
             "waits": outcome.waits,
+            "degraded": self.degraded(),
         }
 
     async def _strict_query_guarded(self, keys, spec):

@@ -1,0 +1,383 @@
+"""Batched, pipelined propagation: end-to-end behaviour tests.
+
+The channel hot path now drains backlogs as multi-MSet ``mset-batch``
+frames with a window of batches in flight and cumulative acks.  These
+tests exercise that machinery through real sockets: backlogs actually
+travel as batches (observable via the ack high-water mark jumping in
+steps), extreme knob settings still converge, the legacy single-mset
+frame interoperates with a batching receiver, and the ``settle`` verb
+blocks server-side instead of clients polling stats.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.transactions import EpsilonSpec
+from repro.live import FaultPlan, LiveCluster
+from repro.live.protocol import (
+    encode_mset,
+    read_frame,
+    write_frame,
+)
+from repro.replica.mset import MSet
+from repro.core.operations import IncrementOp
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+KEYS = ["acct0", "acct1", "acct2", "acct3"]
+
+
+async def _backlogged_drain(cluster, plan, n_updates):
+    """Commit a backlog at site0 behind a partition, heal, settle."""
+    writer = cluster.names[0]
+    client = await cluster.client(writer)
+    plan.partition([[writer], cluster.names[1:]])
+    for i in range(n_updates):
+        await client.increment(KEYS[i % len(KEYS)], 1)
+    plan.heal_all()
+    await cluster.settle(timeout=60)
+    return writer
+
+
+class TestBatchedDrain:
+    @pytest.mark.parametrize("batch_size,window", [(1, 1), (8, 2), (64, 4)])
+    def test_backlog_drains_and_converges(self, batch_size, window):
+        async def scenario():
+            plan = FaultPlan(0)
+            cluster = LiveCluster(
+                n_sites=3,
+                method="commu",
+                faults=plan,
+                batch_size=batch_size,
+                window=window,
+                server_options={"retry_base": 0.005, "retry_max": 0.02},
+            )
+            await cluster.start()
+            try:
+                await _backlogged_drain(cluster, plan, 60)
+                assert await cluster.converged()
+                values = (await cluster.site_values())["site0"]
+                assert sum(values.get(k, 0) for k in KEYS) == 60
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_ack_high_water_reaches_backlog_and_counts_msets(self):
+        async def scenario():
+            plan = FaultPlan(0)
+            cluster = LiveCluster(
+                n_sites=3,
+                method="commu",
+                faults=plan,
+                batch_size=16,
+                window=4,
+                server_options={"retry_base": 0.005, "retry_max": 0.02},
+            )
+            await cluster.start()
+            try:
+                writer = await _backlogged_drain(cluster, plan, 48)
+                stats = (await cluster.site_stats())[writer]
+                for peer, info in stats["peers"].items():
+                    assert info["ack_high_water"] == 48, peer
+                    assert info["acked_msets"] == 48, peer
+                    assert info["ack_ms"] is not None, peer
+                assert stats["ack_high_water"] == {
+                    "site1": 48,
+                    "site2": 48,
+                }
+                assert stats["drained"] is True
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_tiny_window_large_backlog_still_exact(self):
+        """window=1, batch=2 forces many ack round trips; the counters
+        must still come out exactly once."""
+
+        async def scenario():
+            plan = FaultPlan(0)
+            cluster = LiveCluster(
+                n_sites=2,
+                method="commu",
+                faults=plan,
+                batch_size=2,
+                window=1,
+                server_options={"retry_base": 0.005, "retry_max": 0.02},
+            )
+            await cluster.start()
+            try:
+                await _backlogged_drain(cluster, plan, 30)
+                values = await cluster.site_values()
+                for site, snapshot in values.items():
+                    assert (
+                        sum(snapshot.get(k, 0) for k in KEYS) == 30
+                    ), site
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_batching_survives_lossy_links(self):
+        """Drops and reorders under batching: stall-and-resend from the
+        cumulative frontier must still deliver exactly once."""
+        from repro.live import LinkFaults
+
+        async def scenario():
+            plan = FaultPlan(
+                3, default=LinkFaults(drop=0.15, reorder=0.2, duplicate=0.1)
+            )
+            cluster = LiveCluster(
+                n_sites=3,
+                method="commu",
+                faults=plan,
+                batch_size=8,
+                window=3,
+                server_options={
+                    "retry_base": 0.01,
+                    "retry_max": 0.05,
+                    "ack_timeout": 0.2,
+                },
+            )
+            await cluster.start()
+            try:
+                clients = [
+                    await cluster.client(name) for name in cluster.names
+                ]
+                await asyncio.gather(
+                    *(
+                        clients[i % 3].increment(KEYS[i % len(KEYS)], 1)
+                        for i in range(90)
+                    )
+                )
+                await cluster.settle(timeout=60)
+                assert await cluster.converged()
+                values = (await cluster.site_values())["site0"]
+                assert sum(values.get(k, 0) for k in KEYS) == 90
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+
+class TestWireInterop:
+    def test_legacy_single_mset_sender_accepted(self):
+        """An old peer that only speaks single-``mset`` frames gets
+        cumulative acks back and its update is applied."""
+
+        async def scenario():
+            cluster = LiveCluster(n_sites=2, method="commu")
+            await cluster.start()
+            try:
+                host, port = cluster.addrs["site0"]
+                reader, writer = await asyncio.open_connection(host, port)
+                # Impersonate site1's channel with the legacy frame.
+                await write_frame(
+                    writer, {"type": "peer-hello", "src": "site1"}
+                )
+                mset = MSet(
+                    tid="site1:1",
+                    ops=(IncrementOp("acct0", 5),),
+                    origin="site1",
+                )
+                await write_frame(
+                    writer,
+                    {
+                        "type": "mset",
+                        "src": "site1",
+                        "seq": 1,
+                        "mset": encode_mset(mset),
+                    },
+                )
+                ack = await asyncio.wait_for(read_frame(reader), timeout=5)
+                assert ack == {"type": "ack", "seq": 1}
+                writer.close()
+                client = await cluster.client("site0")
+                assert await client.read("acct0") == 5
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_duplicate_batch_reacked_not_reapplied(self):
+        """A re-sent batch (lost ack) is acknowledged at the frontier
+        without double-applying."""
+
+        async def scenario():
+            cluster = LiveCluster(n_sites=2, method="commu")
+            await cluster.start()
+            try:
+                host, port = cluster.addrs["site0"]
+                reader, writer = await asyncio.open_connection(host, port)
+                await write_frame(
+                    writer, {"type": "peer-hello", "src": "site1"}
+                )
+                msets = [
+                    {
+                        "seq": seq,
+                        "mset": encode_mset(
+                            MSet(
+                                tid="site1:%d" % seq,
+                                ops=(IncrementOp("acct0", 1),),
+                                origin="site1",
+                            )
+                        ),
+                    }
+                    for seq in (1, 2, 3)
+                ]
+                batch = {
+                    "type": "mset-batch",
+                    "src": "site1",
+                    "msets": msets,
+                }
+                for _ in range(3):  # original + two retries
+                    await write_frame(writer, batch)
+                    ack = await asyncio.wait_for(
+                        read_frame(reader), timeout=5
+                    )
+                    assert ack == {"type": "ack", "seq": 3}
+                writer.close()
+                client = await cluster.client("site0")
+                assert await client.read("acct0") == 3
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_gapped_batch_acks_frontier_only(self):
+        """A batch starting past the frontier is not applied; the
+        cumulative ack tells the sender where to resume."""
+
+        async def scenario():
+            cluster = LiveCluster(n_sites=2, method="commu")
+            await cluster.start()
+            try:
+                host, port = cluster.addrs["site0"]
+                reader, writer = await asyncio.open_connection(host, port)
+                await write_frame(
+                    writer, {"type": "peer-hello", "src": "site1"}
+                )
+                batch = {
+                    "type": "mset-batch",
+                    "src": "site1",
+                    "msets": [
+                        {
+                            "seq": 5,  # frontier is 0: seqs 1-4 missing
+                            "mset": encode_mset(
+                                MSet(
+                                    tid="site1:5",
+                                    ops=(IncrementOp("acct0", 1),),
+                                    origin="site1",
+                                )
+                            ),
+                        }
+                    ],
+                }
+                await write_frame(writer, batch)
+                ack = await asyncio.wait_for(read_frame(reader), timeout=5)
+                assert ack == {"type": "ack", "seq": 0}
+                writer.close()
+                client = await cluster.client("site0")
+                assert await client.read("acct0") == 0  # never applied
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+
+class TestSettleVerb:
+    def test_settle_returns_immediately_when_drained(self):
+        async def scenario():
+            cluster = LiveCluster(n_sites=2, method="commu")
+            await cluster.start()
+            try:
+                client = await cluster.client("site0")
+                reply = await client.settle()
+                assert reply["drained"] is True
+                assert reply["waited"] is False
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_settle_waits_for_backlog(self):
+        async def scenario():
+            plan = FaultPlan(0)
+            cluster = LiveCluster(
+                n_sites=2,
+                method="commu",
+                faults=plan,
+                server_options={"retry_base": 0.005, "retry_max": 0.02},
+            )
+            await cluster.start()
+            try:
+                client = await cluster.client("site0")
+                plan.partition([["site0"], ["site1"]])
+                await client.increment("acct0", 1)
+                settle_task = asyncio.ensure_future(
+                    client.settle(timeout=30)
+                )
+                await asyncio.sleep(0.1)
+                assert not settle_task.done()  # blocked on the backlog
+                plan.heal_all()
+                reply = await settle_task
+                assert reply["drained"] is True
+                assert reply["waited"] is True
+                assert reply["ack_high_water"] == {"site1": 1}
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_settle_times_out_against_a_dead_peer(self):
+        async def scenario():
+            plan = FaultPlan(0)
+            cluster = LiveCluster(
+                n_sites=2, method="commu", faults=plan
+            )
+            await cluster.start()
+            try:
+                client = await cluster.client("site0")
+                plan.partition([["site0"], ["site1"]])
+                await client.increment("acct0", 1)
+                with pytest.raises(Exception) as excinfo:
+                    await client.settle(timeout=0.5)
+                assert "settle timed out" in str(excinfo.value)
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_query_reports_degraded_flag(self):
+        async def scenario():
+            plan = FaultPlan(0)
+            cluster = LiveCluster(
+                n_sites=2,
+                method="commu",
+                faults=plan,
+                heartbeat_interval=0.05,
+                suspect_after=0.2,
+            )
+            await cluster.start()
+            try:
+                client = await cluster.client("site0")
+                healthy = await client.query(
+                    ["acct0"], EpsilonSpec(import_limit=10)
+                )
+                assert healthy.degraded is False
+                plan.partition([["site0"], ["site1"]])
+                await asyncio.sleep(0.5)  # let the detector trip
+                outcome = await client.query(
+                    ["acct0"], EpsilonSpec(import_limit=10)
+                )
+                assert outcome.degraded is True
+                assert outcome["degraded"] is True  # dict-style too
+            finally:
+                await cluster.stop()
+
+        run(scenario())

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.live.durable_queue import DurableInbox, DurableOutbox
 
 
@@ -172,6 +174,158 @@ class TestInbox:
         assert reloaded.duplicate(3) is True
         assert reloaded.record(4, {"n": 4}) is True
         reloaded.close()
+
+
+class TestGroupCommit:
+    def test_append_many_assigns_contiguous_seqs(self, tmp_path):
+        outbox = DurableOutbox(tmp_path / "peer.log")
+        assert outbox.append_many(["a", "b", "c"]) == [1, 2, 3]
+        assert outbox.append("d") == 4
+        assert [seq for seq, _ in outbox.pending()] == [1, 2, 3, 4]
+        outbox.close()
+
+    def test_append_many_is_durable_as_one_batch(self, tmp_path):
+        path = tmp_path / "peer.log"
+        outbox = DurableOutbox(path)
+        outbox.append_many([{"n": i} for i in range(5)])
+        outbox.close()
+
+        reloaded = DurableOutbox(path)
+        assert [p["n"] for _, p in reloaded.pending()] == [0, 1, 2, 3, 4]
+        reloaded.close()
+
+    def test_record_many_advances_frontier(self, tmp_path):
+        inbox = DurableInbox(tmp_path / "peer.log")
+        assert inbox.record_many([(1, "a"), (2, "b"), (3, "c")]) == 3
+        assert inbox.frontier == 3
+        assert inbox.replay() == [(1, "a"), (2, "b"), (3, "c")]
+        inbox.close()
+
+    def test_record_many_rejects_gaps(self, tmp_path):
+        """The batch receive path filters duplicates and stops at the
+        first gap *before* calling; a non-contiguous batch reaching
+        the log is a programming error, refused before any write."""
+        inbox = DurableInbox(tmp_path / "peer.log")
+        inbox.record(1, "a")
+        with pytest.raises(ValueError):
+            inbox.record_many([(2, "b"), (4, "d")])
+        assert inbox.frontier == 1
+        # Nothing from the refused batch hit the log.
+        assert len((tmp_path / "peer.log").read_text().splitlines()) == 1
+        inbox.close()
+
+    def test_fsync_interval_rate_limits(self, tmp_path):
+        """With a long interval only the first group append syncs; the
+        queue keeps working and stays durable via flush."""
+        outbox = DurableOutbox(
+            tmp_path / "peer.log", fsync=True, fsync_interval=3600.0
+        )
+        outbox.append_many(["a", "b"])
+        outbox.append_many(["c", "d"])
+        outbox.close()  # close fsyncs unconditionally
+
+        reloaded = DurableOutbox(tmp_path / "peer.log")
+        assert [seq for seq, _ in reloaded.pending()] == [1, 2, 3, 4]
+        reloaded.close()
+
+
+class TestCumulativeAck:
+    def test_ack_through_truncates_covered_range(self, tmp_path):
+        outbox = DurableOutbox(tmp_path / "peer.log")
+        outbox.append_many(list("abcde"))
+        assert outbox.ack_through(3) == [1, 2, 3]
+        assert outbox.frontier == 3
+        assert [seq for seq, _ in outbox.pending()] == [4, 5]
+        outbox.close()
+
+    def test_ack_through_is_idempotent(self, tmp_path):
+        outbox = DurableOutbox(tmp_path / "peer.log")
+        outbox.append_many(list("abc"))
+        outbox.ack_through(2)
+        assert outbox.ack_through(2) == []
+        assert outbox.ack_through(1) == []  # stale ack: no regression
+        assert outbox.frontier == 2
+        outbox.close()
+
+    def test_ack_through_never_passes_appended_work(self, tmp_path):
+        outbox = DurableOutbox(tmp_path / "peer.log")
+        outbox.append_many(list("ab"))
+        outbox.ack_through(99)  # a confused peer cannot fast-forward us
+        assert outbox.frontier == 2
+        assert outbox.append("c") == 3
+        outbox.close()
+
+    def test_cumulative_frontier_survives_restart(self, tmp_path):
+        path = tmp_path / "peer.log"
+        outbox = DurableOutbox(path)
+        outbox.append_many([{"n": i} for i in range(6)])
+        outbox.ack_through(4)
+        outbox.close()
+
+        reloaded = DurableOutbox(path)
+        assert reloaded.frontier == 4
+        assert [seq for seq, _ in reloaded.pending()] == [5, 6]
+        reloaded.close()
+
+
+class TestGroupCommitCrash:
+    """Kill the receiver between the sender's batch append and the
+    acknowledgement: recovery must re-send the whole batch, and the
+    receiver-side dedup must keep the application at exactly-once."""
+
+    def test_unacked_batch_is_resent_never_dropped(self, tmp_path):
+        out_path = tmp_path / "out.log"
+        outbox = DurableOutbox(out_path)
+        outbox.append_many([{"n": i} for i in range(8)])
+        # Receiver durably recorded the first half of the window, then
+        # died before any ack made it back.
+        inbox = DurableInbox(tmp_path / "in.log")
+        inbox.record_many(
+            [(seq, payload) for seq, payload in outbox.pending()[:4]]
+        )
+        inbox.close()
+        # Sender crashes too (no volatile state survives).
+        outbox.close()
+
+        recovered_out = DurableOutbox(out_path)
+        recovered_in = DurableInbox(tmp_path / "in.log")
+        # Everything unacked is pending again: at-least-once.
+        assert [seq for seq, _ in recovered_out.pending()] == list(
+            range(1, 9)
+        )
+        # The re-sent batch dedups its first half, applies the rest.
+        applied = []
+        fresh = []
+        for seq, payload in recovered_out.pending():
+            if recovered_in.duplicate(seq):
+                continue
+            fresh.append((seq, payload))
+        recovered_in.record_many(fresh)
+        applied = [p["n"] for _, p in fresh]
+        assert applied == [4, 5, 6, 7]  # second half only: exactly-once
+        # The receiver's cumulative frontier now acks the whole window.
+        covered = recovered_out.ack_through(recovered_in.frontier)
+        assert covered == list(range(1, 9))
+        assert recovered_out.drained()
+        recovered_out.close()
+        recovered_in.close()
+
+    def test_torn_tail_inside_group_append_drops_whole_suffix(
+        self, tmp_path
+    ):
+        """A crash mid-group-write can tear the last record; recovery
+        keeps the intact prefix and the sender re-sends the rest."""
+        path = tmp_path / "in.log"
+        inbox = DurableInbox(path)
+        inbox.record_many([(1, "a"), (2, "b")])
+        inbox.close()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"seq": 3, "payload": "c"}\n{"seq": 4, "pa')
+
+        recovered = DurableInbox(path)
+        assert recovered.frontier == 3  # intact prefix of the torn batch
+        assert recovered.record_many([(4, "d")]) == 1
+        recovered.close()
 
 
 class TestChannelContract:

@@ -17,18 +17,22 @@ from repro.core.operations import (
 )
 from repro.core.transactions import EpsilonSpec, UNLIMITED
 from repro.live.protocol import (
+    MAX_BATCH_ENTRIES,
     MAX_FRAME,
     ProtocolError,
+    decode_batch_frame,
     decode_mset,
     decode_op,
     decode_ops,
     decode_spec,
+    encode_batch_frame,
     encode_frame,
     encode_mset,
     encode_op,
     encode_ops,
     encode_spec,
     read_frame,
+    write_frames,
 )
 from repro.replica.mset import MSet
 
@@ -173,3 +177,115 @@ class TestMSetCodec:
         back = decode_mset(encode_mset(mset))
         assert back.order is None
         assert back.ops[0].value == 5
+
+
+class TestBatchFrames:
+    def _mset_payload(self, n):
+        return encode_mset(
+            MSet(
+                tid="site0:%d" % n,
+                ops=(IncrementOp("x", n),),
+                origin="site0",
+            )
+        )
+
+    def test_roundtrip(self):
+        entries = [(seq, self._mset_payload(seq)) for seq in (4, 5, 6)]
+        frame = encode_batch_frame("site0", entries)
+        assert frame["type"] == "mset-batch"
+        assert frame["src"] == "site0"
+        back = decode_batch_frame(frame)
+        assert [seq for seq, _ in back] == [4, 5, 6]
+        assert decode_mset(back[0][1]).ops[0].amount == 4
+
+    def test_survives_the_wire(self):
+        entries = [(1, self._mset_payload(1)), (2, self._mset_payload(2))]
+        frame = encode_batch_frame("site0", entries)
+
+        async def scenario():
+            return await read_frame(_feed(encode_frame(frame)))
+
+        assert decode_batch_frame(asyncio.run(scenario())) == tuple(
+            (seq, payload) for seq, payload in entries
+        )
+
+    def test_empty_batch_rejected_on_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_batch_frame("site0", [])
+
+    def test_empty_batch_rejected_on_decode(self):
+        with pytest.raises(ProtocolError):
+            decode_batch_frame(
+                {"type": "mset-batch", "src": "site0", "msets": []}
+            )
+        with pytest.raises(ProtocolError):
+            decode_batch_frame({"type": "mset-batch", "src": "site0"})
+
+    def test_oversize_batch_rejected_both_ways(self):
+        entries = [(i, {"tid": "t%d" % i}) for i in range(1, MAX_BATCH_ENTRIES + 2)]
+        with pytest.raises(ProtocolError):
+            encode_batch_frame("site0", entries)
+        with pytest.raises(ProtocolError):
+            decode_batch_frame(
+                {
+                    "type": "mset-batch",
+                    "src": "site0",
+                    "msets": [
+                        {"seq": seq, "mset": payload}
+                        for seq, payload in entries
+                    ],
+                }
+            )
+
+    def test_legacy_mset_frame_decodes_as_one_entry_batch(self):
+        """Mixed-version interop: an old peer's single-mset frame goes
+        through the same receive entry point as a batch."""
+        payload = self._mset_payload(9)
+        frame = {"type": "mset", "src": "site1", "seq": 9, "mset": payload}
+        assert decode_batch_frame(frame) == ((9, payload),)
+
+    def test_malformed_entries_rejected(self):
+        for bad in (
+            [{"seq": "x", "mset": {}}],  # non-int seq
+            [{"seq": 1, "mset": "nope"}],  # non-dict mset
+            [{"seq": 1}],  # missing mset
+            ["not-a-dict"],
+        ):
+            with pytest.raises(ProtocolError):
+                decode_batch_frame(
+                    {"type": "mset-batch", "src": "s", "msets": bad}
+                )
+
+    def test_batch_frame_respects_max_frame(self):
+        """A batch whose encoding exceeds MAX_FRAME is refused at the
+        framing layer (senders budget batches well under the cap)."""
+        big = "v" * (MAX_FRAME // 4)
+        frame = encode_batch_frame(
+            "site0", [(i, {"blob": big}) for i in range(1, 6)]
+        )
+        with pytest.raises(ProtocolError):
+            encode_frame(frame)
+
+    def test_write_frames_coalesces_on_the_wire(self):
+        """Several frames written as one burst read back individually."""
+        frames = [{"i": i} for i in range(4)]
+
+        class _Sink:
+            def __init__(self):
+                self.chunks = []
+
+            def write(self, data):
+                self.chunks.append(data)
+
+            async def drain(self):
+                pass
+
+        async def scenario():
+            sink = _Sink()
+            await write_frames(sink, frames)
+            assert len(sink.chunks) == 1  # single buffered write
+            reader = _feed(b"".join(sink.chunks))
+            return [await read_frame(reader) for _ in range(5)]
+
+        got = asyncio.run(scenario())
+        assert got == frames + [None]

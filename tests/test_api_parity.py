@@ -1,0 +1,189 @@
+"""One client contract, two backends.
+
+The simulator's :class:`repro.client.Client` and the live runtime's
+:class:`repro.live.client.LiveClient` expose the same verb surface
+(``write`` / ``increment`` / ``decrement`` / ``append`` / ``update`` /
+``read`` / ``read_many`` / ``query`` / ``settle``), their query results
+expose the same error-accounting attributes, and their failures share
+:class:`repro.errors.ETError`.  The same program, run against either
+backend, must produce the same answers — that is what makes application
+code portable between "validate on the simulator" and "run live".
+"""
+
+import asyncio
+import inspect
+
+import pytest
+
+from repro import (
+    Client,
+    CommutativeOperations,
+    ETError,
+    ETFailed,
+    IncrementOp,
+    ReplicatedSystem,
+    SystemConfig,
+    WriteOp,
+)
+from repro.core.transactions import EpsilonSpec
+from repro.live import LiveCluster, LiveETFailed
+from repro.live.client import LiveClient
+
+SHARED_VERBS = (
+    "write",
+    "increment",
+    "decrement",
+    "append",
+    "update",
+    "read",
+    "read_many",
+    "query",
+    "settle",
+)
+
+
+class SimBackend:
+    """Adapts the synchronous sim client to the async driver."""
+
+    async def start(self):
+        system = ReplicatedSystem(
+            CommutativeOperations(), SystemConfig(n_sites=3, seed=11)
+        )
+        self.client = Client(system, "site0")
+
+    async def call(self, verb, *args, **kwargs):
+        return getattr(self.client, verb)(*args, **kwargs)
+
+    async def close(self):
+        pass
+
+
+class LiveBackend:
+    async def start(self):
+        self.cluster = LiveCluster(n_sites=3, method="commu")
+        await self.cluster.start()
+        self.client = await self.cluster.client("site0")
+
+    async def call(self, verb, *args, **kwargs):
+        return await getattr(self.client, verb)(*args, **kwargs)
+
+    async def close(self):
+        await self.cluster.stop()
+
+
+BACKENDS = {"sim": SimBackend, "live": LiveBackend}
+
+
+async def _shared_program(backend):
+    """The portable application: same calls, collected observations."""
+    out = {}
+    await backend.call("increment", "acct", 100)
+    await backend.call("decrement", "acct", 30)
+    await backend.call("write", "note", "hello")
+    await backend.call("append", "log", "a")
+    await backend.call("append", "log", "b")
+    await backend.call(
+        "update", [IncrementOp("acct", 5), WriteOp("flag", True)]
+    )
+    await backend.call("settle")
+    out["acct"] = await backend.call("read", "acct")
+    out["strict_acct"] = await backend.call("read", "acct", epsilon=0)
+    out["many"] = await backend.call("read_many", ["acct", "note", "flag"])
+    result = await backend.call(
+        "query", ["acct", "log"], EpsilonSpec(import_limit=5)
+    )
+    out["query_values"] = dict(result.values)
+    out["inconsistency"] = result.inconsistency
+    out["overlap"] = tuple(result.overlap)
+    out["waits"] = result.waits
+    return out
+
+
+def _run(backend_name):
+    async def scenario():
+        backend = BACKENDS[backend_name]()
+        await backend.start()
+        try:
+            return await _shared_program(backend)
+        finally:
+            await backend.close()
+
+    return asyncio.run(scenario())
+
+
+class TestSharedSurface:
+    @pytest.mark.parametrize("verb", SHARED_VERBS)
+    def test_both_clients_expose_verb(self, verb):
+        assert callable(getattr(Client, verb))
+        assert callable(getattr(LiveClient, verb))
+
+    @pytest.mark.parametrize("verb", ("read", "read_many"))
+    def test_budget_parameters_match(self, verb):
+        """The inconsistency-budget keywords are spelled identically."""
+        sim_params = set(
+            inspect.signature(getattr(Client, verb)).parameters
+        )
+        live_params = set(
+            inspect.signature(getattr(LiveClient, verb)).parameters
+        )
+        assert {"epsilon", "value_epsilon"} <= sim_params
+        assert {"epsilon", "value_epsilon"} <= live_params
+
+
+class TestSameProgramSameAnswers:
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_program_outcome(self, backend):
+        out = _run(backend)
+        assert out["acct"] == 75
+        assert out["strict_acct"] == 75
+        assert out["many"] == {"acct": 75, "note": "hello", "flag": True}
+        assert out["query_values"]["acct"] == 75
+        assert sorted(out["query_values"]["log"]) == ["a", "b"]
+        # Settled system: a bounded query observes zero inconsistency.
+        assert out["inconsistency"] == 0
+        assert out["waits"] == 0
+
+    def test_backends_agree_exactly(self):
+        def canonical(out):
+            # JSON transport renders sequence values as lists; the sim
+            # hands back tuples.  Same contents, same answer.
+            out = dict(out)
+            out["query_values"] = {
+                key: list(value)
+                if isinstance(value, (list, tuple))
+                else value
+                for key, value in out["query_values"].items()
+            }
+            return out
+
+        assert canonical(_run("sim")) == canonical(_run("live"))
+
+
+class TestSharedFailureTaxonomy:
+    def test_both_failures_are_et_errors(self):
+        assert issubclass(ETFailed, ETError)
+        assert issubclass(LiveETFailed, ETError)
+
+    def test_codes_are_stable_strings(self):
+        from repro import ABORTED, EPSILON_EXCEEDED, UNAVAILABLE
+
+        assert UNAVAILABLE == "UNAVAILABLE"
+        assert EPSILON_EXCEEDED == "EPSILON_EXCEEDED"
+        assert ABORTED == "ABORTED"
+
+    def test_one_except_clause_catches_either(self):
+        for exc in (
+            LiveETFailed("refused", "UNAVAILABLE"),
+            ETError("generic", "ABORTED"),
+        ):
+            try:
+                raise exc
+            except ETError as caught:
+                assert caught.code in ("UNAVAILABLE", "ABORTED")
+            else:  # pragma: no cover
+                pytest.fail("ETError clause did not catch %r" % exc)
+
+    def test_unavailable_predicate(self):
+        assert LiveETFailed("refused", "UNAVAILABLE").unavailable
+        assert not LiveETFailed("other", "ABORTED").unavailable
+        assert ETError("x", "ABORTED").aborted
