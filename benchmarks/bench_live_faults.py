@@ -14,10 +14,18 @@ ORDUP runs without the crash phase: a crash between order-token grant
 and durable logging leaves a gap that stalls the global order (a
 documented limitation; see docs/LIVE.md).
 
+Each run persists its observability artifacts (per-site Prometheus
+text, combined metrics JSON, merged lifecycle trace) under
+``BENCH_live_faults_artifacts/<method>/`` when run standalone with
+``--artifacts``.
+
 Standalone:  PYTHONPATH=src python benchmarks/bench_live_faults.py
+             PYTHONPATH=src python benchmarks/bench_live_faults.py \\
+                 --artifacts BENCH_live_faults_artifacts
 Under pytest: pytest benchmarks/bench_live_faults.py --benchmark-only
 """
 
+import pathlib
 import time
 
 from repro.live import ChaosConfig, run_chaos_sync
@@ -46,11 +54,18 @@ def _config(method):
     )
 
 
-def run_live_faults():
+def run_live_faults(artifacts_dir=None):
     """Run the chaos scenario per method; return (text, reports)."""
     reports = {}
     for method in METHODS:
-        reports[method] = run_chaos_sync(_config(method))
+        method_artifacts = (
+            pathlib.Path(artifacts_dir) / method
+            if artifacts_dir is not None
+            else None
+        )
+        reports[method] = run_chaos_sync(
+            _config(method), artifacts_dir=method_artifacts
+        )
     lines = [
         "Live runtime under faults: seeded chaos (seed=%d), 3 replicas, "
         "drops+delays+dups+reorder, 1 partition, crash/restart on COMMU"
@@ -118,7 +133,22 @@ def test_live_faults(benchmark, show):
 
 
 if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifacts", metavar="DIR", default=None,
+        help="persist per-method metrics + trace artifacts under "
+        "DIR/<method>/",
+    )
+    args = parser.parse_args()
     started = time.monotonic()
-    text, _ = run_live_faults()
+    text, reports = run_live_faults(artifacts_dir=args.artifacts)
     print(text)
+    if args.artifacts:
+        for method in METHODS:
+            print(
+                "%s artifacts: %s"
+                % (method, reports[method].artifacts.get("dir", "-"))
+            )
     print("\ntotal wall time: %.1fs" % (time.monotonic() - started))

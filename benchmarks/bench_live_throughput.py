@@ -18,9 +18,17 @@ paired with window 1, reproducing the old stop-and-wait path) it shows
 what batching + pipelining + group commit buy: channel MSets/sec and
 mean batch-ack latency per configuration.
 
+The **overhead mode** answers "what does the observability layer
+cost on the hot path?": the same propagation drain is run with
+metrics + tracing enabled and with ``observability=False`` (the null
+registry), best-of-N each, and the relative throughput delta is
+reported.  The acceptance bound is <5% overhead on the drain.
+
 Standalone:  PYTHONPATH=src python benchmarks/bench_live_throughput.py
              PYTHONPATH=src python benchmarks/bench_live_throughput.py \\
                  --mode propagation --quick --json
+             PYTHONPATH=src python benchmarks/bench_live_throughput.py \\
+                 --mode overhead --quick
 Under pytest: pytest benchmarks/bench_live_throughput.py --benchmark-only
 """
 
@@ -30,7 +38,7 @@ import pathlib
 import time
 
 from repro.core.transactions import EpsilonSpec
-from repro.live import FaultPlan, LiveCluster
+from repro.live import FaultPlan, LiveCluster, persist_cluster_artifacts
 
 N_SITES = 3
 N_UPDATES = 200
@@ -117,7 +125,9 @@ def run_live_throughput():
     return "\n".join(lines), data
 
 
-async def _drive_propagation(batch_size, window, n_updates):
+async def _drive_propagation(
+    batch_size, window, n_updates, observability=True, artifacts_dir=None
+):
     """One propagation measurement: backlog behind a partition, then
     time the healed drain across both peer channels."""
     plan = FaultPlan(0)  # no link faults; partition/heal control only
@@ -128,6 +138,7 @@ async def _drive_propagation(batch_size, window, n_updates):
         fsync=True,  # make the group-commit effect part of the story
         batch_size=batch_size,
         window=window,
+        observability=observability,
         # Tight reconnect timing so post-heal redial latency does not
         # pollute the drain measurement.
         server_options={"retry_base": 0.005, "retry_max": 0.02},
@@ -153,6 +164,10 @@ async def _drive_propagation(batch_size, window, n_updates):
         converged = await cluster.converged()
         values = (await cluster.site_values())[writer]
         total = sum(values.get(key, 0) for key in KEYS)
+        if artifacts_dir is not None:
+            await persist_cluster_artifacts(
+                cluster, pathlib.Path(artifacts_dir)
+            )
     finally:
         await cluster.stop()
     n_msets = n_updates * (N_SITES - 1)  # each update crosses 2 channels
@@ -170,15 +185,25 @@ async def _drive_propagation(batch_size, window, n_updates):
     }
 
 
-def run_propagation_throughput(configs=BATCH_CONFIGS, quick=False):
+def run_propagation_throughput(
+    configs=BATCH_CONFIGS, quick=False, artifacts_dir=None
+):
     """Measure the propagation drain at each batch configuration."""
     n_updates = (
         N_PROPAGATION_UPDATES_QUICK if quick else N_PROPAGATION_UPDATES
     )
     data = {}
     for batch_size, window in configs:
+        run_artifacts = (
+            pathlib.Path(artifacts_dir) / ("batch%d" % batch_size)
+            if artifacts_dir is not None
+            else None
+        )
         data[batch_size] = asyncio.run(
-            _drive_propagation(batch_size, window, n_updates)
+            _drive_propagation(
+                batch_size, window, n_updates,
+                artifacts_dir=run_artifacts,
+            )
         )
     baseline = data[configs[0][0]]["msets_per_sec"]
     lines = [
@@ -206,6 +231,92 @@ def run_propagation_throughput(configs=BATCH_CONFIGS, quick=False):
                 d["msets_per_sec"] / max(baseline, 1e-9),
             )
         )
+    return "\n".join(lines), data
+
+
+OVERHEAD_BOUND_PCT = 5.0
+OVERHEAD_CYCLES = 5
+OVERHEAD_CYCLES_QUICK = 3
+
+
+async def _drive_overhead(observability, n_updates, cycles):
+    """Best-of-``cycles`` drain rate inside ONE cluster boot.
+
+    A fresh cluster per sample makes the comparison hostage to boot-
+    to-boot machine drift (±15% observed), which swamps the effect
+    being measured; repeating the partition → backlog → heal → settle
+    cycle against one booted cluster and keeping the best cycle gives
+    a stable estimate of peak drain throughput.  fsync stays off so
+    group-commit timing jitter does not enter the measurement — the
+    point is the CPU cost of the metrics + trace calls on the hot
+    path, not disk scheduling."""
+    plan = FaultPlan(0)
+    cluster = LiveCluster(
+        n_sites=N_SITES,
+        method="commu",
+        faults=plan,
+        fsync=False,
+        batch_size=64,
+        window=4,
+        observability=observability,
+        server_options={"retry_base": 0.005, "retry_max": 0.02},
+    )
+    await cluster.start()
+    rates = []
+    try:
+        writer = cluster.names[0]
+        others = cluster.names[1:]
+        client = await cluster.client(writer)
+        for _ in range(cycles):
+            plan.partition([[writer], others])
+            for i in range(n_updates):
+                await client.increment(KEYS[i % len(KEYS)], 1)
+            t0 = time.monotonic()
+            plan.heal_all()
+            await cluster.settle(timeout=120)
+            elapsed = time.monotonic() - t0
+            rates.append(
+                n_updates * (N_SITES - 1) / max(elapsed, 1e-9)
+            )
+        converged = await cluster.converged()
+    finally:
+        await cluster.stop()
+    assert converged, "overhead run diverged"
+    return max(rates), rates
+
+
+def run_metrics_overhead(quick=False, cycles=None):
+    """Propagation drain with observability on vs off (null registry),
+    reporting the relative throughput cost of the metrics + trace
+    instrumentation on the hot path."""
+    n_updates = (
+        N_PROPAGATION_UPDATES_QUICK if quick else N_PROPAGATION_UPDATES
+    )
+    if cycles is None:
+        cycles = OVERHEAD_CYCLES_QUICK if quick else OVERHEAD_CYCLES
+    best = {}
+    for enabled in (False, True):
+        best[enabled], _ = asyncio.run(
+            _drive_overhead(enabled, n_updates, cycles)
+        )
+    overhead_pct = 100.0 * (1.0 - best[True] / max(best[False], 1e-9))
+    lines = [
+        "Observability overhead on the propagation drain "
+        "(batch=64 window=4, %d updates/cycle, best of %d cycles each)"
+        % (n_updates, cycles),
+        "",
+        "%-16s %14s" % ("observability", "msets/s"),
+        "%-16s %14.0f" % ("off (null)", best[False]),
+        "%-16s %14.0f" % ("on", best[True]),
+        "",
+        "overhead: %.1f%% (bound: <%.0f%%)"
+        % (overhead_pct, OVERHEAD_BOUND_PCT),
+    ]
+    data = {
+        "off_msets_per_sec": best[False],
+        "on_msets_per_sec": best[True],
+        "overhead_pct": overhead_pct,
+    }
     return "\n".join(lines), data
 
 
@@ -253,7 +364,7 @@ def _main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--mode",
-        choices=("throughput", "propagation", "all"),
+        choices=("throughput", "propagation", "overhead", "all"),
         default="all",
     )
     parser.add_argument(
@@ -269,6 +380,11 @@ def _main(argv=None):
         "--json", nargs="?", const="BENCH_live_propagation.json",
         default=None, metavar="PATH",
         help="write propagation results to PATH as JSON",
+    )
+    parser.add_argument(
+        "--artifacts", metavar="DIR", default=None,
+        help="persist per-config metrics + trace artifacts under "
+        "DIR/batch<N>/ (propagation mode)",
     )
     args = parser.parse_args(argv)
 
@@ -286,8 +402,12 @@ def _main(argv=None):
                     int(part) for part in args.batch_sizes.split(",")
                 )
             )
-        text, data = run_propagation_throughput(configs, quick=args.quick)
+        text, data = run_propagation_throughput(
+            configs, quick=args.quick, artifacts_dir=args.artifacts
+        )
         print(text)
+        if args.artifacts:
+            print("\nartifacts under %s/" % args.artifacts)
         for size, _ in configs:
             if not data[size]["converged"]:
                 print("\nFAIL: batch=%d diverged" % size)
@@ -313,6 +433,15 @@ def _main(argv=None):
                 json.dumps(payload, indent=2) + "\n"
             )
             print("\nwrote %s" % args.json)
+    if args.mode == "overhead":
+        text, data = run_metrics_overhead(quick=args.quick)
+        print(text)
+        if data["overhead_pct"] >= OVERHEAD_BOUND_PCT:
+            print(
+                "\nFAIL: observability overhead %.1f%% exceeds %.0f%%"
+                % (data["overhead_pct"], OVERHEAD_BOUND_PCT)
+            )
+            return 1
     print("\ntotal wall time: %.1fs" % (time.monotonic() - started))
     return 0
 

@@ -13,6 +13,8 @@ Usage::
 
     python -m repro live-demo            # 3-replica cluster demo
     python -m repro chaos --seed 7       # seeded fault-injection run
+    python -m repro chaos --seed 7 --artifacts out/  # + metrics/trace
+    python -m repro metrics-dump --port 7000         # scrape one replica
 """
 
 from __future__ import annotations
@@ -201,9 +203,47 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         window=args.window,
     )
-    report = run_chaos_sync(config)
+    artifacts_dir = (
+        pathlib.Path(args.artifacts) if args.artifacts else None
+    )
+    report = run_chaos_sync(config, artifacts_dir=artifacts_dir)
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_metrics_dump(args: argparse.Namespace) -> int:
+    """Scrape one live replica's ``metrics`` verb and print it."""
+    import asyncio
+    import json as json_mod
+
+    from .live.client import LiveClient
+
+    async def main() -> int:
+        client = await LiveClient.connect(
+            args.host, args.port, reconnect=False, request_timeout=10.0
+        )
+        try:
+            scrape = await client.metrics()
+        finally:
+            await client.close()
+        if args.format == "prom":
+            sys.stdout.write(scrape["prometheus"])
+        else:
+            print(
+                json_mod.dumps(
+                    {
+                        "site": scrape["site"],
+                        "metrics": scrape["metrics"],
+                        "trace_recorded": scrape["trace_recorded"],
+                        "trace_dropped": scrape["trace_dropped"],
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        return 0
+
+    return asyncio.run(main())
 
 
 def main(argv: List[str] = None) -> int:
@@ -287,6 +327,21 @@ def main(argv: List[str] = None) -> int:
         "--window", type=int, default=4,
         help="in-flight batch window for the cluster under test",
     )
+    chaos.add_argument(
+        "--artifacts", metavar="DIR", default=None,
+        help="persist per-site metrics (.prom, metrics.json) and the "
+        "merged lifecycle trace (trace.jsonl) under DIR",
+    )
+    metrics_dump = sub.add_parser(
+        "metrics-dump",
+        help="scrape one live replica's metrics verb and print it",
+    )
+    metrics_dump.add_argument("--host", default="127.0.0.1")
+    metrics_dump.add_argument("--port", type=int, required=True)
+    metrics_dump.add_argument(
+        "--format", default="prom", choices=("prom", "json"),
+        help="Prometheus text (default) or the JSON mirror",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -296,6 +351,8 @@ def main(argv: List[str] = None) -> int:
         return _cmd_live_demo(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "metrics-dump":
+        return _cmd_metrics_dump(args)
     return _cmd_run(args.ids, args.out)
 
 

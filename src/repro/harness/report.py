@@ -13,13 +13,17 @@ __all__ = ["render_table", "render_series", "format_cell"]
 
 
 def format_cell(value: Any) -> str:
-    """Human-friendly cell formatting."""
+    """Human-friendly cell formatting.
+
+    ``None`` renders as ``-`` — "not measured" — so it cannot be
+    mistaken for an empty-string artifact or a perfect score.
+    """
     if isinstance(value, float):
         if value == int(value) and abs(value) < 1e9:
             return str(int(value))
         return "%.3f" % value
     if value is None:
-        return ""
+        return "-"
     return str(value)
 
 

@@ -25,7 +25,13 @@ Layers:
   asserting the paper's invariants under faults.
 """
 
-from .chaos import ChaosConfig, ChaosReport, run_chaos, run_chaos_sync
+from .chaos import (
+    ChaosConfig,
+    ChaosReport,
+    persist_cluster_artifacts,
+    run_chaos,
+    run_chaos_sync,
+)
 from .client import LiveClient, LiveETFailed, LiveETResult, RequestTimeout
 from .cluster import LiveCluster
 from .durable_queue import DurableInbox, DurableOutbox
@@ -45,6 +51,7 @@ from .server import ReplicaServer, Unavailable
 __all__ = [
     "ChaosConfig",
     "ChaosReport",
+    "persist_cluster_artifacts",
     "run_chaos",
     "run_chaos_sync",
     "LiveClient",

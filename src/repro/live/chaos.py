@@ -32,6 +32,7 @@ Reproducible from the CLI::
 from __future__ import annotations
 
 import asyncio
+import json
 import pathlib
 import random
 import time
@@ -39,11 +40,18 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.transactions import EpsilonSpec
+from ..obs.trace import dump_events_jsonl, merge_traces
 from .client import LiveClient, LiveETFailed, RequestTimeout
 from .cluster import LiveCluster
 from .faults import FaultPlan, LinkFaults
 
-__all__ = ["ChaosConfig", "ChaosReport", "run_chaos", "run_chaos_sync"]
+__all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "persist_cluster_artifacts",
+    "run_chaos",
+    "run_chaos_sync",
+]
 
 
 @dataclass(frozen=True)
@@ -106,6 +114,16 @@ class ChaosReport:
     converged: bool = False
     fault_counts: Dict[str, int] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    #: observability cross-check: bounded trace query events whose
+    #: recorded inconsistency exceeded their recorded limit.
+    trace_epsilon_breaches: List[Tuple[float, int]] = field(
+        default_factory=list
+    )
+    #: degraded gauge flips (0 -> 1) seen across all replica traces —
+    #: the partition must be *visible* to an operator, not just felt.
+    degraded_flips: int = 0
+    #: paths of persisted artifacts (when an artifacts dir was given).
+    artifacts: Dict[str, str] = field(default_factory=dict)
 
     def violations(self) -> List[str]:
         """Every broken invariant, as human-readable findings."""
@@ -114,6 +132,11 @@ class ChaosReport:
             out.append(
                 "epsilon budget breached: query with epsilon=%s observed "
                 "inconsistency %d" % (epsilon, seen)
+            )
+        for limit, seen in self.trace_epsilon_breaches:
+            out.append(
+                "server trace shows epsilon breach: bounded query "
+                "(limit=%s) recorded inconsistency %d" % (limit, seen)
             )
         for key in sorted(set(self.acked) | set(self.final)):
             acked = self.acked.get(key, 0)
@@ -196,6 +219,14 @@ class ChaosReport:
             )
         )
         lines.append("converged after heal: %s" % ("yes" if self.converged else "NO"))
+        if self.degraded_flips:
+            lines.append(
+                "degraded gauge flips observed: %d" % self.degraded_flips
+            )
+        if self.artifacts:
+            lines.append(
+                "artifacts: %s" % self.artifacts.get("dir", "")
+            )
         lines.append("")
         problems = self.violations()
         if problems:
@@ -211,10 +242,20 @@ class ChaosReport:
 
 
 async def run_chaos(
-    config: ChaosConfig, data_dir: Optional[pathlib.Path] = None
+    config: ChaosConfig,
+    data_dir: Optional[pathlib.Path] = None,
+    artifacts_dir: Optional[pathlib.Path] = None,
 ) -> ChaosReport:
     """Execute one seeded chaos scenario; never raises on invariant
-    failure — inspect :meth:`ChaosReport.violations`."""
+    failure — inspect :meth:`ChaosReport.violations`.
+
+    With ``artifacts_dir``, the run persists every replica's metrics
+    (``<site>.prom`` Prometheus text + one combined ``metrics.json``)
+    and the merged lifecycle trace (``trace.jsonl``) for offline
+    inspection; the same trace feeds two extra in-process checks —
+    bounded queries never recorded inconsistency above their limit,
+    and the partition showed up as degraded gauge flips.
+    """
     started = time.monotonic()
     plan = FaultPlan(
         config.seed,
@@ -251,11 +292,61 @@ async def run_chaos(
             report.final = {
                 key: any_site.get(key, 0) for key in config.keys
             }
+        _observability_checks(cluster, report)
+        if artifacts_dir is not None:
+            report.artifacts = await persist_cluster_artifacts(
+                cluster, pathlib.Path(artifacts_dir)
+            )
     finally:
         report.fault_counts = dict(plan.counts)
         report.wall_seconds = time.monotonic() - started
         await cluster.stop()
     return report
+
+
+def _observability_checks(cluster: LiveCluster, report: ChaosReport) -> None:
+    """Cross-check the run against what the servers *recorded*: the
+    client-side violation list and the server-side trace must agree
+    that no bounded query exceeded its budget, and the degraded gauge
+    must have flipped while the partition was in force."""
+    for server in cluster.servers.values():
+        for event in server.trace.snapshot():
+            kind = event.get("kind")
+            if kind == "degraded" and event.get("value") == 1:
+                report.degraded_flips += 1
+            elif kind == "query":
+                limit = event.get("limit")
+                seen = event.get("inconsistency", 0)
+                if limit is not None and seen > limit:
+                    report.trace_epsilon_breaches.append((limit, seen))
+
+
+async def persist_cluster_artifacts(
+    cluster: LiveCluster, artifacts_dir: pathlib.Path
+) -> Dict[str, str]:
+    """Write per-site Prometheus text, combined JSON metrics, and the
+    merged lifecycle trace under ``artifacts_dir``."""
+    artifacts_dir.mkdir(parents=True, exist_ok=True)
+    out: Dict[str, str] = {"dir": str(artifacts_dir)}
+    scrapes = await cluster.site_metrics()
+    combined: Dict[str, Any] = {}
+    for name, scrape in sorted(scrapes.items()):
+        prom_path = artifacts_dir / ("%s.prom" % name)
+        prom_path.write_text(scrape["prometheus"], encoding="utf-8")
+        out[name] = str(prom_path)
+        combined[name] = scrape["metrics"]
+    metrics_path = artifacts_dir / "metrics.json"
+    metrics_path.write_text(
+        json.dumps(combined, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    out["metrics"] = str(metrics_path)
+    trace_path = artifacts_dir / "trace.jsonl"
+    merged = merge_traces(
+        server.trace for _, server in sorted(cluster.servers.items())
+    )
+    dump_events_jsonl(merged, trace_path)
+    out["trace"] = str(trace_path)
+    return out
 
 
 async def _drive_scenario(cluster, plan, config, rng, report) -> None:
@@ -382,7 +473,9 @@ async def _drive_scenario(cluster, plan, config, rng, report) -> None:
 
 
 def run_chaos_sync(
-    config: ChaosConfig, data_dir: Optional[pathlib.Path] = None
+    config: ChaosConfig,
+    data_dir: Optional[pathlib.Path] = None,
+    artifacts_dir: Optional[pathlib.Path] = None,
 ) -> ChaosReport:
     """Blocking wrapper for CLI / benchmark use."""
-    return asyncio.run(run_chaos(config, data_dir))
+    return asyncio.run(run_chaos(config, data_dir, artifacts_dir))

@@ -61,7 +61,7 @@ __all__ = ["LiveClient", "LiveETFailed", "LiveETResult", "RequestTimeout"]
 
 #: verbs that are safe to re-issue after a reconnect.
 _IDEMPOTENT_VERBS = frozenset(
-    {"query", "values", "stats", "ping", "order", "settle"}
+    {"query", "values", "stats", "ping", "order", "settle", "metrics"}
 )
 
 
@@ -439,6 +439,22 @@ class LiveClient:
 
     async def stats(self) -> Dict[str, Any]:
         return (await self.request("stats"))["stats"]
+
+    async def metrics(self) -> Dict[str, Any]:
+        """Scrape the replica's metrics registry.
+
+        Returns a dict with ``prometheus`` (exposition text), ``metrics``
+        (the same samples as JSON), and the trace buffer's
+        ``trace_recorded``/``trace_dropped`` tallies.
+        """
+        frame = await self.request("metrics")
+        return {
+            "site": frame.get("site"),
+            "prometheus": frame.get("prometheus", ""),
+            "metrics": frame.get("metrics", {}),
+            "trace_recorded": frame.get("trace_recorded", 0),
+            "trace_dropped": frame.get("trace_dropped", 0),
+        }
 
     async def ping(self) -> Dict[str, Any]:
         return await self.request("ping")

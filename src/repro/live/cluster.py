@@ -30,7 +30,7 @@ import tempfile
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from .client import LiveClient
+from .client import LiveClient, LiveETFailed
 from .faults import FaultPlan
 from .server import ReplicaServer
 
@@ -53,6 +53,7 @@ class LiveCluster:
         batch_size: int = 32,
         window: int = 4,
         fsync_interval: float = 0.0,
+        observability: bool = True,
         server_options: Optional[Dict[str, Any]] = None,
     ) -> None:
         if n_sites < 1:
@@ -67,6 +68,9 @@ class LiveCluster:
         self.batch_size = batch_size
         self.window = window
         self.fsync_interval = fsync_interval
+        #: False swaps every replica's registry/trace for no-ops (the
+        #: benchmark's metrics-off baseline).
+        self.observability = observability
         #: extra ReplicaServer keyword arguments (retry_base, ...),
         #: applied uniformly to every replica, including restarts.
         self.server_options: Dict[str, Any] = dict(server_options or {})
@@ -97,6 +101,7 @@ class LiveCluster:
             batch_size=self.batch_size,
             window=self.window,
             fsync_interval=self.fsync_interval,
+            observability=self.observability,
             **self.server_options,
         )
 
@@ -217,13 +222,19 @@ class LiveCluster:
                     await self._drop_probe(name)
                     clean = False
                     break
-                except Exception as exc:
-                    if "settle timed out" in str(exc):
+                except LiveETFailed as exc:
+                    # The replica answered with a typed failure — this
+                    # is a real error at a known site, never something
+                    # to quietly absorb into the sweep.
+                    if exc.code == "TimeoutError":
                         raise TimeoutError(
-                            "cluster did not settle in %.1fs: %s"
-                            % (timeout, exc)
+                            "cluster did not settle in %.1fs: "
+                            "%s did not drain: %s" % (timeout, name, exc)
                         ) from None
-                    raise
+                    raise RuntimeError(
+                        "replica %s failed during settle: %s"
+                        % (name, exc)
+                    ) from exc
                 if reply.get("waited"):
                     any_waited = True
             if clean and not any_waited:
@@ -237,6 +248,14 @@ class LiveCluster:
         for name in list(self.servers):
             client = await self._probe(name)
             out[name] = await client.stats()
+        return out
+
+    async def site_metrics(self) -> Dict[str, Dict[str, object]]:
+        """Scrape every running replica's metrics registry."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name in list(self.servers):
+            client = await self._probe(name)
+            out[name] = await client.metrics()
         return out
 
     async def site_values(self) -> Dict[str, Dict[str, object]]:

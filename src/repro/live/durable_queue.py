@@ -27,9 +27,23 @@ batch of records into a *single* write + flush + (at most one) fsync,
 so the per-record durability cost of the propagation hot path is paid
 once per batch instead of once per MSet.  ``fsync_interval`` further
 rate-limits fsyncs on high-throughput channels: ``0`` (the default)
-syncs every (group) append; ``> 0`` syncs at most once per interval,
-trading a bounded window of durability for throughput — documented,
+syncs every (group) append; ``> 0`` syncs at most once per interval —
 opt-in, and irrelevant unless ``fsync=True``.
+
+The rate limit never weakens a *durability claim*: before anything
+recorded inside the fsync window is acknowledged upstream (a channel
+ack to the sending peer, a commit ack to a client) the caller must
+invoke :meth:`~_DurableLog.sync`, which forces a covering fsync if —
+and only if — unsynced records exist (``dirty``).  Without that, a
+receiver could ack a batch, the sender would truncate its outbox, and
+a crash of the receiver inside the window would lose the batch from
+both ends: an acknowledged update gone.  ``sync`` is a no-op when
+``fsync=False`` (explicitly non-durable mode) or when nothing is
+dirty, so the hot path with ``fsync_interval=0`` pays nothing extra.
+
+Observability: every log tracks ``fsync_count``, ``fsync_seconds``
+(cumulative fsync latency) and ``bytes_written``; the server mirrors
+them into the metrics registry at scrape time.
 
 The application-visible contract is exactly-once FIFO per channel:
 at-least-once retries on the sender plus frontier dedup on the
@@ -89,6 +103,13 @@ class _DurableLog:
         self.fsync = fsync
         self.fsync_interval = fsync_interval
         self._last_fsync = 0.0
+        #: True while flushed-but-not-fsynced records exist (only
+        #: meaningful with ``fsync=True`` and ``fsync_interval > 0``).
+        self.dirty = False
+        #: observability counters, mirrored by the server's registry.
+        self.fsync_count = 0
+        self.fsync_seconds = 0.0
+        self.bytes_written = 0
         self._log = None  # opened by subclasses after recovery scan
 
     def _open_log(self) -> None:
@@ -99,13 +120,15 @@ class _DurableLog:
         whole batch."""
         if not records:
             return
-        self._log.write(
-            "".join(
-                json.dumps(record, separators=(",", ":")) + "\n"
-                for record in records
-            )
+        data = "".join(
+            json.dumps(record, separators=(",", ":")) + "\n"
+            for record in records
         )
+        self._log.write(data)
         self._log.flush()
+        self.bytes_written += len(data)
+        if self.fsync:
+            self.dirty = True
         self._maybe_fsync()
 
     def _maybe_fsync(self) -> None:
@@ -117,14 +140,36 @@ class _DurableLog:
             and now - self._last_fsync < self.fsync_interval
         ):
             return  # rate-limited: the next append inside the window rides free
+        self._do_fsync()
+
+    def _do_fsync(self) -> None:
+        started = time.monotonic()
         os.fsync(self._log.fileno())
+        now = time.monotonic()
+        self.fsync_count += 1
+        self.fsync_seconds += now - started
         self._last_fsync = now
+        self.dirty = False
+
+    def sync(self) -> bool:
+        """Force a covering fsync of any unsynced records.
+
+        Must be called before a durability claim is made about records
+        written inside the ``fsync_interval`` window — before a channel
+        ack is sent upstream, and before a client commit ack.  Returns
+        True when an fsync actually ran (False: nothing was dirty, or
+        the log is non-durable by configuration).
+        """
+        if not self.fsync or not self.dirty:
+            return False
+        self._do_fsync()
+        return True
 
     def close(self) -> None:
         if self._log is not None and not self._log.closed:
             self._log.flush()
             if self.fsync:
-                os.fsync(self._log.fileno())
+                self._do_fsync()
             self._log.close()
 
 

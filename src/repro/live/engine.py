@@ -26,6 +26,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.operations import Operation
 from ..core.transactions import EpsilonSpec, UNLIMITED, make_et
+from ..obs.registry import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Registry,
+)
+from ..obs.trace import TraceRecorder
 from ..replica.base import LockCounterSiteState, OrderedApplyBuffer
 from ..replica.commu import CommutativeOperations, NonCommutativeError
 from ..replica.mset import MSet, MSetKind
@@ -129,6 +136,76 @@ class LiveEngine:
         #: instant of the last applied MSet (None before the first) —
         #: exposed as apply staleness for failure-detection dashboards.
         self.last_applied_at: Optional[float] = None
+        self.bind_observability(NULL_REGISTRY, TraceRecorder(enabled=False))
+
+    def bind_observability(
+        self, registry: Registry, trace: TraceRecorder
+    ) -> None:
+        """Attach this engine to a metrics registry and trace recorder.
+
+        Called by the hosting server once per engine; engines default
+        to no-op instruments so standalone use needs no wiring.
+        """
+        self.registry = registry
+        self.trace = trace
+        self._applied_counter = registry.counter(
+            "applied_msets_total", "MSets applied by the engine"
+        )
+        self._apply_hist = registry.histogram(
+            "apply_batch_seconds",
+            "engine-lock time spent applying one delivered batch",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._queries_counter = registry.counter(
+            "queries_total",
+            "query ETs answered",
+            labels=("method",),
+        )
+        self._epsilon_last = registry.gauge(
+            "epsilon_last",
+            "inconsistency observed by the most recent query",
+            labels=("method",),
+        )
+        self._epsilon_max = registry.gauge(
+            "epsilon_max",
+            "largest inconsistency any query has observed",
+            labels=("method",),
+        )
+        self._epsilon_violations = registry.counter(
+            "epsilon_violations_total",
+            "queries whose observed inconsistency exceeded their limit",
+            labels=("method",),
+        )
+        self._inconsistency_hist = registry.histogram(
+            "query_inconsistency",
+            "distribution of per-query inconsistency counters",
+            labels=("method",),
+            buckets=DEFAULT_COUNT_BUCKETS,
+        )
+
+    def note_query_outcome(
+        self, outcome: "QueryOutcome", spec: EpsilonSpec
+    ) -> None:
+        """Publish one query's error accounting (epsilon gauges/trace)."""
+        method = self.method_name
+        self._queries_counter.labels(method=method).inc()
+        self._epsilon_last.labels(method=method).set(outcome.inconsistency)
+        self._epsilon_max.labels(method=method).set_max(
+            outcome.inconsistency
+        )
+        self._inconsistency_hist.labels(method=method).observe(
+            outcome.inconsistency
+        )
+        limit = spec.import_limit
+        if limit != UNLIMITED and outcome.inconsistency > limit:
+            self._epsilon_violations.labels(method=method).inc()
+        self.trace.event(
+            "query",
+            method=method,
+            inconsistency=outcome.inconsistency,
+            limit=(None if limit == UNLIMITED else limit),
+            waits=outcome.waits,
+        )
 
     # -- update path ---------------------------------------------------------
 
@@ -153,8 +230,11 @@ class LiveEngine:
         kinds through this same entry point.
         """
         async with self.cond:
+            started = self.clock()
             applied = self._accept_locked(mset, local)
+            self._apply_hist.observe(self.clock() - started)
             self.cond.notify_all()
+        self._applied_counter.inc(len(applied))
         return applied
 
     async def accept_batch(
@@ -170,9 +250,12 @@ class LiveEngine:
         """
         applied: List[MSet] = []
         async with self.cond:
+            started = self.clock()
             for mset in msets:
                 applied.extend(self._accept_locked(mset, local))
+            self._apply_hist.observe(self.clock() - started)
             self.cond.notify_all()
+        self._applied_counter.inc(len(applied))
         return applied
 
     def _accept_locked(self, mset: MSet, local: bool) -> List[MSet]:

@@ -50,11 +50,19 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import pathlib
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.operations import is_write
+from ..obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    NULL_REGISTRY,
+    Registry,
+)
+from ..obs.trace import TraceRecorder
 from ..replica.mset import MSet, MSetKind
 from .durable_queue import DurableInbox, DurableOutbox
 from .engine import LiveEngine, QueryTimeout, make_engine
@@ -74,6 +82,8 @@ from .protocol import (
 )
 
 __all__ = ["ReplicaServer", "Unavailable", "LOCAL_CHANNEL"]
+
+logger = logging.getLogger(__name__)
 
 #: inbox channel name for the site's own updates.
 LOCAL_CHANNEL = "_local"
@@ -112,6 +122,9 @@ class ReplicaServer:
         window: int = 4,
         fsync_interval: float = 0.0,
         faults: Optional[FaultPlan] = None,
+        observability: bool = True,
+        registry: Optional[Registry] = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         self.name = name
         self.peer_names = tuple(sorted(p for p in peers if p != name))
@@ -133,7 +146,26 @@ class ReplicaServer:
         self.suspect_after = suspect_after
         self.ack_timeout = ack_timeout
         self.faults = faults
+        #: one metrics registry + trace recorder per replica.  The
+        #: registry takes the live runtime's single lock; ``site`` is
+        #: stamped on every sample so scrapes across a cluster merge
+        #: cleanly.  ``observability=False`` swaps in no-op instruments
+        #: (the benchmark's metrics-off baseline).
+        if registry is not None:
+            self.registry = registry
+        elif observability:
+            self.registry = Registry(
+                threadsafe=True, const_labels={"site": name}
+            )
+        else:
+            self.registry = NULL_REGISTRY
+        if trace is not None:
+            self.trace = trace
+        else:
+            self.trace = TraceRecorder(site=name, enabled=observability)
         self.engine: LiveEngine = make_engine(method, name, self.peer_names)
+        self.engine.bind_observability(self.registry, self.trace)
+        self._init_instruments()
         #: the site hosting the central order server (ORDUP).
         self.order_site = sorted((name,) + self.peer_names)[0]
         self.peer_addrs: Dict[str, Tuple[str, int]] = {}
@@ -173,6 +205,86 @@ class ReplicaServer:
         self._order_lock = asyncio.Lock()
         self._order_counter = 0
         self._order_path = self.data_dir / "order.json"
+        self._monitor_task: Optional[asyncio.Task] = None
+        #: last degraded() value the monitor observed (gauge flips).
+        self._last_degraded = False
+
+    def _init_instruments(self) -> None:
+        """Register this replica's metric families (see OBSERVABILITY.md)."""
+        reg = self.registry
+        self.m_channel_backlog = reg.gauge(
+            "channel_backlog",
+            "unacknowledged MSets queued on one outbound peer channel",
+            labels=("peer",),
+        )
+        self.m_peer_staleness = reg.gauge(
+            "peer_staleness_seconds",
+            "seconds since the last evidence a peer is alive",
+            labels=("peer",),
+        )
+        self.m_peer_alive = reg.gauge(
+            "peer_alive",
+            "1 while the peer passes the heartbeat deadline, else 0",
+            labels=("peer",),
+        )
+        self.m_acked_msets = reg.counter(
+            "channel_acked_msets_total",
+            "MSets cumulatively acknowledged by one peer since boot",
+            labels=("peer",),
+        )
+        self.m_ack_latency = reg.histogram(
+            "ack_latency_seconds",
+            "batch send-to-cumulative-ack latency per peer channel",
+            labels=("peer",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.m_batch_msets = reg.histogram(
+            "batch_msets",
+            "MSets coalesced into each outbound propagation frame",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self.m_channel_errors = reg.counter(
+            "channel_errors_total",
+            "peer channel sessions ended by a transport/protocol error",
+            labels=("peer",),
+        )
+        self.m_frames_dropped = reg.counter(
+            "frames_dropped_total",
+            "inbound frames dropped instead of processed",
+            labels=("reason",),
+        )
+        self.m_degraded = reg.gauge(
+            "degraded",
+            "1 while any peer is suspected (degraded mode), else 0",
+        )
+        self.m_degraded_transitions = reg.counter(
+            "degraded_transitions_total",
+            "times this replica entered or left degraded mode",
+        )
+        self.m_unacked = reg.gauge(
+            "unacked_updates",
+            "local updates whose peer acknowledgements are outstanding",
+        )
+        self.m_log_fsync = reg.counter(
+            "log_fsync_total",
+            "fsyncs performed on one durable channel log",
+            labels=("log",),
+        )
+        self.m_log_fsync_seconds = reg.counter(
+            "log_fsync_seconds_total",
+            "cumulative fsync latency on one durable channel log",
+            labels=("log",),
+        )
+        self.m_log_bytes = reg.counter(
+            "log_bytes_total",
+            "bytes appended to one durable channel log",
+            labels=("log",),
+        )
+        self.m_requests = reg.counter(
+            "requests_total",
+            "client requests served, by verb and outcome",
+            labels=("verb", "outcome"),
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -264,8 +376,12 @@ class ReplicaServer:
             self.peer_last_seen.setdefault(peer, now)
             self._outbox_events[peer] = asyncio.Event()
             self._outbox_events[peer].set()
-            self._channel_tasks.append(
-                asyncio.ensure_future(self._channel_loop(peer))
+            task = asyncio.ensure_future(self._channel_loop(peer))
+            task.add_done_callback(self._note_task_crash)
+            self._channel_tasks.append(task)
+        if self._monitor_task is None:
+            self._monitor_task = asyncio.ensure_future(
+                self._degraded_monitor()
             )
 
     async def stop(self) -> None:
@@ -276,16 +392,31 @@ class ReplicaServer:
             self._server.close()
             try:
                 await self._server.wait_closed()
-            except Exception:
-                pass
+            except (OSError, ConnectionError) as exc:
+                logger.debug(
+                    "%s: listener close raised %r", self.name, exc
+                )
             self._server = None
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            self._channel_tasks.append(self._monitor_task)
+            self._monitor_task = None
         for task in self._channel_tasks + list(self._conn_tasks):
             task.cancel()
         for task in self._channel_tasks + list(self._conn_tasks):
             try:
                 await task
-            except (asyncio.CancelledError, Exception):
+            except asyncio.CancelledError:
                 pass
+            except Exception as exc:
+                # A task that died with a real error before the cancel
+                # landed: teardown proceeds, but the error is counted
+                # and logged instead of silently eaten.
+                self.m_frames_dropped.labels(reason="stop_error").inc()
+                logger.debug(
+                    "%s: task %r raised during stop: %r",
+                    self.name, task, exc,
+                )
         self._channel_tasks = []
         self._conn_tasks.clear()
         if self._order_conn is not None:
@@ -300,6 +431,18 @@ class ReplicaServer:
                 fut.cancel()
         self._apply_futures.clear()
         self._full_ack_futures.clear()
+
+    def _note_task_crash(self, task: asyncio.Task) -> None:
+        """A long-lived task died of an *unexpected* error: make it
+        loud (counted + warned) instead of silently unretrieved."""
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            self.m_frames_dropped.labels(reason="task_crash").inc()
+            logger.warning(
+                "%s: background task crashed: %r", self.name, exc
+            )
 
     # -- peer health ---------------------------------------------------------
 
@@ -325,6 +468,32 @@ class ReplicaServer:
         """True when any peer is suspected: full agreement is off the
         table, only epsilon-bounded service remains."""
         return bool(self.suspected_peers())
+
+    async def _degraded_monitor(self) -> None:
+        """Watch the degraded predicate and publish its transitions as
+        gauge flips plus trace events — an operator watching the
+        ``degraded`` gauge sees exactly when partial service began and
+        ended, not just the current instant."""
+        while self._running:
+            self._check_degraded_transition()
+            await asyncio.sleep(self.heartbeat_interval / 2)
+
+    def _check_degraded_transition(self) -> None:
+        now_degraded = self.degraded()
+        if now_degraded != self._last_degraded:
+            self._last_degraded = now_degraded
+            self.m_degraded.set(1 if now_degraded else 0)
+            self.m_degraded_transitions.inc()
+            self.trace.event(
+                "degraded",
+                value=1 if now_degraded else 0,
+                suspected=list(self.suspected_peers()),
+            )
+            logger.debug(
+                "%s: degraded -> %s (suspected: %s)",
+                self.name, now_degraded,
+                ",".join(self.suspected_peers()) or "-",
+            )
 
     # -- channel sender loops ------------------------------------------------
 
@@ -360,9 +529,14 @@ class ReplicaServer:
                 ConnectionError,
                 asyncio.TimeoutError,
                 ProtocolError,
-            ):
+            ) as exc:
                 self.channel_failures[peer] = (
                     self.channel_failures.get(peer, 0) + 1
+                )
+                self.m_channel_errors.labels(peer=peer).inc()
+                logger.debug(
+                    "%s: channel to %s failed (%s), retrying in %.3fs",
+                    self.name, peer, exc, backoff,
                 )
                 await asyncio.sleep(backoff)
                 backoff = min(backoff * 2, self.retry_max)
@@ -404,8 +578,21 @@ class ReplicaServer:
             for task in (sender, ack_reader):
                 try:
                     await task
-                except (asyncio.CancelledError, Exception):
+                except asyncio.CancelledError:
                     pass
+                except (
+                    OSError,
+                    ConnectionError,
+                    asyncio.TimeoutError,
+                    ProtocolError,
+                ) as exc:
+                    # The losing half died of the same connection —
+                    # expected; the winner's error (below) is the one
+                    # that drives the retry.
+                    logger.debug(
+                        "%s: channel %s teardown raised %r",
+                        self.name, peer, exc,
+                    )
         for task in done:
             exc = task.exception()
             if exc is not None:
@@ -487,6 +674,7 @@ class ReplicaServer:
             last_seq = max(seq for seq, _ in batch)
             state["sent_hi"] = max(state["sent_hi"], last_seq)
             state["inflight"].append((last_seq, now, len(batch)))
+            self.m_batch_msets.observe(len(batch))
             if len(batch) == 1:
                 # Single-MSet batches ride the legacy frame so an
                 # older peer interoperates without knowing mset-batch.
@@ -589,6 +777,10 @@ class ReplicaServer:
             lats = self._ack_latencies[peer] = deque(maxlen=512)
         lats.append(latency)
         self.acked_msets[peer] = self.acked_msets.get(peer, 0) + n_msets
+        self.m_ack_latency.labels(peer=peer).observe(latency)
+        self.m_acked_msets.labels(peer=peer).set_to(
+            self.acked_msets[peer]
+        )
 
     async def _on_peer_ack(self, peer: str, seq: int) -> None:
         """A peer durably holds every channel message ``<= seq``
@@ -606,6 +798,7 @@ class ReplicaServer:
                 del self._unacked[tid]
                 keys = self._local_keys.pop(tid, ())
                 await self.engine.fully_acked(tid, keys)
+                self.trace.event("update-ack", tid=tid)
                 fut = self._full_ack_futures.pop(tid, None)
                 if fut is not None and not fut.done():
                     fut.set_result(True)
@@ -682,7 +875,13 @@ class ReplicaServer:
         src = frame.get("src", "")
         inbox = self.inboxes.get(src)
         if inbox is None:
-            return  # unknown peer: drop silently
+            # Unknown peer: the drop is counted and logged, not silent.
+            self.m_frames_dropped.labels(reason="unknown_peer").inc()
+            logger.debug(
+                "%s: dropped mset frame from unknown peer %r",
+                self.name, src,
+            )
+            return
         self._note_peer_alive(src)
         entries = decode_batch_frame(frame)
         fresh: List[Tuple[int, Any]] = []
@@ -700,6 +899,12 @@ class ReplicaServer:
             applied = await self.engine.accept_batch(msets, local=False)
             self._resolve_applied(applied)
             await self._notify_drain()
+        # The cumulative ack is a durability claim over everything
+        # <= frontier: the sender will truncate its outbox on receipt.
+        # Records written inside the fsync_interval window must be
+        # fsynced before that claim leaves this process, or a crash
+        # here would lose them from both ends of the channel.
+        inbox.sync()
         await send({"type": "ack", "seq": inbox.frontier})
 
     def _resolve_applied(self, applied: List[MSet]) -> None:
@@ -741,14 +946,17 @@ class ReplicaServer:
                 "settle": self._handle_settle,
                 "order": self._handle_order,
                 "ping": self._handle_ping,
+                "metrics": self._handle_metrics,
             }.get(verb)
             if handler is None:
                 raise ValueError("unknown verb %r" % verb)
             body = await handler(frame)
+            self.m_requests.labels(verb=str(verb), outcome="ok").inc()
             await send({"type": "response", "id": rid, "ok": True, **body})
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # surfaced to the client, not fatal
+            self.m_requests.labels(verb=str(verb), outcome="error").inc()
             try:
                 await send(
                     {
@@ -765,6 +973,56 @@ class ReplicaServer:
 
     async def _handle_ping(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         return {"site": self.name, "method": self.engine.method_name}
+
+    def _refresh_gauges(self) -> None:
+        """Bring sampled (pull-model) series up to date for a scrape:
+        backlog/staleness/liveness per peer, degraded state, unacked
+        updates, and the durable logs' fsync/byte counters."""
+        now = self.engine.clock()
+        for peer in self.peer_names:
+            outbox = self.outboxes.get(peer)
+            if outbox is not None:
+                self.m_channel_backlog.labels(peer=peer).set(
+                    outbox.backlog
+                )
+            seen = self.peer_last_seen.get(peer)
+            if seen is not None:
+                self.m_peer_staleness.labels(peer=peer).set(now - seen)
+            self.m_peer_alive.labels(peer=peer).set(
+                1 if self.peer_alive(peer) else 0
+            )
+        self._check_degraded_transition()
+        self.m_degraded.set(1 if self.degraded() else 0)
+        self.m_unacked.set(len(self._unacked))
+        logs = [
+            ("outbox/%s" % peer, box)
+            for peer, box in self.outboxes.items()
+        ] + [
+            ("inbox/%s" % src, box)
+            for src, box in self.inboxes.items()
+        ]
+        for label, box in logs:
+            self.m_log_fsync.labels(log=label).set_to(box.fsync_count)
+            self.m_log_fsync_seconds.labels(log=label).set_to(
+                box.fsync_seconds
+            )
+            self.m_log_bytes.labels(log=label).set_to(box.bytes_written)
+
+    async def _handle_metrics(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Expose the registry: Prometheus text plus a JSON mirror.
+
+        One verb serves both formats so a scrape is a single request;
+        sampled gauges are refreshed first, so every scrape is a
+        consistent point-in-time snapshot.
+        """
+        self._refresh_gauges()
+        return {
+            "site": self.name,
+            "prometheus": self.registry.render_prometheus(),
+            "metrics": self.registry.to_dict(),
+            "trace_recorded": self.trace.recorded,
+            "trace_dropped": self.trace.dropped,
+        }
 
     async def _handle_values(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         return {"values": self.engine.snapshot()}
@@ -841,6 +1099,7 @@ class ReplicaServer:
                     )
                 except asyncio.TimeoutError:
                     pass
+        self.trace.event("drain", waited=waited)
         return {
             "drained": True,
             "waited": waited,
@@ -930,10 +1189,15 @@ class ReplicaServer:
             info=info,
         )
         payload = {"mset": encode_mset(mset)}
+        self.trace.event(
+            "update-submit", tid=tid, keys=list(mset.keys)
+        )
 
         # Durability before acknowledgement: the local log first, then
         # every outbound channel log.  Only then is the update "in the
-        # stable queues" in the paper's sense.
+        # stable queues" in the paper's sense.  ``sync()`` closes the
+        # ``fsync_interval`` window — nothing below may be reported
+        # committed while its log record is still unsynced.
         self.inboxes[LOCAL_CHANNEL].record(tid_seq, payload)
         self._local_keys[tid] = mset.keys
         if self.peer_names:
@@ -941,6 +1205,9 @@ class ReplicaServer:
             for peer in self.peer_names:
                 seq = self.outboxes[peer].append(payload)
                 self._seq_tid[(peer, seq)] = tid
+        self.inboxes[LOCAL_CHANNEL].sync()
+        for peer in self.peer_names:
+            self.outboxes[peer].sync()
 
         loop = asyncio.get_event_loop()
         if self.engine.needs_order:
@@ -950,6 +1217,9 @@ class ReplicaServer:
 
         applied = await self.engine.accept(mset, local=True)
         self._resolve_applied(applied)
+        self.trace.event(
+            "update-apply", tid=tid, held=(mset not in applied)
+        )
         self._kick_channels()
 
         if not self.peer_names:
@@ -984,6 +1254,7 @@ class ReplicaServer:
                 )
             except QueryTimeout as exc:
                 raise QueryTimeout(str(exc)) from None
+        self.engine.note_query_outcome(outcome, spec)
         return {
             "values": outcome.values,
             "inconsistency": outcome.inconsistency,

@@ -12,11 +12,30 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.transactions import ETResult, ETStatus
 
-__all__ = ["RunMetrics", "summarize", "percentile", "divergence_of"]
+if TYPE_CHECKING:  # annotation only; obs stays an optional collaborator
+    from ..obs.registry import Registry
+
+__all__ = [
+    "RunMetrics",
+    "summarize",
+    "publish_run_metrics",
+    "percentile",
+    "divergence_of",
+]
 
 
 def percentile(values: Sequence[float], p: float) -> float:
@@ -56,8 +75,11 @@ class RunMetrics:
     #: query inconsistency counters.
     inconsistency_mean: float = 0.0
     inconsistency_max: int = 0
-    #: fraction of queries whose counter respected their epsilon spec.
-    within_bound_fraction: float = 1.0
+    #: fraction of queries whose counter respected their epsilon spec;
+    #: ``None`` when the run served no queries — a run that answered
+    #: nothing has no bound-compliance to report, and claiming a
+    #: perfect 1.0 would hide broken (query-free) runs in a sweep.
+    within_bound_fraction: Optional[float] = None
     #: total divergence-control stalls across queries.
     waits: int = 0
 
@@ -73,13 +95,27 @@ class RunMetrics:
             "qry_p95": round(self.query_latency_p95, 3),
             "incons_mean": round(self.inconsistency_mean, 3),
             "incons_max": self.inconsistency_max,
-            "in_bound": round(self.within_bound_fraction, 3),
+            "in_bound": (
+                None
+                if self.within_bound_fraction is None
+                else round(self.within_bound_fraction, 3)
+            ),
             "waits": self.waits,
         }
 
 
-def summarize(results: Iterable[ETResult], duration: float) -> RunMetrics:
-    """Aggregate a run's ET results into :class:`RunMetrics`."""
+def summarize(
+    results: Iterable[ETResult],
+    duration: float,
+    registry: Optional["Registry"] = None,
+) -> RunMetrics:
+    """Aggregate a run's ET results into :class:`RunMetrics`.
+
+    With ``registry`` (a :class:`repro.obs.Registry`), the same
+    aggregates are also published as metric samples, so simulator runs
+    and the live runtime report through one source of truth (and one
+    exposition format).
+    """
     metrics = RunMetrics(duration=duration)
     update_latencies: List[float] = []
     query_latencies: List[float] = []
@@ -122,7 +158,47 @@ def summarize(results: Iterable[ETResult], duration: float) -> RunMetrics:
         metrics.inconsistency_max = max(inconsistencies)
     if queries:
         metrics.within_bound_fraction = bounded / queries
+    if registry is not None:
+        publish_run_metrics(metrics, registry)
     return metrics
+
+
+def publish_run_metrics(metrics: RunMetrics, registry: "Registry") -> None:
+    """Mirror a :class:`RunMetrics` summary into an obs registry.
+
+    Counters use ``set_to`` (the summary is itself cumulative for the
+    run), so repeated summarize calls over a growing result list stay
+    monotonic.
+    """
+    ets = registry.counter(
+        "sim_ets_total", "ETs completed in the run", labels=("status",)
+    )
+    ets.labels(status="committed").set_to(metrics.committed)
+    ets.labels(status="aborted").set_to(metrics.aborted)
+    ets.labels(status="compensated").set_to(metrics.compensated)
+    registry.gauge(
+        "sim_throughput", "committed ETs per simulated second"
+    ).set(metrics.throughput)
+    registry.gauge(
+        "sim_update_latency_mean", "mean update ET latency"
+    ).set(metrics.update_latency_mean)
+    registry.gauge(
+        "sim_query_latency_mean", "mean query ET latency"
+    ).set(metrics.query_latency_mean)
+    registry.gauge(
+        "epsilon_mean", "mean per-query inconsistency for the run"
+    ).set(metrics.inconsistency_mean)
+    registry.gauge(
+        "epsilon_run_max", "largest per-query inconsistency in the run"
+    ).set_max(metrics.inconsistency_max)
+    registry.counter(
+        "sim_waits_total", "divergence-control stalls across queries"
+    ).set_to(metrics.waits)
+    if metrics.within_bound_fraction is not None:
+        registry.gauge(
+            "sim_within_bound_fraction",
+            "fraction of queries that respected their epsilon spec",
+        ).set(metrics.within_bound_fraction)
 
 
 def divergence_of(site_values: Mapping[str, Mapping[str, Any]]) -> float:

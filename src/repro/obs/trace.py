@@ -1,0 +1,149 @@
+"""Structured lifecycle tracing: span events with monotonic timestamps.
+
+One :class:`TraceRecorder` accumulates flat event dicts describing the
+life of ETs and MSets as they move through a runtime —
+``submit -> apply -> ack -> drain`` for updates, one event per query
+outcome, plus state transitions (``degraded`` gauge flips).  Events
+are cheap (one dict append into a bounded deque) and schema-free
+except for three reserved keys:
+
+* ``ts`` — monotonic timestamp (``time.monotonic`` by default), so
+  durations within one recorder are exact even when the wall clock
+  steps;
+* ``kind`` — the event type (``update-submit``, ``update-apply``,
+  ``update-ack``, ``drain``, ``query``, ``degraded``, ...);
+* ``site`` — the recording site, stamped automatically when the
+  recorder was built with one.
+
+Export is JSONL (one JSON object per line), the format every log
+pipeline ingests; :func:`load_trace_jsonl` round-trips it.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Union
+
+__all__ = ["TraceRecorder", "load_trace_jsonl"]
+
+#: canonical update lifecycle span kinds, in order.
+UPDATE_SPAN_KINDS = (
+    "update-submit",
+    "update-apply",
+    "update-ack",
+    "drain",
+)
+
+
+class TraceRecorder:
+    """Bounded in-memory recorder of lifecycle span events."""
+
+    def __init__(
+        self,
+        site: Optional[str] = None,
+        clock: Callable[[], float] = time.monotonic,
+        maxlen: Optional[int] = 16384,
+        enabled: bool = True,
+    ) -> None:
+        self.site = site
+        self.clock = clock
+        self.enabled = enabled
+        self.events: Deque[Dict[str, Any]] = deque(maxlen=maxlen)
+        #: total events ever recorded (survives deque eviction).
+        self.recorded = 0
+        #: events lost to the maxlen bound.
+        self.dropped = 0
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """Record one span event; a no-op when disabled."""
+        if not self.enabled:
+            return
+        record: Dict[str, Any] = {"ts": self.clock(), "kind": kind}
+        if self.site is not None:
+            record["site"] = self.site
+        record.update(fields)
+        if (
+            self.events.maxlen is not None
+            and len(self.events) == self.events.maxlen
+        ):
+            self.dropped += 1
+        self.events.append(record)
+        self.recorded += 1
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """A stable copy of the current event buffer."""
+        return list(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    # -- export --------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Serialize the buffered events as JSONL."""
+        buf = io.StringIO()
+        for record in self.events:
+            buf.write(json.dumps(record, separators=(",", ":"),
+                                 sort_keys=True))
+            buf.write("\n")
+        return buf.getvalue()
+
+    def dump_jsonl(self, path: Union[str, pathlib.Path]) -> int:
+        """Write the buffered events to ``path``; returns the count."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl(), encoding="utf-8")
+        return len(self.events)
+
+
+def merge_traces(
+    recorders: Iterable[TraceRecorder],
+) -> List[Dict[str, Any]]:
+    """All events of several recorders, globally ordered by timestamp.
+
+    Recorders sharing one process share ``time.monotonic``, so the
+    merged order is the real interleaving.
+    """
+    merged: List[Dict[str, Any]] = []
+    for recorder in recorders:
+        merged.extend(recorder.events)
+    merged.sort(key=lambda record: record.get("ts", 0.0))
+    return merged
+
+
+def dump_events_jsonl(
+    events: Iterable[Dict[str, Any]], path: Union[str, pathlib.Path]
+) -> int:
+    """Write pre-merged events to ``path`` as JSONL."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in events:
+            handle.write(
+                json.dumps(record, separators=(",", ":"), sort_keys=True)
+            )
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_trace_jsonl(
+    path: Union[str, pathlib.Path]
+) -> List[Dict[str, Any]]:
+    """Round-trip a JSONL trace file back into event dicts."""
+    out: List[Dict[str, Any]] = []
+    with pathlib.Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            out.append(json.loads(line))
+    return out

@@ -10,8 +10,9 @@ class TestFormatCell:
     def test_fractional_float_three_places(self):
         assert format_cell(3.14159) == "3.142"
 
-    def test_none_is_empty(self):
-        assert format_cell(None) == ""
+    def test_none_renders_as_dash(self):
+        # "not measured", distinguishable from an empty cell.
+        assert format_cell(None) == "-"
 
     def test_strings_pass_through(self):
         assert format_cell("OK") == "OK"

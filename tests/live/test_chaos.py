@@ -66,6 +66,43 @@ class TestChaosInvariants:
         assert report.partition_bounded_ok is True
         assert report.converged
 
+    def test_chaos_persists_observability_artifacts(self, tmp_path):
+        """With ``artifacts_dir`` the run leaves per-site Prometheus
+        text, combined metrics JSON, and the merged lifecycle trace on
+        disk, and the trace-derived checks populate the report: the
+        partition shows up as degraded gauge flips and bounded queries
+        never recorded inconsistency above their limit."""
+        import json
+
+        from repro.obs.trace import load_trace_jsonl
+
+        artifacts = tmp_path / "artifacts"
+        report = run(
+            run_chaos(
+                SMOKE_CONFIG,
+                data_dir=tmp_path / "data",
+                artifacts_dir=artifacts,
+            )
+        )
+        assert report.violations() == [], report.render()
+        assert report.degraded_flips >= 1
+        assert report.trace_epsilon_breaches == []
+
+        for site in ("site0", "site1", "site2"):
+            prom = (artifacts / ("%s.prom" % site)).read_text()
+            assert "# TYPE repro_applied_msets_total counter" in prom
+            assert 'site="%s"' % site in prom
+        combined = json.loads((artifacts / "metrics.json").read_text())
+        assert set(combined) == {"site0", "site1", "site2"}
+        assert "repro_epsilon_last" in combined["site0"]
+        events = load_trace_jsonl(artifacts / "trace.jsonl")
+        kinds = {e["kind"] for e in events}
+        assert {"update-submit", "update-apply", "update-ack"} <= kinds
+        assert "degraded" in kinds
+        # Merged trace is in global timestamp order.
+        stamps = [e["ts"] for e in events]
+        assert stamps == sorted(stamps)
+
     def test_same_seed_same_fault_pressure(self):
         """The deterministic part of the harness: two plans with one
         seed issue identical per-link fate streams."""

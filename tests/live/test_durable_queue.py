@@ -348,3 +348,69 @@ class TestChannelContract:
         assert outbox.drained()
         outbox.close()
         inbox.close()
+
+
+class TestFsyncWindow:
+    """The fsync_interval rate limit must never weaken a durability
+    claim: ``sync()`` closes the window before any acknowledgement."""
+
+    def test_appends_inside_window_leave_log_dirty(self, tmp_path):
+        outbox = DurableOutbox(
+            tmp_path / "out.log", fsync=True, fsync_interval=3600.0
+        )
+        outbox.append("a")  # may ride the initial fsync or not;
+        outbox.append("b")  # a second append inside the window cannot.
+        assert outbox.dirty
+        assert outbox.sync() is True
+        assert not outbox.dirty
+        # Nothing new since the forced fsync: sync is now a no-op.
+        assert outbox.sync() is False
+        outbox.close()
+
+    def test_sync_actually_calls_os_fsync(self, tmp_path, monkeypatch):
+        import repro.live.durable_queue as dq
+
+        calls = []
+        real_fsync = dq.os.fsync
+        monkeypatch.setattr(
+            dq.os, "fsync", lambda fd: (calls.append(fd), real_fsync(fd))
+        )
+        inbox = DurableInbox(
+            tmp_path / "in.log", fsync=True, fsync_interval=3600.0
+        )
+        baseline = len(calls)
+        inbox.record(1, "a")
+        inbox.record(2, "b")
+        n_before = len(calls)
+        assert inbox.sync() is True
+        assert len(calls) == n_before + 1
+        assert inbox.fsync_count >= baseline + 1
+        inbox.close()
+
+    def test_sync_noop_without_fsync(self, tmp_path):
+        outbox = DurableOutbox(tmp_path / "out.log", fsync=False)
+        outbox.append("a")
+        assert outbox.sync() is False
+        assert not outbox.dirty
+        assert outbox.fsync_count == 0
+        outbox.close()
+
+    def test_observability_counters_accumulate(self, tmp_path):
+        outbox = DurableOutbox(tmp_path / "out.log", fsync=True)
+        outbox.append({"k": 1})
+        outbox.append_many([{"k": 2}, {"k": 3}])
+        assert outbox.fsync_count >= 2  # one per group append
+        assert outbox.fsync_seconds >= 0.0
+        assert outbox.bytes_written > 0
+        outbox.close()
+
+    def test_close_syncs_dirty_tail(self, tmp_path):
+        path = tmp_path / "out.log"
+        outbox = DurableOutbox(path, fsync=True, fsync_interval=3600.0)
+        outbox.append("a")
+        outbox.append("b")
+        before = outbox.fsync_count
+        dirty = outbox.dirty
+        outbox.close()
+        assert not dirty or outbox.fsync_count > before
+        assert not outbox.dirty

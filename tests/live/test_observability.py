@@ -1,0 +1,295 @@
+"""Observability layer over the live runtime, plus regression tests
+for the latent-bug sweep (silent error handlers, settle error
+attribution, fsync-window durability claims).
+"""
+
+import asyncio
+import re
+
+import pytest
+
+from repro.core.transactions import EpsilonSpec
+from repro.live import LiveCluster
+from repro.live.protocol import read_frame, write_frame
+from repro.live.server import LOCAL_CHANNEL
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _booted(tmp_path, **kwargs):
+    cluster = LiveCluster(
+        n_sites=kwargs.pop("n_sites", 2), data_dir=tmp_path, **kwargs
+    )
+    await cluster.start()
+    return cluster
+
+
+class TestMetricsVerb:
+    def test_scrape_exposes_key_series(self, tmp_path):
+        """The acceptance smoke: after traffic, the metrics verb
+        serves well-formed Prometheus text containing the epsilon
+        gauge and the ack-latency histogram."""
+
+        async def scenario():
+            cluster = await _booted(tmp_path)
+            try:
+                client = await cluster.client("site0")
+                for i in range(8):
+                    await client.increment("x", 1)
+                await client.query(["x"], EpsilonSpec(import_limit=5))
+                await cluster.settle(timeout=30)
+
+                scrape = await client.metrics()
+                text = scrape["prometheus"]
+                assert scrape["site"] == "site0"
+
+                # Key series: per-method epsilon gauge + ack latency.
+                assert re.search(
+                    r'repro_epsilon_last\{method="COMMU",site="site0"\} \d',
+                    text,
+                )
+                assert (
+                    'repro_ack_latency_seconds_bucket{peer="site1",'
+                    'site="site0",le="+Inf"}' in text
+                )
+                # Exposition well-formedness: every series typed, every
+                # histogram closed by +Inf, bucket counts monotone.
+                for family in (
+                    "repro_epsilon_last",
+                    "repro_ack_latency_seconds",
+                    "repro_applied_msets_total",
+                ):
+                    assert "# TYPE %s " % family in text
+                buckets = [
+                    int(m.group(1))
+                    for m in re.finditer(
+                        r'repro_ack_latency_seconds_bucket\{peer="site1",'
+                        r'site="site0",le="[^"]+"\} (\d+)',
+                        text,
+                    )
+                ]
+                assert buckets == sorted(buckets) and buckets[-1] >= 1
+
+                # The JSON mirror carries the same sample.
+                fam = scrape["metrics"]["repro_epsilon_last"]
+                assert fam["type"] == "gauge"
+                assert any(
+                    s["labels"].get("method") == "COMMU"
+                    for s in fam["samples"]
+                )
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_update_lifecycle_appears_in_trace(self, tmp_path):
+        async def scenario():
+            cluster = await _booted(tmp_path)
+            try:
+                client = await cluster.client("site0")
+                await client.increment("x", 1)
+                await cluster.settle(timeout=30)
+                kinds = {
+                    e["kind"]
+                    for e in cluster.servers["site0"].trace.snapshot()
+                }
+                assert {"update-submit", "update-apply"} <= kinds
+                assert "update-ack" in kinds  # peer ack arrived
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_observability_off_serves_empty_registry(self, tmp_path):
+        async def scenario():
+            cluster = await _booted(tmp_path, observability=False)
+            try:
+                client = await cluster.client("site0")
+                await client.increment("x", 1)
+                scrape = await client.metrics()
+                assert scrape["prometheus"] == ""
+                assert scrape["metrics"] == {}
+                assert cluster.servers["site0"].trace.recorded == 0
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+
+class TestSilentHandlerRegressions:
+    def test_unknown_peer_frame_is_counted_not_silent(self, tmp_path):
+        """Regression: frames from unknown peers were dropped with a
+        bare ``return`` — invisible.  Now the drop lands in the
+        ``frames_dropped_total{reason="unknown_peer"}`` counter."""
+
+        async def scenario():
+            cluster = await _booted(tmp_path)
+            try:
+                host, port = cluster.addrs["site0"]
+                reader, writer = await asyncio.open_connection(host, port)
+                await write_frame(
+                    writer, {"type": "peer-hello", "src": "stranger"}
+                )
+                await write_frame(
+                    writer,
+                    {"type": "mset", "src": "stranger", "seq": 1},
+                )
+                await asyncio.sleep(0.1)
+                writer.close()
+                server = cluster.servers["site0"]
+                assert (
+                    server.registry.get_sample(
+                        "frames_dropped_total", reason="unknown_peer"
+                    )
+                    == 1
+                )
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_degraded_transition_flips_gauge(self, tmp_path):
+        """Severing both links must flip the degraded gauge to 1 and
+        count a transition (visible to an operator, not just pollers
+        of the stats verb)."""
+        from repro.live.faults import FaultPlan
+
+        async def scenario():
+            plan = FaultPlan()
+            cluster = await _booted(
+                tmp_path,
+                faults=plan,
+                heartbeat_interval=0.05,
+                suspect_after=0.15,
+            )
+            try:
+                cluster.partition([["site0"], ["site1"]])
+                deadline = asyncio.get_event_loop().time() + 5.0
+                server = cluster.servers["site0"]
+                while asyncio.get_event_loop().time() < deadline:
+                    if server.degraded():
+                        break
+                    await asyncio.sleep(0.05)
+                assert server.degraded()
+                # Let the monitor tick observe the flip.
+                await asyncio.sleep(0.1)
+                reg = server.registry
+                assert reg.get_sample("degraded") == 1
+                assert (
+                    reg.get_sample("degraded_transitions_total") >= 1
+                )
+                kinds = [
+                    e
+                    for e in server.trace.snapshot()
+                    if e["kind"] == "degraded"
+                ]
+                assert kinds and kinds[-1]["value"] == 1
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+
+class TestSettleErrorAttribution:
+    def test_replica_failure_names_the_replica(self, tmp_path):
+        """Regression: a real replica error during the settle sweep
+        surfaced as a bare client exception with no site attribution
+        (and non-timeout errors were matched by string)."""
+
+        async def scenario():
+            cluster = await _booted(tmp_path)
+            try:
+
+                async def broken(frame):
+                    raise RuntimeError("lock table corrupt")
+
+                cluster.servers["site1"]._handle_settle = broken
+                with pytest.raises(RuntimeError) as excinfo:
+                    await cluster.settle(timeout=5)
+                message = str(excinfo.value)
+                assert "site1" in message
+                assert "lock table corrupt" in message
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_settle_timeout_names_the_stuck_replica(self, tmp_path):
+        async def scenario():
+            cluster = await _booted(tmp_path)
+            try:
+
+                async def stuck(frame):
+                    raise TimeoutError(
+                        "settle timed out after 0.1s: backlog {}"
+                    )
+
+                cluster.servers["site1"]._handle_settle = stuck
+                with pytest.raises(TimeoutError) as excinfo:
+                    await cluster.settle(timeout=5)
+                assert "site1" in str(excinfo.value)
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+
+class TestFsyncWindowDurabilityClaims:
+    def test_no_dirty_log_behind_any_ack(self, tmp_path):
+        """Regression for the fsync_interval crash window: with a huge
+        interval, records written inside the window used to be acked
+        (to clients and to peers) before any covering fsync.  Now every
+        ack path forces ``sync()`` first, so no log an acknowledgement
+        depends on may be dirty once the ack is out."""
+
+        async def scenario():
+            cluster = await _booted(
+                tmp_path, fsync=True, fsync_interval=3600.0
+            )
+            try:
+                client = await cluster.client("site0")
+                for i in range(5):
+                    await client.increment("x", 1)
+                    origin = cluster.servers["site0"]
+                    # Client ack implies the local log and every
+                    # outbound channel log are synced.
+                    assert not origin.inboxes[LOCAL_CHANNEL].dirty
+                    for outbox in origin.outboxes.values():
+                        assert not outbox.dirty
+                await cluster.settle(timeout=30)
+                receiver = cluster.servers["site1"]
+                # The channel ack advanced site0's frontier, so the
+                # receiving inbox must have been synced first.
+                assert not receiver.inboxes["site0"].dirty
+                assert (
+                    cluster.servers["site0"].outboxes["site1"].backlog
+                    == 0
+                )
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_fsync_metrics_exposed(self, tmp_path):
+        async def scenario():
+            cluster = await _booted(
+                tmp_path, fsync=True, fsync_interval=0.0
+            )
+            try:
+                client = await cluster.client("site0")
+                await client.increment("x", 1)
+                await cluster.settle(timeout=30)
+                scrape = await client.metrics()
+                text = scrape["prometheus"]
+                assert re.search(
+                    r'repro_log_fsync_total\{log="inbox/_local",'
+                    r'site="site0"\} [1-9]',
+                    text,
+                )
+                assert "repro_log_bytes_total" in text
+            finally:
+                await cluster.stop()
+
+        run(scenario())

@@ -109,7 +109,15 @@ class TestSummarize:
         m = summarize([], duration=0.0)
         assert m.total_ets == 0
         assert m.throughput == 0.0
-        assert m.within_bound_fraction == 1.0
+        # No queries -> no bound compliance to report.  A default of
+        # 1.0 here would inflate "in_bound" aggregates across sweeps
+        # that include query-free runs.
+        assert m.within_bound_fraction is None
+        assert m.as_row()["in_bound"] is None
+
+    def test_update_only_run_has_no_bound_fraction(self):
+        m = summarize([_update_result(1.0)], duration=2.0)
+        assert m.within_bound_fraction is None
 
     def test_as_row_is_flat(self):
         m = summarize([_update_result(1.0)], duration=2.0)

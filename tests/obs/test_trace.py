@@ -1,0 +1,88 @@
+"""Trace recorder tests: event stamping, bounds, JSONL round-trip."""
+
+import itertools
+
+from repro.obs.trace import (
+    TraceRecorder,
+    UPDATE_SPAN_KINDS,
+    dump_events_jsonl,
+    load_trace_jsonl,
+    merge_traces,
+)
+
+
+def _fake_clock(start=0.0, step=1.0):
+    counter = itertools.count()
+    return lambda: start + step * next(counter)
+
+
+class TestRecorder:
+    def test_events_are_stamped(self):
+        rec = TraceRecorder(site="site0", clock=_fake_clock())
+        rec.event("update-submit", tid="site0:1")
+        rec.event("update-apply", tid="site0:1")
+        first, second = rec.snapshot()
+        assert first == {
+            "ts": 0.0,
+            "kind": "update-submit",
+            "site": "site0",
+            "tid": "site0:1",
+        }
+        assert second["ts"] > first["ts"]
+
+    def test_disabled_recorder_is_free(self):
+        rec = TraceRecorder(enabled=False)
+        rec.event("query")
+        assert len(rec) == 0
+        assert rec.recorded == 0
+
+    def test_bounded_buffer_counts_drops(self):
+        rec = TraceRecorder(maxlen=2, clock=_fake_clock())
+        for i in range(5):
+            rec.event("drain", i=i)
+        assert len(rec) == 2
+        assert rec.recorded == 5
+        assert rec.dropped == 3
+        # Oldest events were evicted; the latest survive.
+        assert [e["i"] for e in rec.snapshot()] == [3, 4]
+
+    def test_span_kinds_cover_update_lifecycle(self):
+        assert UPDATE_SPAN_KINDS == (
+            "update-submit",
+            "update-apply",
+            "update-ack",
+            "drain",
+        )
+
+
+class TestJsonlRoundTrip:
+    def test_recorder_dump_and_load(self, tmp_path):
+        rec = TraceRecorder(site="s1", clock=_fake_clock())
+        rec.event("update-submit", tid="s1:1", keys=["x"])
+        rec.event("query", method="commu", inconsistency=2, limit=5)
+        path = tmp_path / "trace.jsonl"
+        assert rec.dump_jsonl(path) == 2
+        loaded = load_trace_jsonl(path)
+        assert loaded == rec.snapshot()
+
+    def test_merged_dump_round_trips_in_timestamp_order(self, tmp_path):
+        clock = _fake_clock()  # shared: interleaves the two recorders
+        a = TraceRecorder(site="a", clock=clock)
+        b = TraceRecorder(site="b", clock=clock)
+        a.event("update-submit")
+        b.event("update-apply")
+        a.event("update-ack")
+        merged = merge_traces([a, b])
+        assert [e["ts"] for e in merged] == sorted(
+            e["ts"] for e in merged
+        )
+        path = tmp_path / "merged.jsonl"
+        assert dump_events_jsonl(merged, path) == 3
+        loaded = load_trace_jsonl(path)
+        assert loaded == merged
+        assert [e["site"] for e in loaded] == ["a", "b", "a"]
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"ts": 1, "kind": "drain"}\n\n')
+        assert load_trace_jsonl(path) == [{"ts": 1, "kind": "drain"}]
