@@ -86,7 +86,13 @@ from .workload import WorkloadGenerator, WorkloadSpec, drive
 from .metrics import RunMetrics, divergence_of, summarize
 from .harness import AuditReport, audit
 from .client import Client, ETFailed
-from .errors import ABORTED, EPSILON_EXCEEDED, ETError, UNAVAILABLE
+from .errors import (
+    ABORTED,
+    EPSILON_EXCEEDED,
+    ETError,
+    OVERLOADED,
+    UNAVAILABLE,
+)
 
 def _detect_version() -> str:
     """Single-source the version from package metadata (pyproject)."""
@@ -133,6 +139,7 @@ __all__ = [
     "AuditReport", "audit",
     "Client", "ETFailed",
     # shared failure taxonomy (sim + live)
-    "ABORTED", "EPSILON_EXCEEDED", "ETError", "UNAVAILABLE",
+    "ABORTED", "EPSILON_EXCEEDED", "ETError", "OVERLOADED",
+    "UNAVAILABLE",
     "__version__",
 ]

@@ -14,7 +14,9 @@ Usage::
     python -m repro live-demo            # 3-replica cluster demo
     python -m repro chaos --seed 7       # seeded fault-injection run
     python -m repro chaos --seed 7 --artifacts out/  # + metrics/trace
+    python -m repro chaos --scenario rejoin --seed 7 # disk-wipe rejoin
     python -m repro metrics-dump --port 7000         # scrape one replica
+    python -m repro snapshot --port 7000             # checkpoint + compact
 """
 
 from __future__ import annotations
@@ -116,6 +118,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             window=args.window,
             fsync_interval=args.fsync_interval,
+            snapshot_interval=args.snapshot_interval,
+            backlog_limit=args.backlog_limit,
+            catchup=not args.no_catchup,
+            catchup_lag=args.catchup_lag,
         )
         port = await server.bind(args.host, args.port)
         server.set_peers(peers)
@@ -190,6 +196,25 @@ def _cmd_live_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    artifacts_dir = (
+        pathlib.Path(args.artifacts) if args.artifacts else None
+    )
+    if args.scenario == "rejoin":
+        from .live.chaos import RejoinConfig, run_rejoin_sync
+
+        rejoin_config = RejoinConfig(
+            seed=args.seed,
+            n_sites=args.sites,
+            method=args.method,
+            wipe=not args.no_wipe,
+            n_updates_before=args.updates,
+            n_updates_during=args.updates,
+        )
+        rejoin_report = run_rejoin_sync(
+            rejoin_config, artifacts_dir=artifacts_dir
+        )
+        print(rejoin_report.render())
+        return 0 if rejoin_report.ok else 1
     from .live.chaos import ChaosConfig, run_chaos_sync
 
     config = ChaosConfig(
@@ -203,12 +228,31 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         window=args.window,
     )
-    artifacts_dir = (
-        pathlib.Path(args.artifacts) if args.artifacts else None
-    )
     report = run_chaos_sync(config, artifacts_dir=artifacts_dir)
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    """Ask one live replica to checkpoint + compact, via the
+    ``snapshot`` verb."""
+    import asyncio
+    import json as json_mod
+
+    from .live.client import LiveClient
+
+    async def main() -> int:
+        client = await LiveClient.connect(
+            args.host, args.port, reconnect=False, request_timeout=60.0
+        )
+        try:
+            result = await client.snapshot()
+        finally:
+            await client.close()
+        print(json_mod.dumps(result, indent=2, sort_keys=True))
+        return 0
+
+    return asyncio.run(main())
 
 
 def _cmd_metrics_dump(args: argparse.Namespace) -> int:
@@ -292,6 +336,27 @@ def main(argv: List[str] = None) -> int:
         help="min seconds between fsyncs (0 = every group append; "
         "only meaningful with --fsync)",
     )
+    serve.add_argument(
+        "--snapshot-interval", type=float, default=0.0,
+        help="seconds between automatic snapshots + log compaction "
+        "(0 = manual only, via the snapshot verb)",
+    )
+    serve.add_argument(
+        "--backlog-limit", type=int, default=0,
+        help="per-channel durable backlog above which client updates "
+        "are refused with OVERLOADED (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--no-catchup", action="store_true",
+        help="disable anti-entropy snapshot catch-up (recover by "
+        "channel redelivery / full log replay only)",
+    )
+    serve.add_argument(
+        "--catchup-lag", type=int, default=0,
+        help="receiver lag (records) past which a sender prefers "
+        "snapshot catch-up over channel resend (0 = only when the "
+        "log cannot serve)",
+    )
     demo = sub.add_parser(
         "live-demo", help="boot an in-process live cluster and drive it"
     )
@@ -306,6 +371,16 @@ def main(argv: List[str] = None) -> int:
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--sites", type=int, default=3)
+    chaos.add_argument(
+        "--scenario", default="faults", choices=("faults", "rejoin"),
+        help="'faults' = drops/partition/crash (default); 'rejoin' = "
+        "snapshot + compaction + disk-wipe anti-entropy rejoin",
+    )
+    chaos.add_argument(
+        "--no-wipe", action="store_true",
+        help="rejoin scenario only: keep the victim's disk (long "
+        "downtime instead of disk loss)",
+    )
     chaos.add_argument(
         "--method", default="commu", choices=("commu", "ordup", "rowa")
     )
@@ -342,6 +417,12 @@ def main(argv: List[str] = None) -> int:
         "--format", default="prom", choices=("prom", "json"),
         help="Prometheus text (default) or the JSON mirror",
     )
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="make one live replica checkpoint + compact its logs now",
+    )
+    snapshot.add_argument("--host", default="127.0.0.1")
+    snapshot.add_argument("--port", type=int, required=True)
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -353,6 +434,8 @@ def main(argv: List[str] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "metrics-dump":
         return _cmd_metrics_dump(args)
+    if args.command == "snapshot":
+        return _cmd_snapshot(args)
     return _cmd_run(args.ids, args.out)
 
 

@@ -18,6 +18,9 @@ Codes:
   report rather than block; the paper's methods normally block).
 * :data:`ABORTED` — the ET was aborted by the replica control method
   (e.g. compensation, validation failure).
+* :data:`OVERLOADED` — the replica is alive but shedding write load:
+  a peer channel's durable backlog is past its high-water mark.
+  Retry later, or at a less loaded replica.
 
 Catch-all::
 
@@ -36,6 +39,7 @@ __all__ = [
     "ABORTED",
     "EPSILON_EXCEEDED",
     "ETError",
+    "OVERLOADED",
     "UNAVAILABLE",
 ]
 
@@ -45,6 +49,8 @@ UNAVAILABLE = "UNAVAILABLE"
 EPSILON_EXCEEDED = "EPSILON_EXCEEDED"
 #: the replica control method aborted the ET.
 ABORTED = "ABORTED"
+#: the replica refused an update to bound its durable backlog.
+OVERLOADED = "OVERLOADED"
 
 
 class ETError(RuntimeError):
@@ -70,3 +76,8 @@ class ETError(RuntimeError):
     @property
     def aborted(self) -> bool:
         return self.code == ABORTED
+
+    @property
+    def overloaded(self) -> bool:
+        """True when the replica shed the request to bound backlog."""
+        return self.code == OVERLOADED

@@ -22,15 +22,22 @@ Layers:
 * :mod:`repro.live.faults` — seeded fault injection (drop / delay /
   duplicate / reorder / partition / crash schedules).
 * :mod:`repro.live.chaos` — randomized-but-seeded chaos harness
-  asserting the paper's invariants under faults.
+  asserting the paper's invariants under faults, including the
+  disk-wipe / long-downtime rejoin scenario.
+* :mod:`repro.live.snapshot` — versioned, checksummed site snapshots
+  backing log compaction and anti-entropy rejoin.
 """
 
 from .chaos import (
     ChaosConfig,
     ChaosReport,
+    RejoinConfig,
+    RejoinReport,
     persist_cluster_artifacts,
     run_chaos,
     run_chaos_sync,
+    run_rejoin,
+    run_rejoin_sync,
 )
 from .client import LiveClient, LiveETFailed, LiveETResult, RequestTimeout
 from .cluster import LiveCluster
@@ -46,11 +53,21 @@ from .engine import (
     RowaLiveEngine,
     make_engine,
 )
-from .server import ReplicaServer, Unavailable
+from .server import LOCAL_CHANNEL, Overloaded, ReplicaServer, Unavailable
+from .snapshot import (
+    SnapshotError,
+    SnapshotStore,
+    open_snapshot,
+    seal_snapshot,
+)
 
 __all__ = [
     "ChaosConfig",
     "ChaosReport",
+    "RejoinConfig",
+    "RejoinReport",
+    "run_rejoin",
+    "run_rejoin_sync",
     "persist_cluster_artifacts",
     "run_chaos",
     "run_chaos_sync",
@@ -75,4 +92,10 @@ __all__ = [
     "make_engine",
     "ReplicaServer",
     "Unavailable",
+    "Overloaded",
+    "LOCAL_CHANNEL",
+    "SnapshotError",
+    "SnapshotStore",
+    "open_snapshot",
+    "seal_snapshot",
 ]

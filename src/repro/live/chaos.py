@@ -23,10 +23,24 @@ hold under exactly this abuse:
 * **Convergence at quiescence** — after all faults heal, every replica
   settles to identical one-copy state.
 
+A second scenario, :func:`run_rejoin`, exercises the recovery stack:
+the cluster takes writes everywhere (so the victim owns acknowledged
+state), snapshots + compacts (so that history is no longer replayable
+from any log), then the victim loses its disk entirely (or just goes
+away for a long time, with ``wipe=False``) while the survivors keep
+writing.  On restart the victim must rejoin by anti-entropy — install
+a donor snapshot, drain only the log tails — and the harness asserts
+no acknowledged update was lost (including the victim's own pre-wipe
+updates, which exist *only* in donor snapshots at that point), that
+the rejoin went through a snapshot install rather than full replay,
+that the cluster reconverges to one-copy state, and that the rejoined
+victim accepts new updates with fresh, non-colliding transaction ids.
+
 Reproducible from the CLI::
 
     python -m repro chaos --seed 7
     python -m repro chaos --seed 7 --method ordup --no-crash
+    python -m repro chaos --scenario rejoin --seed 7
 """
 
 from __future__ import annotations
@@ -48,9 +62,13 @@ from .faults import FaultPlan, LinkFaults
 __all__ = [
     "ChaosConfig",
     "ChaosReport",
+    "RejoinConfig",
+    "RejoinReport",
     "persist_cluster_artifacts",
     "run_chaos",
     "run_chaos_sync",
+    "run_rejoin",
+    "run_rejoin_sync",
 ]
 
 
@@ -479,3 +497,285 @@ def run_chaos_sync(
 ) -> ChaosReport:
     """Blocking wrapper for CLI / benchmark use."""
     return asyncio.run(run_chaos(config, data_dir, artifacts_dir))
+
+
+# -- disk-wipe / long-downtime rejoin scenario --------------------------------
+
+
+@dataclass(frozen=True)
+class RejoinConfig:
+    """One reproducible rejoin scenario.
+
+    The victim is always the *last* site: with ORDUP the order server
+    lives at the lexicographically first site, which must not be
+    wiped (the global order counter is not replicated — a documented
+    limit of the live runtime).
+    """
+
+    seed: int = 0
+    n_sites: int = 3
+    method: str = "commu"
+    #: True destroys the victim's data dir (disk loss); False only
+    #: keeps it down (long downtime — recovery via channel redelivery
+    #: unless ``catchup_lag`` forces a snapshot install).
+    wipe: bool = True
+    #: updates across *all* sites before the outage — the victim's own
+    #: acked updates are the state a wiped disk cannot replay back.
+    n_updates_before: int = 60
+    #: updates at the surviving donors while the victim is down.
+    n_updates_during: int = 60
+    #: updates at the rejoined victim afterwards (tid-collision probe).
+    n_updates_after: int = 12
+    keys: Tuple[str, ...] = ("acct0", "acct1", "acct2", "acct3")
+    #: receiver lag (records) past which a sender prefers peer-reset
+    #: over channel rewind; 0 = only when the log cannot serve.
+    catchup_lag: int = 0
+    fsync: bool = False
+    heartbeat_interval: float = 0.15
+    suspect_after: float = 0.6
+    request_timeout: float = 20.0
+    settle_timeout: float = 60.0
+    #: wall-clock budget for the victim's snapshot install on rejoin.
+    rejoin_timeout: float = 30.0
+
+
+@dataclass
+class RejoinReport:
+    """What one rejoin run observed, and whether the invariants held."""
+
+    config: RejoinConfig
+    acked: Dict[str, int] = field(default_factory=dict)
+    attempted: Dict[str, int] = field(default_factory=dict)
+    #: converged values just before the outage (must survive it).
+    pre_outage: Dict[str, Any] = field(default_factory=dict)
+    final: Dict[str, Any] = field(default_factory=dict)
+    update_failures: int = 0
+    #: serialized snapshot sizes at the pre-outage checkpoint.
+    snapshot_bytes: Dict[str, int] = field(default_factory=dict)
+    #: records dropped by the pre-outage compaction, cluster-wide.
+    compacted_records: int = 0
+    #: snapshot installs the victim performed while rejoining.
+    catchup_installs: int = 0
+    #: restart-to-settled wall time for the victim.
+    rejoin_seconds: float = 0.0
+    #: updates acked at the victim after rejoin.
+    victim_acked_after: int = 0
+    converged: bool = False
+    wall_seconds: float = 0.0
+    artifacts: Dict[str, str] = field(default_factory=dict)
+
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        for key in sorted(set(self.acked) | set(self.final)):
+            acked = self.acked.get(key, 0)
+            attempted = self.attempted.get(key, 0)
+            got = self.final.get(key, 0)
+            if got < acked:
+                out.append(
+                    "acked update lost across the outage: %s converged "
+                    "to %s but %d increments were acknowledged"
+                    % (key, got, acked)
+                )
+            if got > attempted:
+                out.append(
+                    "update double-applied: %s converged to %s but only "
+                    "%d increments were attempted" % (key, got, attempted)
+                )
+        if self.config.wipe and self.catchup_installs < 1:
+            out.append(
+                "wiped replica rejoined without a snapshot install "
+                "(full replay should have been impossible)"
+            )
+        if not self.converged:
+            out.append("replicas did not reconverge after the rejoin")
+        if self.config.n_updates_after and self.victim_acked_after == 0:
+            out.append(
+                "rejoined replica acknowledged no new updates"
+            )
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations()
+
+    def render(self) -> str:
+        cfg = self.config
+        lines = [
+            "Rejoin run: seed=%d method=%s sites=%d (%s victim, "
+            "%d+%d+%d updates)"
+            % (
+                cfg.seed,
+                cfg.method.upper(),
+                cfg.n_sites,
+                "disk-wipe" if cfg.wipe else "long-downtime",
+                cfg.n_updates_before,
+                cfg.n_updates_during,
+                cfg.n_updates_after,
+            ),
+            "",
+            "updates: %d acked, %d failed-or-unknown of %d attempted"
+            % (
+                sum(self.acked.values()),
+                self.update_failures,
+                sum(self.attempted.values()),
+            ),
+            "pre-outage checkpoint: %d log records compacted, "
+            "snapshots %s bytes"
+            % (
+                self.compacted_records,
+                "/".join(
+                    str(v) for _, v in sorted(self.snapshot_bytes.items())
+                ),
+            ),
+            "rejoin: %d snapshot install(s), settled %.2fs after restart"
+            % (self.catchup_installs, self.rejoin_seconds),
+            "victim after rejoin: %d new updates acked"
+            % self.victim_acked_after,
+            "reconverged: %s" % ("yes" if self.converged else "NO"),
+        ]
+        if self.artifacts:
+            lines.append("artifacts: %s" % self.artifacts.get("dir", ""))
+        lines.append("")
+        problems = self.violations()
+        if problems:
+            lines.append("INVARIANT VIOLATIONS (%d):" % len(problems))
+            lines.extend("  - " + p for p in problems)
+        else:
+            lines.append(
+                "all invariants held: no acked-update loss across the "
+                "%s, snapshot rejoin, reconverged (%.1fs wall)"
+                % (
+                    "disk wipe" if cfg.wipe else "outage",
+                    self.wall_seconds,
+                )
+            )
+        return "\n".join(lines)
+
+
+async def run_rejoin(
+    config: RejoinConfig,
+    data_dir: Optional[pathlib.Path] = None,
+    artifacts_dir: Optional[pathlib.Path] = None,
+) -> RejoinReport:
+    """Execute one seeded rejoin scenario; never raises on invariant
+    failure — inspect :meth:`RejoinReport.violations`."""
+    started = time.monotonic()
+    cluster = LiveCluster(
+        n_sites=config.n_sites,
+        method=config.method,
+        data_dir=data_dir,
+        fsync=config.fsync,
+        suspect_after=config.suspect_after,
+        heartbeat_interval=config.heartbeat_interval,
+        server_options={"catchup_lag": config.catchup_lag},
+    )
+    report = RejoinReport(config=config)
+    rng = random.Random(config.seed)
+    await cluster.start()
+    try:
+        names = list(cluster.names)
+        victim = names[-1]
+        donors = [n for n in names if n != victim]
+        clients: Dict[str, LiveClient] = {}
+        for name in names:
+            clients[name] = await cluster.client(
+                name, request_timeout=config.request_timeout
+            )
+
+        async def spray(count: int, sites: Sequence[str]) -> int:
+            acked = 0
+            for _ in range(count):
+                site = rng.choice(list(sites))
+                key = rng.choice(config.keys)
+                report.attempted[key] = report.attempted.get(key, 0) + 1
+                try:
+                    await clients[site].increment(key, 1)
+                except (
+                    LiveETFailed,
+                    ConnectionError,
+                    OSError,
+                    asyncio.TimeoutError,
+                    RequestTimeout,
+                ):
+                    report.update_failures += 1
+                else:
+                    report.acked[key] = report.acked.get(key, 0) + 1
+                    acked += 1
+            return acked
+
+        # Phase 1: everyone takes writes, then checkpoint + compact.
+        # After this the victim's own updates live only in snapshots —
+        # every log record at or below the frontiers is gone.
+        await spray(config.n_updates_before, names)
+        await cluster.settle(timeout=config.settle_timeout)
+        snaps = await cluster.snapshot_all()
+        report.snapshot_bytes = {
+            name: int(s.get("bytes", 0)) for name, s in snaps.items()
+        }
+        report.compacted_records = sum(
+            int(s.get("compacted", 0)) for s in snaps.values()
+        )
+        values = await cluster.site_values()
+        report.pre_outage = {
+            key: next(iter(values.values())).get(key, 0)
+            for key in config.keys
+        }
+
+        # Phase 2: the victim loses its disk (or just goes dark) while
+        # the donors keep writing.
+        if config.wipe:
+            await cluster.wipe(victim)
+        else:
+            await cluster.kill(victim)
+        if not cluster.servers[donors[0]].engine.sync_commit:
+            await spray(config.n_updates_during, donors)
+        # (sync-commit methods — the ROWA baseline — cannot accept
+        # writes with a replica down; that unavailability is exactly
+        # what the paper's asynchronous methods avoid, so the outage
+        # phase is write-free for them.)
+
+        # Phase 3: restart and measure restart-to-settled.
+        t0 = time.monotonic()
+        await cluster.restart(victim)
+        if config.wipe:
+            await cluster.wait_caught_up(
+                victim, timeout=config.rejoin_timeout
+            )
+        await cluster.settle(timeout=config.settle_timeout)
+        report.rejoin_seconds = time.monotonic() - t0
+        report.catchup_installs = cluster.servers[victim].catchup_installs
+
+        # Phase 4: the rejoined victim must be a first-class replica
+        # again — new updates, fresh tids, full propagation.
+        await clients[victim].close()
+        clients[victim] = await cluster.client(
+            victim, request_timeout=config.request_timeout
+        )
+        report.victim_acked_after = await spray(
+            config.n_updates_after, [victim]
+        )
+        await cluster.settle(timeout=config.settle_timeout)
+        report.converged = await cluster.converged()
+        values = await cluster.site_values()
+        if values:
+            any_site = next(iter(values.values()))
+            report.final = {
+                key: any_site.get(key, 0) for key in config.keys
+            }
+        if artifacts_dir is not None:
+            report.artifacts = await persist_cluster_artifacts(
+                cluster, pathlib.Path(artifacts_dir)
+            )
+    finally:
+        report.wall_seconds = time.monotonic() - started
+        await cluster.stop()
+    return report
+
+
+def run_rejoin_sync(
+    config: RejoinConfig,
+    data_dir: Optional[pathlib.Path] = None,
+    artifacts_dir: Optional[pathlib.Path] = None,
+) -> RejoinReport:
+    """Blocking wrapper for CLI / benchmark use."""
+    return asyncio.run(run_rejoin(config, data_dir, artifacts_dir))

@@ -17,6 +17,12 @@ re-submission would double-apply it (opt in with ``retry_updates``
 when the workload is tolerant, e.g. monotonic counters checked
 externally).
 
+Primary preference: after failing over, the client does not stick to
+the failover replica forever — every ``primary_retry_interval``
+seconds an idle moment re-probes the primary address and rehomes the
+connection when it answers, so a recovered replica wins its clients
+back without manual intervention (set the interval to 0 to disable).
+
     client = await LiveClient.connect("127.0.0.1", 7000)
     await client.increment("balance", 100)          # async update
     value = await client.read("balance", epsilon=2) # bounded error
@@ -61,7 +67,10 @@ __all__ = ["LiveClient", "LiveETFailed", "LiveETResult", "RequestTimeout"]
 
 #: verbs that are safe to re-issue after a reconnect.
 _IDEMPOTENT_VERBS = frozenset(
-    {"query", "values", "stats", "ping", "order", "settle", "metrics"}
+    {
+        "query", "values", "stats", "ping", "order", "settle",
+        "metrics", "snapshot", "snapshot-fetch",
+    }
 )
 
 
@@ -134,6 +143,7 @@ class LiveClient:
         backoff_base: float = 0.05,
         backoff_max: float = 1.0,
         retry_updates: bool = False,
+        primary_retry_interval: float = 5.0,
         rng: Optional[random.Random] = None,
     ) -> None:
         if not addrs:
@@ -147,6 +157,9 @@ class LiveClient:
         self._backoff_base = backoff_base
         self._backoff_max = backoff_max
         self._retry_updates = retry_updates
+        #: seconds between probes of the primary address while failed
+        #: over to a secondary (0 disables rehoming).
+        self._primary_retry_interval = max(0.0, primary_retry_interval)
         self._rng = rng if rng is not None else random.Random()
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
@@ -158,6 +171,12 @@ class LiveClient:
         self._reader_task: Optional[asyncio.Task] = None
         #: observability: completed redials since construction.
         self.reconnects = 0
+        #: index into the address list of the live connection (0 is
+        #: the primary).
+        self._active_index = 0
+        self._last_primary_probe = 0.0
+        #: observability: times the client moved back to the primary.
+        self.rehomes = 0
 
     @classmethod
     async def connect(
@@ -183,6 +202,7 @@ class LiveClient:
         if self._closed:
             raise ConnectionError("client is closed")
         if self.connected:
+            await self._maybe_rehome()
             return
         async with self._dial_lock:
             if self._closed:
@@ -191,13 +211,51 @@ class LiveClient:
                 return
             await self._dial()
 
+    async def _maybe_rehome(self) -> None:
+        """While failed over, periodically probe the primary address
+        and move the connection back when it answers.
+
+        The swap happens under the write lock and only while no
+        responses are outstanding, so no in-flight request can be
+        failed by it — at worst the probe is skipped and retried on a
+        later idle moment.
+        """
+        if (
+            self._active_index == 0
+            or not self._primary_retry_interval
+            or len(self._addrs) < 2
+        ):
+            return
+        now = asyncio.get_event_loop().time()
+        if now - self._last_primary_probe < self._primary_retry_interval:
+            return
+        self._last_primary_probe = now
+        host, port = self._addrs[0]
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            await write_frame(writer, {"type": "client-hello"})
+        except (OSError, ConnectionError):
+            return  # primary still down: stay failed over
+        async with self._write_lock:
+            if self._waiting or not self.connected or self._closed:
+                writer.close()  # a bad moment to swap; try again later
+                return
+            self._teardown_connection()
+            self._reader = reader
+            self._writer = writer
+            self._active_index = 0
+            self._reader_task = asyncio.ensure_future(
+                self._read_loop(reader)
+            )
+            self.rehomes += 1
+
     async def _dial(self) -> None:
         """Try each address with jittered exponential backoff."""
         redial = self._reader_task is not None
         self._teardown_connection()
         last_error: Optional[BaseException] = None
         for attempt in range(self._max_attempts):
-            for host, port in self._addrs:
+            for index, (host, port) in enumerate(self._addrs):
                 if self._closed:
                     raise ConnectionError("client is closed")
                 try:
@@ -210,6 +268,7 @@ class LiveClient:
                 await write_frame(writer, {"type": "client-hello"})
                 self._reader = reader
                 self._writer = writer
+                self._active_index = index
                 self._reader_task = asyncio.ensure_future(
                     self._read_loop(reader)
                 )
@@ -458,6 +517,12 @@ class LiveClient:
 
     async def ping(self) -> Dict[str, Any]:
         return await self.request("ping")
+
+    async def snapshot(self, timeout: float = 30.0) -> Dict[str, Any]:
+        """Ask the replica to persist a snapshot and compact its logs
+        now; returns ``{"bytes", "frontiers", "compacted"}``."""
+        frame = await self.request("snapshot", timeout=timeout)
+        return frame["snapshot"]
 
     async def close(self) -> None:
         self._closed = True

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import asyncio
 import pathlib
+import shutil
 import tempfile
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -137,6 +138,17 @@ class LiveCluster:
         await server.stop()
         await self._drop_probe(name)
 
+    async def wipe(self, name: str) -> None:
+        """Crash one replica AND destroy its durable state (logs,
+        snapshot, order file) — the disk-loss scenario.  A subsequent
+        :meth:`restart` boots it empty; with catch-up enabled it
+        rejoins by fetching a peer snapshot (anti-entropy)."""
+        if name in self.servers:
+            await self.kill(name)
+        site_dir = self.data_dir / name
+        if site_dir.exists():
+            shutil.rmtree(site_dir)
+
     async def restart(self, name: str) -> None:
         """Recover a killed replica from its durable queues."""
         if name in self.servers:
@@ -241,6 +253,39 @@ class LiveCluster:
                 return
             if not clean:
                 await asyncio.sleep(0.05)  # replica mid-restart: brief pause
+
+    async def snapshot(self, name: str) -> Dict[str, object]:
+        """Force one replica to snapshot + compact; returns summary."""
+        client = await self._probe(name)
+        return await client.snapshot()
+
+    async def snapshot_all(self) -> Dict[str, Dict[str, object]]:
+        """Snapshot + compact every running replica."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name in list(self.servers):
+            out[name] = await self.snapshot(name)
+        return out
+
+    async def wait_caught_up(
+        self, name: str, timeout: float = 30.0, installs: int = 1
+    ) -> None:
+        """Block until one replica has completed at least ``installs``
+        snapshot catch-up installs and left catch-up mode — the wiped
+        replica's 'I have rejoined' signal (the startup probe needs a
+        beat to run, so 'no catch-up in flight yet' is not enough)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            server = self.servers.get(name)
+            if (
+                server is not None
+                and server.catchup_installs >= installs
+                and not server._catching_up
+            ):
+                return
+            await asyncio.sleep(0.05)
+        raise TimeoutError(
+            "%s did not finish catch-up in %.1fs" % (name, timeout)
+        )
 
     async def site_stats(self) -> Dict[str, Dict[str, object]]:
         """Stats from every running replica (peer health, backlogs)."""

@@ -48,6 +48,18 @@ them into the metrics registry at scrape time.
 The application-visible contract is exactly-once FIFO per channel:
 at-least-once retries on the sender plus frontier dedup on the
 receiver.
+
+Compaction: both halves support ``compact(through_seq)`` — a
+tail-verified rewrite that drops every record at or below
+``through_seq`` once a persisted site snapshot covers them.  The
+rewritten log opens with a ``{"meta": "base", "base": N}`` record so a
+reload knows the log starts above ``N``; the rewrite goes to a
+temporary file that is fsynced, re-parsed (tail verification), and
+atomically renamed over the live log, so a crash at any instant leaves
+either the complete old log or the complete new one.  ``base`` is the
+compaction floor: an outbox can no longer serve records at or below
+it (a receiver that regressed past the floor needs a snapshot, not a
+log replay), and an inbox treats it as its replay origin.
 """
 
 from __future__ import annotations
@@ -76,9 +88,14 @@ def _read_json_lines(path: pathlib.Path) -> Iterator[Dict[str, Any]]:
                 # before it is intact, the torn record was never
                 # acknowledged to anyone, so it is safe to drop.
                 return
+            if not isinstance(record, dict):
+                return
+            if isinstance(record.get("meta"), str):
+                # Compaction marker (or a future control record).
+                yield record
+                continue
             if (
-                not isinstance(record, dict)
-                or not isinstance(record.get("seq"), int)
+                not isinstance(record.get("seq"), int)
                 or "payload" not in record
             ):
                 # Decodable but structurally corrupt (e.g. a partial
@@ -106,10 +123,15 @@ class _DurableLog:
         #: True while flushed-but-not-fsynced records exist (only
         #: meaningful with ``fsync=True`` and ``fsync_interval > 0``).
         self.dirty = False
+        #: compaction floor: every sequence number <= base has been
+        #: rewritten out of the log (covered by a persisted snapshot).
+        self.base = 0
         #: observability counters, mirrored by the server's registry.
         self.fsync_count = 0
         self.fsync_seconds = 0.0
         self.bytes_written = 0
+        self.compaction_count = 0
+        self.compacted_records = 0
         self._log = None  # opened by subclasses after recovery scan
 
     def _open_log(self) -> None:
@@ -165,6 +187,65 @@ class _DurableLog:
         self._do_fsync()
         return True
 
+    def _fsync_dir(self) -> None:
+        """Persist a rename in the containing directory's metadata."""
+        try:
+            fd = os.open(str(self.path.parent), os.O_RDONLY)
+        except OSError:
+            return  # platform without directory fds; rename still atomic
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def _rewrite(
+        self, records: Sequence[Dict[str, Any]], base: int
+    ) -> None:
+        """Tail-verified atomic rewrite of the log.
+
+        Writes a fresh log — a ``{"meta": "base", "base": N}`` marker
+        followed by ``records`` — to a temporary file, fsyncs it,
+        re-parses it end to end (tail verification: the bytes that hit
+        disk decode back to exactly what we meant to keep), then
+        atomically renames it over the live log.  A crash before the
+        rename leaves the old log intact; after the rename, the new
+        one is complete.  Either way a restart recovers a consistent
+        log — there is no instant at which records are half-dropped.
+        """
+        tmp = self.path.with_suffix(self.path.suffix + ".compact")
+        marker = {"meta": "base", "base": base}
+        data = "".join(
+            json.dumps(record, separators=(",", ":")) + "\n"
+            for record in [marker, *records]
+        )
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        check = list(_read_json_lines(tmp))
+        ok = (
+            len(check) == 1 + len(records)
+            and check[0].get("meta") == "base"
+            and check[0].get("base") == base
+            and (
+                not records
+                or check[-1].get("seq") == records[-1].get("seq")
+            )
+        )
+        if not ok:
+            tmp.unlink(missing_ok=True)
+            raise RuntimeError(
+                "compaction tail-verify failed for %s" % self.path
+            )
+        if self._log is not None and not self._log.closed:
+            self._log.close()
+        os.replace(tmp, self.path)
+        self._fsync_dir()
+        self.bytes_written += len(data)
+        self._open_log()
+
     def close(self) -> None:
         if self._log is not None and not self._log.closed:
             self._log.flush()
@@ -193,8 +274,21 @@ class DurableOutbox(_DurableLog):
                 self.frontier = 0
         #: unacknowledged payloads by sequence number, insertion-ordered.
         self._pending: Dict[int, Any] = {}
+        #: acks received for sequence numbers we never assigned — a
+        #: receiver durably holds records this (restarted) sender has
+        #: no memory of sending, i.e. the sender lost its own log.
+        self.regressed_acks = 0
         self._seq = self.frontier
         for record in _read_json_lines(self.path):
+            if record.get("meta") == "base":
+                base = int(record.get("base", 0))
+                self.base = max(self.base, base)
+                # Compaction only ever drops acked records, so the
+                # floor is also a lower bound on the ack frontier
+                # (covers a lost/stale .ack file).
+                self.frontier = max(self.frontier, base)
+                self._seq = max(self._seq, base)
+                continue
             seq = int(record["seq"])
             self._seq = max(self._seq, seq)
             if seq > self.frontier:
@@ -239,7 +333,13 @@ class DurableOutbox(_DurableLog):
         frontier write instead of one per record) and returns the
         sequence numbers that were newly acknowledged, in order.
         """
-        seqno = min(seqno, self._seq)  # never ack past what exists
+        if seqno > self._seq:
+            # The receiver durably holds records we never assigned:
+            # this sender restarted from an older (or empty) log — it
+            # regressed.  Count it (the server triggers catch-up off
+            # this) instead of silently pretending we sent that far.
+            self.regressed_acks += 1
+            seqno = self._seq
         covered = sorted(s for s in self._pending if s <= seqno)
         for s in covered:
             del self._pending[s]
@@ -247,6 +347,76 @@ class DurableOutbox(_DurableLog):
             self.frontier = seqno
             self._ack_path.write_text(str(self.frontier))
         return covered
+
+    def rewind_to(self, ack_seq: int) -> bool:
+        """Reload records above ``ack_seq`` into the pending set.
+
+        Repairs a channel whose receiver regressed below our ack
+        frontier (it lost its inbox and now durably holds only
+        ``<= ack_seq``): previously-acked records still in the log
+        become pending again and will be re-sent in order.  Returns
+        False when the needed records were compacted away
+        (``ack_seq < base``) — the receiver then needs a snapshot,
+        not a log replay.
+        """
+        if ack_seq >= self.frontier:
+            return True  # no regression; nothing to reload
+        if ack_seq < self.base:
+            return False  # prefix compacted: unservable from this log
+        for record in _read_json_lines(self.path):
+            if record.get("meta") == "base":
+                continue
+            seq = int(record["seq"])
+            if ack_seq < seq and seq not in self._pending:
+                self._pending[seq] = record["payload"]
+        self._pending = dict(sorted(self._pending.items()))
+        self.frontier = ack_seq
+        self._ack_path.write_text(str(self.frontier))
+        return True
+
+    def reset_to(self, seqno: int) -> None:
+        """Re-seed an (empty or stale) outbox at ``seqno``.
+
+        Used when installing a snapshot on a wiped site: the peer
+        channels restart at the snapshot's frontier — sequence numbers
+        at or below it are covered by the snapshot and can never be
+        served from this log again, so the floor, the ack frontier and
+        the next-assignment counter all become ``seqno``.
+        """
+        self._rewrite([], base=seqno)
+        self._pending.clear()
+        self.base = seqno
+        self.frontier = seqno
+        self._seq = seqno
+        self._ack_path.write_text(str(self.frontier))
+
+    def compact(self, through_seq: int) -> int:
+        """Drop acked records ``<= through_seq`` from the log.
+
+        Only acked records are eligible (the frontier caps the cut:
+        pending records must survive for re-sends), and the caller is
+        responsible for the snapshot-coverage invariant — compact only
+        below a *persisted* snapshot frontier, so anything dropped
+        here is reconstructable from the snapshot.  Returns the number
+        of records removed.  Crash-safe via the tail-verified rewrite.
+        """
+        through = min(through_seq, self.frontier)
+        if through <= self.base:
+            return 0
+        survivors: List[Dict[str, Any]] = []
+        dropped = 0
+        for record in _read_json_lines(self.path):
+            if record.get("meta") == "base":
+                continue
+            if int(record["seq"]) > through:
+                survivors.append(record)
+            else:
+                dropped += 1
+        self._rewrite(survivors, base=through)
+        self.base = through
+        self.compaction_count += 1
+        self.compacted_records += dropped
+        return dropped
 
     def pending(self) -> List[Tuple[int, Any]]:
         """Unacknowledged (seqno, payload) pairs in FIFO order."""
@@ -270,10 +440,16 @@ class DurableInbox(_DurableLog):
         fsync_interval: float = 0.0,
     ) -> None:
         super().__init__(path, fsync, fsync_interval)
-        #: highest sequence number durably recorded, contiguous from 1.
+        #: highest sequence number durably recorded, contiguous from
+        #: ``base + 1`` (``base`` is 0 for a never-compacted log).
         self.frontier = 0
         self._records: List[Tuple[int, Any]] = []
         for record in _read_json_lines(self.path):
+            if record.get("meta") == "base":
+                base = int(record.get("base", 0))
+                self.base = max(self.base, base)
+                self.frontier = max(self.frontier, base)
+                continue
             seq = int(record["seq"])
             if seq == self.frontier + 1:
                 self._records.append((seq, record["payload"]))
@@ -324,5 +500,43 @@ class DurableInbox(_DurableLog):
         return seqno <= self.frontier
 
     def replay(self) -> List[Tuple[int, Any]]:
-        """All recorded (seqno, payload) pairs in receipt order."""
+        """Recorded (seqno, payload) pairs above the compaction floor,
+        in receipt order — the log tail a snapshot does not cover."""
         return list(self._records)
+
+    def compact(self, through_seq: int) -> int:
+        """Drop recorded receipts ``<= through_seq`` from the log.
+
+        The caller must hold a persisted snapshot whose applied
+        frontier for this channel is at least ``through_seq`` — after
+        compaction, recovery replays only the tail above the floor on
+        top of that snapshot.  Crash-safe via the tail-verified
+        rewrite; returns the number of records removed.
+        """
+        through = min(through_seq, self.frontier)
+        if through <= self.base:
+            return 0
+        survivors = [(s, p) for s, p in self._records if s > through]
+        self._rewrite(
+            [{"seq": s, "payload": p} for s, p in survivors],
+            base=through,
+        )
+        dropped = len(self._records) - len(survivors)
+        self._records = survivors
+        self.base = through
+        self.compaction_count += 1
+        self.compacted_records += dropped
+        return dropped
+
+    def reset_to(self, seqno: int) -> None:
+        """Restart this inbox at frontier ``seqno`` with an empty tail.
+
+        Used when installing a snapshot that already covers every
+        receipt at or below ``seqno``: the local tail (if any) is
+        discarded and the next acceptable receipt becomes
+        ``seqno + 1``.  Crash-safe via the tail-verified rewrite.
+        """
+        self._rewrite([], base=seqno)
+        self._records = []
+        self.base = seqno
+        self.frontier = seqno

@@ -36,7 +36,8 @@ from ..obs.trace import TraceRecorder
 from ..replica.base import LockCounterSiteState, OrderedApplyBuffer
 from ..replica.commu import CommutativeOperations, NonCommutativeError
 from ..replica.mset import MSet, MSetKind
-from ..storage.kv import KeyValueStore
+from ..storage.kv import KeyValueStore, StoreSnapshot
+from .protocol import decode_mset, encode_mset
 
 __all__ = [
     "LiveEngine",
@@ -291,6 +292,12 @@ class LiveEngine:
     async def fully_acked(self, tid: Any, keys: Sequence[str]) -> None:
         """Every peer durably holds this local update's MSet."""
 
+    async def hold_counters(self, tid: Any, keys: Sequence[str]) -> None:
+        """Re-assert the divergence obligation of a still-unacked local
+        update whose apply is already inside a restored checkpoint (so
+        replay could not re-raise it).  No-op for methods without
+        lock-counter state."""
+
     # -- query path ----------------------------------------------------------
 
     async def query(
@@ -317,6 +324,85 @@ class LiveEngine:
             )
         except asyncio.TimeoutError:
             pass  # re-check state; protects against missed notifies
+
+    # -- checkpoint / restore ------------------------------------------------
+
+    async def checkpoint(self) -> Dict[str, Any]:
+        """A JSON-safe image of this engine's applied state.
+
+        Captured atomically under the engine condition: store values
+        with their write stamps (the RITU multiversion floor — a
+        restored site answers version queries exactly where the
+        pre-snapshot site did), the applied-MSet count, the per-tid
+        drift table queries charge against, and method-specific apply
+        state via :meth:`_method_checkpoint`.
+
+        Deliberately *not* captured: COMMU lock-counter holders (they
+        mirror the outbox pending set and are rebuilt from it at
+        recovery — see ``ReplicaServer._recover``) and pending
+        read-modify-report results (their client connection did not
+        survive the crash, so nobody can claim them).
+        """
+        async with self.cond:
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> Dict[str, Any]:
+        image = self.store.snapshot()
+        state: Dict[str, Any] = {
+            "method": self.method_name,
+            "applied_count": self.applied_count,
+            "store": {
+                "values": dict(image.values),
+                "stamps": {
+                    key: (list(stamp) if stamp is not None else None)
+                    for key, stamp in image.stamps.items()
+                },
+            },
+            "drift": dict(self._drift),
+        }
+        state.update(self._method_checkpoint())
+        return state
+
+    def _method_checkpoint(self) -> Dict[str, Any]:
+        """Method-specific additions to the checkpoint image."""
+        return {}
+
+    async def restore(self, state: Dict[str, Any]) -> None:
+        """Install a checkpoint image, replacing all applied state.
+
+        The caller (server recovery or snapshot install) is
+        responsible for aligning the durable-queue frontiers with the
+        image's — the engine itself only swaps its in-memory state.
+        """
+        if state.get("method") != self.method_name:
+            raise ValueError(
+                "checkpoint is for method %r, engine runs %r"
+                % (state.get("method"), self.method_name)
+            )
+        async with self.cond:
+            self._restore_locked(state)
+            self.cond.notify_all()
+
+    def _restore_locked(self, state: Dict[str, Any]) -> None:
+        store = state.get("store", {})
+        stamps = store.get("stamps", {})
+        self.store.restore(
+            StoreSnapshot(
+                values=dict(store.get("values", {})),
+                stamps={
+                    key: (tuple(stamp) if stamp is not None else None)
+                    for key, stamp in stamps.items()
+                },
+            )
+        )
+        self.applied_count = int(state.get("applied_count", 0))
+        self._drift = dict(state.get("drift", {}))
+        self.read_results.clear()
+        self.last_applied_at = self.clock()
+        self._method_restore(state)
+
+    def _method_restore(self, state: Dict[str, Any]) -> None:
+        """Method-specific state install; ``self.cond`` is held."""
 
     # -- introspection -------------------------------------------------------
 
@@ -376,6 +462,10 @@ class CommuLiveEngine(LiveEngine):
             self.state.release_counters(tid, keys)
             self.cond.notify_all()
 
+    async def hold_counters(self, tid: Any, keys: Sequence[str]) -> None:
+        async with self.cond:
+            self.state.raise_counters(tid, keys)
+
     async def query(
         self,
         keys: Sequence[str],
@@ -422,6 +512,15 @@ class CommuLiveEngine(LiveEngine):
 
     def quiescent(self) -> bool:
         return not self.state.holders
+
+    def _method_restore(self, state: Dict[str, Any]) -> None:
+        # Lock-counter holders mirror the outbox pending set, so the
+        # server re-raises them from the surviving outbox after the
+        # install; the applied-history table (mixed-observation
+        # detection) is keyed by wall-clock apply instants that do not
+        # survive a restart — pre-snapshot updates are stable by
+        # construction, so dropping them can only over-admit nothing.
+        self.state = LockCounterSiteState()
 
     def stats(self) -> Dict[str, Any]:
         out = super().stats()
@@ -505,6 +604,44 @@ class OrdupLiveEngine(LiveEngine):
 
     def quiescent(self) -> bool:
         return self.buffer.drained()
+
+    def _method_checkpoint(self) -> Dict[str, Any]:
+        # The apply-buffer position *is* ORDUP's recovery state: the
+        # next order token the site may apply, the gap-free frontier,
+        # the last writer per key (free-query accounting), and any
+        # held-back MSets waiting for an earlier token.
+        return {
+            "ordup": {
+                "expected": self.buffer.expected,
+                "frontier": list(self.frontier),
+                "last_writer": {
+                    key: [list(order), tid]
+                    for key, (order, tid) in self.last_writer.items()
+                },
+                "held": [
+                    [seqno, encode_mset(mset)]
+                    for seqno, mset in sorted(
+                        self.buffer._holdback.items()
+                    )
+                ],
+            }
+        }
+
+    def _method_restore(self, state: Dict[str, Any]) -> None:
+        ordup = state.get("ordup", {})
+        self.buffer = OrderedApplyBuffer(
+            expected=int(ordup.get("expected", 1))
+        )
+        for seqno, encoded in ordup.get("held", ()):
+            self.buffer._holdback[int(seqno)] = decode_mset(encoded)
+        frontier = ordup.get("frontier", (0, 0))
+        self.frontier = (int(frontier[0]), int(frontier[1]))
+        self.last_writer = {
+            key: ((int(order[0]), int(order[1])), tid)
+            for key, (order, tid) in ordup.get(
+                "last_writer", {}
+            ).items()
+        }
 
     def stats(self) -> Dict[str, Any]:
         out = super().stats()

@@ -44,6 +44,29 @@ Fault injection (:mod:`repro.live.faults`) plugs into the channel
 loops: an installed :class:`~repro.live.faults.FaultPlan` can drop,
 delay, duplicate, and reorder outbound peer frames or sever directed
 links entirely, without touching the wire format.
+
+Snapshots, compaction, and anti-entropy rejoin: the server
+periodically (``snapshot_interval``) — or on demand (``snapshot``
+verb) — persists a versioned, checksummed image of its applied state
+(:mod:`repro.live.snapshot`) capturing the engine checkpoint and
+every channel's applied frontier in one atomic cut, then compacts the
+durable logs below those frontiers.  A replica that comes back from a
+long outage or a wiped disk catches up by *anti-entropy*: it fetches
+a peer's snapshot in chunks (``snapshot-fetch`` verb), installs it
+when the snapshot dominates its own frontiers, and drains only the
+log tail above the snapshot from the normal channels.  Senders repair
+regressed receivers symmetrically — a cumulative ack (or heartbeat
+reply) below the outbox frontier rewinds the channel from the log
+when the records survive, or sends a ``peer-reset`` frame directing
+the receiver to snapshot catch-up when they were compacted away.
+While catching up the replica refuses updates and ``epsilon = 0``
+queries with typed errors; epsilon-bounded queries keep answering
+from the (stale but bounded) local state.
+
+Backpressure: when any peer channel's backlog exceeds
+``backlog_limit``, new client updates are refused with a typed
+``OVERLOADED`` error instead of growing the durable queue without
+bound.
 """
 
 from __future__ import annotations
@@ -80,8 +103,20 @@ from .protocol import (
     write_frame,
     write_frames,
 )
+from .snapshot import (
+    SnapshotError,
+    SnapshotStore,
+    open_snapshot,
+    seal_snapshot,
+    snapshot_bytes,
+)
 
-__all__ = ["ReplicaServer", "Unavailable", "LOCAL_CHANNEL"]
+__all__ = [
+    "ReplicaServer",
+    "Unavailable",
+    "Overloaded",
+    "LOCAL_CHANNEL",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -99,6 +134,24 @@ class Unavailable(RuntimeError):
     """
 
     code = "UNAVAILABLE"
+
+
+class Overloaded(RuntimeError):
+    """A client update was refused because a peer channel's durable
+    backlog exceeds the configured high-water mark.
+
+    Carried to clients as error code ``OVERLOADED``: the replica is
+    alive but shedding write load instead of growing its durable
+    queues without bound; retry later or at a less loaded replica.
+    """
+
+    code = "OVERLOADED"
+
+
+#: bytes of snapshot data served per ``snapshot-fetch`` chunk — held
+#: well under MAX_FRAME so the response frame (chunk + JSON envelope)
+#: always fits the existing framing.
+SNAPSHOT_CHUNK = 1 << 20
 
 
 class ReplicaServer:
@@ -121,6 +174,10 @@ class ReplicaServer:
         batch_size: int = 32,
         window: int = 4,
         fsync_interval: float = 0.0,
+        snapshot_interval: float = 0.0,
+        backlog_limit: int = 0,
+        catchup: bool = True,
+        catchup_lag: int = 0,
         faults: Optional[FaultPlan] = None,
         observability: bool = True,
         registry: Optional[Registry] = None,
@@ -138,6 +195,21 @@ class ReplicaServer:
         #: min seconds between fsyncs on each durable log (0 = every
         #: group append) — only meaningful with ``fsync=True``.
         self.fsync_interval = fsync_interval
+        #: seconds between automatic snapshots (0 = manual only).
+        self.snapshot_interval = float(snapshot_interval)
+        #: per-channel durable backlog above which client updates are
+        #: refused with OVERLOADED (0 = unlimited).
+        self.backlog_limit = max(0, int(backlog_limit))
+        #: False disables anti-entropy (startup wipe probe, peer-reset
+        #: handling): a regressed replica then recovers by channel
+        #: rewind / full log replay only — the benchmark baseline.
+        self.catchup_enabled = bool(catchup)
+        #: when > 0, a receiver more than this many records behind is
+        #: sent a peer-reset hint (snapshot catch-up) even while the
+        #: log could still serve it — set it well above the largest
+        #: backlog a healthy channel reaches, or bursts will trigger
+        #: needless (if harmless) snapshot installs.
+        self.catchup_lag = max(0, int(catchup_lag))
         self.retry_base = retry_base
         self.retry_max = retry_max
         self.query_timeout = query_timeout
@@ -208,6 +280,26 @@ class ReplicaServer:
         self._monitor_task: Optional[asyncio.Task] = None
         #: last degraded() value the monitor observed (gauge flips).
         self._last_degraded = False
+        #: serializes record-then-apply against snapshot capture: a
+        #: snapshot taken between an inbox record and its engine apply
+        #: would claim a frontier whose effects it does not contain.
+        self._apply_lock = asyncio.Lock()
+        #: serializes snapshot capture/compaction/install.
+        self._snapshot_lock = asyncio.Lock()
+        self._snapshot_store = SnapshotStore(
+            self.data_dir / "snapshot.json"
+        )
+        #: frontiers of the last persisted snapshot (stats/compaction).
+        self._snapshot_frontiers: Dict[str, int] = {}
+        self._last_snapshot_at: Optional[float] = None
+        #: True while installing a peer snapshot; folded into
+        #: degraded(): strict queries and updates are refused.
+        self._catching_up = False
+        self._catchup_task: Optional[asyncio.Task] = None
+        #: completed snapshot catch-up installs since boot.
+        self.catchup_installs = 0
+        #: peers owed a peer-reset frame by their channel sender.
+        self._reset_peers: Set[str] = set()
 
     def _init_instruments(self) -> None:
         """Register this replica's metric families (see OBSERVABILITY.md)."""
@@ -285,6 +377,49 @@ class ReplicaServer:
             "client requests served, by verb and outcome",
             labels=("verb", "outcome"),
         )
+        self.m_snapshots = reg.counter(
+            "snapshots_total",
+            "site snapshots persisted (periodic, manual, or install)",
+            labels=("kind",),
+        )
+        self.m_snapshot_bytes = reg.histogram(
+            "snapshot_size_bytes",
+            "serialized size of each persisted snapshot",
+            buckets=(
+                256, 1024, 4096, 16384, 65536,
+                262144, 1048576, 4194304, 16777216,
+            ),
+        )
+        self.m_snapshot_seconds = reg.histogram(
+            "snapshot_duration_seconds",
+            "wall time to capture, persist, and compact one snapshot",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.m_log_compactions = reg.counter(
+            "log_compactions_total",
+            "compaction rewrites performed on one durable channel log",
+            labels=("log",),
+        )
+        self.m_log_compacted = reg.counter(
+            "log_compacted_records_total",
+            "records dropped from one durable channel log by compaction",
+            labels=("log",),
+        )
+        self.m_updates_rejected = reg.counter(
+            "updates_rejected_total",
+            "client updates refused before durability, by reason",
+            labels=("reason",),
+        )
+        self.m_catchup = reg.counter(
+            "catchup_total",
+            "anti-entropy catch-up attempts, by outcome",
+            labels=("outcome",),
+        )
+        self.m_channel_rewinds = reg.counter(
+            "channel_rewinds_total",
+            "outbound channels rewound for a regressed receiver",
+            labels=("peer",),
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -329,20 +464,75 @@ class ReplicaServer:
         return self.port
 
     async def _recover(self) -> None:
-        """Replay durable logs through the engine after a restart."""
+        """Restore the persisted snapshot (if any), then replay the
+        durable log tails above it through the engine.
+
+        Without a snapshot this is the original full-log replay.  With
+        one, the engine restores the checkpoint image first and only
+        records *above* the snapshot's per-channel frontiers replay —
+        including records a crash caught between snapshot persistence
+        and log compaction (they are skipped by frontier, so nothing
+        double-applies).  Inboxes that lag the snapshot (a crash
+        between snapshot install and the frontier resets) are aligned
+        up to it.
+        """
+        snap_frontiers: Dict[str, int] = {}
+        snap = self._snapshot_store.load()
+        if snap is not None and snap.get("method") == self.method:
+            snap_frontiers = {
+                src: int(seq)
+                for src, seq in snap.get("frontiers", {}).items()
+            }
+            await self.engine.restore(snap["engine"])
+            self._snapshot_frontiers = dict(snap_frontiers)
+            self._last_snapshot_at = self.engine.clock()
+            for src, inbox in self.inboxes.items():
+                floor = snap_frontiers.get(src, 0)
+                if inbox.frontier < floor:
+                    inbox.reset_to(floor)
         for src, inbox in sorted(self.inboxes.items()):
-            for _seq, payload in inbox.replay():
+            floor = snap_frontiers.get(src, 0)
+            for seq, payload in inbox.replay():
+                if seq <= floor:
+                    continue  # already inside the snapshot image
                 mset = decode_mset(payload["mset"])
                 await self.engine.accept(mset, local=(src == LOCAL_CHANNEL))
+        # Repair outbox lockstep: a crash between the local-channel
+        # record and the per-peer channel appends leaves an outbox
+        # missing the newest local records — re-append them from the
+        # local log so every channel carries every local update (the
+        # channel seq == local tid seq invariant the snapshot frontier
+        # mapping relies on).
+        local_inbox = self.inboxes[LOCAL_CHANNEL]
+        local_tail = {seq: payload for seq, payload in local_inbox.replay()}
+        for peer, outbox in self.outboxes.items():
+            if outbox._seq >= local_inbox.frontier:
+                continue
+            missing = [
+                local_tail[seq]
+                for seq in range(outbox._seq + 1, local_inbox.frontier + 1)
+                if seq in local_tail
+            ]
+            if len(missing) == local_inbox.frontier - outbox._seq:
+                outbox.append_many(missing)
+            else:
+                # The missing records were compacted below the local
+                # log's floor — they are covered by the persisted
+                # snapshot, which is exactly what a regressed receiver
+                # will be served.
+                outbox.reset_to(local_inbox.frontier)
         # Rebuild ack tracking from the outbound backlogs.
         acked_local: Set[Any] = set()
         keys_of: Dict[Any, Tuple[str, ...]] = {}
-        for _seq, payload in self.inboxes[LOCAL_CHANNEL].replay():
+        replayed_local: Set[Any] = set()
+        for seq, payload in local_inbox.replay():
             tid = payload["mset"]["tid"]
-            acked_local.add(tid)
             keys_of[tid] = tuple(
                 {op["key"] for op in payload["mset"]["ops"]}
             )
+            if seq > snap_frontiers.get(LOCAL_CHANNEL, 0):
+                acked_local.add(tid)
+                replayed_local.add(tid)
         for peer, outbox in self.outboxes.items():
             for seq, payload in outbox.pending():
                 tid = payload["mset"]["tid"]
@@ -357,6 +547,15 @@ class ReplicaServer:
         # release their lock-counters (replay re-raised them).
         for tid in acked_local:
             await self.engine.fully_acked(tid, keys_of.get(tid, ()))
+        # The inverse hole: local updates applied *inside* the snapshot
+        # image (so replay never re-raised their counters) but still
+        # awaiting a peer ack — re-raise so origin-site queries keep
+        # observing the cluster-wide in-flight inconsistency.
+        for tid, peers_waiting in self._unacked.items():
+            if peers_waiting and tid not in replayed_local:
+                await self.engine.hold_counters(
+                    tid, self._local_keys.get(tid, ())
+                )
 
     def set_peers(self, addrs: Dict[str, Tuple[str, int]]) -> None:
         """Install (or update) peer addresses for the channel loops."""
@@ -383,6 +582,22 @@ class ReplicaServer:
             self._monitor_task = asyncio.ensure_future(
                 self._degraded_monitor()
             )
+        if self.snapshot_interval > 0:
+            task = asyncio.ensure_future(self._snapshot_loop())
+            task.add_done_callback(self._note_task_crash)
+            self._channel_tasks.append(task)
+        if (
+            self.catchup_enabled
+            and self.peer_names
+            and self.engine.applied_count == 0
+            and all(box.frontier == 0 for box in self.inboxes.values())
+            and not self._snapshot_store.exists()
+        ):
+            # Empty engine, empty logs, no snapshot: either a fresh
+            # cluster boot or a wiped disk.  Ask the peers which.
+            task = asyncio.ensure_future(self._startup_probe())
+            task.add_done_callback(self._note_task_crash)
+            self._channel_tasks.append(task)
 
     async def stop(self) -> None:
         """Stop serving.  Durable state is already on disk (the
@@ -401,6 +616,10 @@ class ReplicaServer:
             self._monitor_task.cancel()
             self._channel_tasks.append(self._monitor_task)
             self._monitor_task = None
+        if self._catchup_task is not None:
+            self._catchup_task.cancel()
+            self._channel_tasks.append(self._catchup_task)
+            self._catchup_task = None
         for task in self._channel_tasks + list(self._conn_tasks):
             task.cancel()
         for task in self._channel_tasks + list(self._conn_tasks):
@@ -465,9 +684,10 @@ class ReplicaServer:
         )
 
     def degraded(self) -> bool:
-        """True when any peer is suspected: full agreement is off the
-        table, only epsilon-bounded service remains."""
-        return bool(self.suspected_peers())
+        """True when any peer is suspected — or this replica is mid
+        snapshot catch-up: full agreement is off the table, only
+        epsilon-bounded service remains."""
+        return bool(self.suspected_peers()) or self._catching_up
 
     async def _degraded_monitor(self) -> None:
         """Watch the degraded predicate and publish its transitions as
@@ -617,6 +837,17 @@ class ReplicaServer:
                 raise ConnectionResetError(
                     "link %s->%s severed" % (self.name, peer)
                 )
+            if peer in self._reset_peers:
+                self._reset_peers.discard(peer)
+                await write_frame(
+                    writer,
+                    {
+                        "type": "peer-reset",
+                        "src": self.name,
+                        "base": outbox.base,
+                        "frontier": outbox._seq,
+                    },
+                )
             # Clear-before-check: an ack or new append landing during
             # the scan re-sets the event, so the wait below returns
             # immediately instead of stalling a heartbeat interval.
@@ -760,6 +991,7 @@ class ReplicaServer:
             if kind == "ack":
                 self._note_peer_alive(peer)
                 seq = int(frame["seq"])
+                self._reconcile_ack(peer, seq, state)
                 now = self.engine.clock()
                 while inflight and inflight[0][0] <= seq:
                     _, sent_at, count = inflight.popleft()
@@ -768,6 +1000,65 @@ class ReplicaServer:
                 event.set()  # window freed: wake the sender
             elif kind == "hb-ack":
                 self._note_peer_alive(peer)
+                if "seq" in frame:
+                    self._reconcile_ack(peer, int(frame["seq"]), state)
+
+    def _reconcile_ack(
+        self, peer: str, seq: int, state: Dict[str, Any]
+    ) -> None:
+        """Compare a receiver's durability claim against the outbox.
+
+        Normal operation only ever moves ``seq`` forward.  Two
+        anomalies mean one side lost durable state:
+
+        * ``seq`` *above* everything this outbox ever assigned — the
+          receiver durably holds records this replica no longer knows
+          it sent, so *this* side regressed (wiped or restored from an
+          older image): trigger our own snapshot catch-up.
+        * ``seq`` *below* the cumulative ack frontier — the receiver
+          regressed.  Rewind the channel to re-send from its log when
+          the records survive; when compaction already dropped them
+          (or the receiver is ``catchup_lag`` records behind), flag
+          the sender to emit a ``peer-reset`` frame directing the
+          receiver to snapshot catch-up instead.
+        """
+        outbox = self.outboxes[peer]
+        if seq > outbox._seq:
+            if self.catchup_enabled and not self._catching_up:
+                self._trigger_catchup("regressed-ack", preferred=peer)
+            return
+        if peer in self._reset_peers:
+            return  # already directed to snapshot catch-up
+        lag = outbox._seq - seq
+        if seq >= outbox.frontier:
+            # Not regressed, merely behind.  With ``catchup_lag`` set,
+            # a receiver this far back (e.g. returning from a long
+            # outage) is told to snapshot-install instead of drinking
+            # the whole backlog through the channel.
+            if self.catchup_lag and lag > self.catchup_lag:
+                self._reset_peers.add(peer)
+                self.trace.event(
+                    "channel-lag", peer=peer, seq=seq, lag=lag
+                )
+                self._outbox_events[peer].set()
+            return
+        rewound = outbox.rewind_to(seq)
+        self.m_channel_rewinds.labels(peer=peer).inc()
+        if rewound:
+            # Force the session to restart sending from the rewound
+            # frontier instead of waiting out the stall deadline.
+            state["inflight"].clear()
+            state["sent_hi"] = outbox.frontier
+        if not rewound or (self.catchup_lag and lag > self.catchup_lag):
+            self._reset_peers.add(peer)
+        self.trace.event(
+            "channel-rewind", peer=peer, seq=seq, resend=rewound
+        )
+        logger.info(
+            "%s: peer %s regressed to seq %d (rewind=%s, lag=%d)",
+            self.name, peer, seq, rewound, lag,
+        )
+        self._outbox_events[peer].set()
 
     def _record_ack_latency(
         self, peer: str, latency: float, n_msets: int
@@ -842,8 +1133,30 @@ class ReplicaServer:
                     self._conn_tasks.add(req_task)
                     req_task.add_done_callback(self._conn_tasks.discard)
                 elif kind == "hb":
-                    self._note_peer_alive(str(frame.get("src", "")))
-                    await send({"type": "hb-ack", "src": self.name})
+                    src = str(frame.get("src", ""))
+                    self._note_peer_alive(src)
+                    reply: Dict[str, Any] = {
+                        "type": "hb-ack", "src": self.name,
+                    }
+                    inbox = self.inboxes.get(src)
+                    if inbox is not None:
+                        # Heartbeat replies carry the receiver's inbox
+                        # frontier so an idle channel still detects a
+                        # regressed (wiped) receiver.
+                        reply["seq"] = inbox.frontier
+                    await send(reply)
+                elif kind == "peer-reset":
+                    # A sender compacted away records we never saw (or
+                    # judged us too far behind to resend): the channel
+                    # alone cannot repair us — snapshot catch-up can.
+                    src = str(frame.get("src", ""))
+                    self._note_peer_alive(src)
+                    if self.catchup_enabled:
+                        self._trigger_catchup("peer-reset", preferred=src)
+                    else:
+                        self.m_frames_dropped.labels(
+                            reason="peer_reset_ignored"
+                        ).inc()
                 elif kind in ("peer-hello", "client-hello"):
                     src = frame.get("src")
                     if src:
@@ -894,10 +1207,16 @@ class ReplicaServer:
             fresh.append((seq, {"mset": encoded}))
             expected += 1
         if fresh:
-            inbox.record_many(fresh)
-            msets = [decode_mset(payload["mset"]) for _, payload in fresh]
-            applied = await self.engine.accept_batch(msets, local=False)
-            self._resolve_applied(applied)
+            # Record + apply under the apply lock: a snapshot captured
+            # between the two would claim this inbox frontier without
+            # holding the batch's engine effects.
+            async with self._apply_lock:
+                inbox.record_many(fresh)
+                msets = [
+                    decode_mset(payload["mset"]) for _, payload in fresh
+                ]
+                applied = await self.engine.accept_batch(msets, local=False)
+                self._resolve_applied(applied)
             await self._notify_drain()
         # The cumulative ack is a durability claim over everything
         # <= frontier: the sender will truncate its outbox on receipt.
@@ -932,6 +1251,454 @@ class ReplicaServer:
         async with self._drain_cond:
             self._drain_cond.notify_all()
 
+    # -- snapshots + compaction ------------------------------------------------
+
+    async def take_snapshot(
+        self, kind: str = "manual", compact: bool = True
+    ) -> Dict[str, Any]:
+        """Persist a checkpoint of the applied state, then compact the
+        durable logs below its frontiers.
+
+        The capture runs under the apply lock, so the engine image and
+        the per-channel frontiers are one consistent cut; persistence
+        is atomic (temp + fsync + rename), so the snapshot file is the
+        commit point — compaction afterwards only ever drops records
+        the snapshot provably contains.  Crash between the two and
+        recovery replays the not-yet-compacted records but skips
+        everything at or below the snapshot frontier, so nothing
+        double-applies.
+        """
+        async with self._snapshot_lock:
+            started = self.engine.clock()
+            async with self._apply_lock:
+                frontiers = {
+                    src: box.frontier for src, box in self.inboxes.items()
+                }
+                engine_state = await self.engine.checkpoint()
+            body = {
+                "site": self.name,
+                "method": self.method,
+                "frontiers": frontiers,
+                "engine": engine_state,
+            }
+            size = self._snapshot_store.save(seal_snapshot(body))
+            self._snapshot_frontiers = dict(frontiers)
+            self._last_snapshot_at = self.engine.clock()
+            dropped = self._compact_logs(frontiers) if compact else 0
+            duration = self.engine.clock() - started
+            self.m_snapshots.labels(kind=kind).inc()
+            self.m_snapshot_bytes.observe(size)
+            self.m_snapshot_seconds.observe(duration)
+            self.trace.event(
+                "snapshot",
+                trigger=kind,
+                bytes=size,
+                compacted=dropped,
+                duration=round(duration, 6),
+            )
+            return {
+                "bytes": size,
+                "frontiers": frontiers,
+                "compacted": dropped,
+                "duration": duration,
+            }
+
+    def _compact_logs(self, frontiers: Dict[str, int]) -> int:
+        """Drop log records the persisted snapshot already covers.
+
+        Inboxes compact through their snapshot frontier.  Outboxes
+        (whose channel seqs mirror local tid seqs) compact through the
+        *local* snapshot frontier — never past the peer's cumulative
+        ack (``compact`` clamps), and never past what the snapshot can
+        serve to a receiver that later regresses below the log's base.
+        """
+        total = 0
+        local_floor = frontiers.get(LOCAL_CHANNEL, 0)
+        logs = [
+            ("inbox/%s" % src, box, int(frontiers.get(src, 0)))
+            for src, box in self.inboxes.items()
+        ] + [
+            ("outbox/%s" % peer, box, local_floor)
+            for peer, box in self.outboxes.items()
+        ]
+        for label, box, through in logs:
+            dropped = box.compact(through)
+            if dropped:
+                total += dropped
+                self.trace.event(
+                    "compaction", log=label, through=through,
+                    dropped=dropped,
+                )
+        return total
+
+    async def _snapshot_loop(self) -> None:
+        """Periodic snapshot + compaction driver."""
+        while self._running:
+            await asyncio.sleep(self.snapshot_interval)
+            if not self._running or self._catching_up:
+                continue
+            try:
+                await self.take_snapshot(kind="periodic")
+            except (OSError, RuntimeError) as exc:
+                # A failed snapshot never corrupts state (atomic
+                # rename); log compaction just waits for the next one.
+                self.m_frames_dropped.labels(reason="snapshot_error").inc()
+                logger.warning(
+                    "%s: periodic snapshot failed: %r", self.name, exc
+                )
+
+    # -- anti-entropy catch-up -------------------------------------------------
+
+    async def _peer_request(
+        self, peer: str, verb: str, timeout: float = 5.0, **params: Any
+    ) -> Dict[str, Any]:
+        """One out-of-band request/response exchange with a peer."""
+        addr = self.peer_addrs.get(peer)
+        if addr is None or self._link_severed(peer):
+            raise ConnectionError("no route to peer %s" % peer)
+        reader, writer = await asyncio.open_connection(*addr)
+        try:
+            await write_frame(
+                writer,
+                {"type": "request", "id": 1, "verb": verb, **params},
+            )
+            reply = await asyncio.wait_for(
+                read_frame(reader), timeout=timeout
+            )
+        finally:
+            writer.close()
+        if reply is None:
+            raise ConnectionError("peer %s closed during %s" % (peer, verb))
+        if not reply.get("ok"):
+            raise RuntimeError(
+                "peer %s refused %s: %s"
+                % (peer, verb, reply.get("error", "unknown error"))
+            )
+        self._note_peer_alive(peer)
+        return reply
+
+    async def _startup_probe(self) -> None:
+        """Decide whether an empty boot is a fresh cluster or a wiped
+        disk, by asking the peers what they remember about this site.
+
+        Evidence of a former life: a peer's inbox frontier for this
+        site above zero (it durably holds updates this site no longer
+        has) or a peer's channel to this site with a nonzero ack high
+        water (this site once acknowledged records it no longer has).
+        Either one triggers snapshot catch-up; a clean no-evidence
+        sweep of every peer means a genuinely fresh cluster.
+        """
+        deadline = self.engine.clock() + max(self.suspect_after * 4, 2.0)
+        answered: Set[str] = set()
+        evidence_from: Optional[str] = None
+        while self._running and evidence_from is None:
+            for peer in self.peer_names:
+                if peer in answered:
+                    continue
+                try:
+                    reply = await self._peer_request(
+                        peer, "stats", timeout=2.0
+                    )
+                except (
+                    OSError,
+                    ConnectionError,
+                    RuntimeError,
+                    asyncio.TimeoutError,
+                ):
+                    continue
+                stats = reply.get("stats", {})
+                answered.add(peer)
+                held = int(
+                    stats.get("inbox_frontier", {}).get(self.name, 0)
+                )
+                acked = int(
+                    stats.get("ack_high_water", {}).get(self.name, 0)
+                )
+                if held > 0 or acked > 0:
+                    evidence_from = peer
+                    break
+            if len(answered) == len(self.peer_names):
+                break
+            if self.engine.clock() >= deadline:
+                break
+            if evidence_from is None:
+                await asyncio.sleep(self.retry_base * 4)
+        if evidence_from is None:
+            logger.debug(
+                "%s: startup probe found no prior state (%d/%d peers)",
+                self.name, len(answered), len(self.peer_names),
+            )
+            return
+        # Re-check emptiness: normal channel traffic may have landed
+        # while the probe was out, in which case the channels are
+        # already repairing us and a forced install is unnecessary.
+        if self.engine.applied_count == 0 and all(
+            box.frontier == 0 for box in self.inboxes.values()
+        ):
+            self._trigger_catchup("wiped-disk", preferred=evidence_from)
+
+    def _trigger_catchup(
+        self, reason: str, preferred: Optional[str] = None
+    ) -> None:
+        """Enter catch-up mode and start the install task (idempotent
+        while one is already running)."""
+        if not self.catchup_enabled or not self._running:
+            return
+        if self._catchup_task is not None and not self._catchup_task.done():
+            return
+        self._catching_up = True
+        self.trace.event("catchup", phase="start", reason=reason)
+        logger.info(
+            "%s: snapshot catch-up triggered (%s, preferred=%s)",
+            self.name, reason, preferred or "-",
+        )
+        self._catchup_task = asyncio.ensure_future(
+            self._catchup(reason, preferred)
+        )
+        self._catchup_task.add_done_callback(self._note_task_crash)
+
+    async def _catchup(
+        self, reason: str, preferred: Optional[str]
+    ) -> None:
+        """Fetch and install a dominating peer snapshot, with retry.
+
+        While this runs the replica is degraded: updates and strict
+        queries are refused (typed errors), epsilon-bounded queries
+        keep answering from the stale-but-bounded local state.
+        """
+        backoff = self.retry_base
+        try:
+            while self._running:
+                try:
+                    source = await self._catchup_round(preferred)
+                except asyncio.CancelledError:
+                    raise
+                except (
+                    OSError,
+                    ConnectionError,
+                    asyncio.TimeoutError,
+                    ProtocolError,
+                    SnapshotError,
+                    RuntimeError,
+                    ValueError,
+                ) as exc:
+                    self.m_catchup.labels(outcome="retry").inc()
+                    logger.debug(
+                        "%s: catch-up round failed (%r), retrying",
+                        self.name, exc,
+                    )
+                    await asyncio.sleep(backoff)
+                    backoff = min(backoff * 2, self.retry_max)
+                    continue
+                self.m_catchup.labels(outcome="installed").inc()
+                self.trace.event(
+                    "catchup", phase="installed", source=source,
+                )
+                logger.info(
+                    "%s: catch-up complete (installed snapshot from %s)",
+                    self.name, source,
+                )
+                return
+        finally:
+            self._catching_up = False
+            self.trace.event("catchup", phase="done", reason=reason)
+            self._kick_channels()
+            await self._notify_drain()
+
+    async def _catchup_round(self, preferred: Optional[str]) -> str:
+        """One attempt: survey peers, fetch the best candidate's fresh
+        snapshot, install it if it dominates.  Returns the source."""
+        me = self.name
+        surveys: Dict[str, Dict[str, Any]] = {}
+        for peer in self.peer_names:
+            try:
+                reply = await self._peer_request(peer, "stats", timeout=2.0)
+            except (
+                OSError,
+                ConnectionError,
+                RuntimeError,
+                asyncio.TimeoutError,
+            ):
+                continue
+            surveys[peer] = reply.get("stats", {})
+        if not surveys:
+            raise ConnectionError("no reachable peer to catch up from")
+        # The highest local tid any reachable peer has durably seen
+        # from this site: the installed snapshot's local frontier must
+        # reach it, or freshly assigned tids could collide with updates
+        # of a former life still circulating in peers' logs.
+        required_local = max(
+            [
+                int(s.get("inbox_frontier", {}).get(me, 0))
+                for s in surveys.values()
+            ]
+            + [self.inboxes[LOCAL_CHANNEL].frontier]
+        )
+
+        def advance(peer: str) -> Tuple[int, int]:
+            fr = surveys[peer].get("inbox_frontier", {})
+            return (
+                int(fr.get(me, 0)),
+                sum(int(v) for v in fr.values()),
+            )
+
+        candidates = sorted(surveys, key=advance, reverse=True)
+        if preferred in surveys:
+            candidates.remove(preferred)
+            candidates.insert(0, preferred)
+        last_error: Optional[BaseException] = None
+        for source in candidates:
+            try:
+                body = await self._fetch_snapshot(source)
+                if body.get("method") != self.method:
+                    raise SnapshotError(
+                        "snapshot from %s is for method %r"
+                        % (source, body.get("method"))
+                    )
+                if body.get("site") != source:
+                    raise SnapshotError(
+                        "snapshot from %s claims site %r"
+                        % (source, body.get("site"))
+                    )
+                translated = self._translate_frontiers(
+                    source, body["frontiers"]
+                )
+                if not self._dominates(translated, required_local):
+                    raise RuntimeError(
+                        "snapshot from %s does not dominate local state"
+                        % source
+                    )
+            except (
+                OSError,
+                ConnectionError,
+                asyncio.TimeoutError,
+                ProtocolError,
+                SnapshotError,
+                RuntimeError,
+                ValueError,
+            ) as exc:
+                last_error = exc
+                continue
+            await self._install_snapshot(body, translated)
+            return source
+        assert last_error is not None
+        raise last_error
+
+    async def _fetch_snapshot(self, source: str) -> Dict[str, Any]:
+        """Pull one peer's snapshot in chunks over the request verb.
+
+        ``fresh=True`` on the first chunk makes the source take a new
+        snapshot before serving, so the image reflects its *current*
+        frontiers — stale images would fail the dominance check."""
+        chunks: List[str] = []
+        offset = 0
+        total: Optional[int] = None
+        while True:
+            reply = await self._peer_request(
+                source,
+                "snapshot-fetch",
+                timeout=15.0,
+                offset=offset,
+                fresh=(offset == 0),
+            )
+            data = str(reply.get("data", ""))
+            chunks.append(data)
+            offset += len(data)
+            total = int(reply.get("total", 0))
+            if reply.get("eof") or not data:
+                break
+        raw = "".join(chunks)
+        if total is not None and len(raw) != total:
+            raise SnapshotError(
+                "snapshot fetch from %s truncated (%d of %d bytes)"
+                % (source, len(raw), total)
+            )
+        return open_snapshot(json.loads(raw))
+
+    def _translate_frontiers(
+        self, source: str, frontiers: Dict[str, Any]
+    ) -> Dict[str, int]:
+        """Re-index a source snapshot's frontiers into this site's
+        channel namespace.
+
+        The source's ``_local`` channel is our inbound channel *from*
+        the source; the source's channel *for us* carries our own
+        updates, so it becomes our local frontier (and tid counter).
+        Channels to third peers keep their names.
+        """
+        fr = {src: int(seq) for src, seq in frontiers.items()}
+        translated: Dict[str, int] = {}
+        for channel in self.inboxes:
+            if channel == LOCAL_CHANNEL:
+                translated[channel] = fr.get(self.name, 0)
+            elif channel == source:
+                translated[channel] = fr.get(LOCAL_CHANNEL, 0)
+            else:
+                translated[channel] = fr.get(channel, 0)
+        return translated
+
+    def _dominates(
+        self, translated: Dict[str, int], required_local: int
+    ) -> bool:
+        """A snapshot is installable only if it is at or ahead of this
+        site on *every* channel (installing would otherwise roll back
+        applied state) and its local frontier covers every tid any
+        reachable peer has seen from us (tid-collision protection)."""
+        for channel, inbox in self.inboxes.items():
+            if translated.get(channel, 0) < inbox.frontier:
+                return False
+        return translated.get(LOCAL_CHANNEL, 0) >= required_local
+
+    async def _install_snapshot(
+        self, body: Dict[str, Any], translated: Dict[str, int]
+    ) -> None:
+        """Adopt a peer snapshot as this site's new applied state.
+
+        Persisting the re-sealed snapshot (atomic rename) is the
+        commit point: a crash before it leaves the old state intact;
+        a crash after it recovers into the installed image, with
+        ``_recover`` aligning any log that missed its reset.  In-flight
+        local commit futures are cancelled — their updates are either
+        inside the snapshot (a former life this site no longer
+        remembers acking) or refused.
+        """
+        async with self._snapshot_lock:
+            async with self._apply_lock:
+                mine = {
+                    "site": self.name,
+                    "method": self.method,
+                    "frontiers": translated,
+                    "engine": body["engine"],
+                }
+                size = self._snapshot_store.save(seal_snapshot(mine))
+                self.m_snapshots.labels(kind="install").inc()
+                self.m_snapshot_bytes.observe(size)
+                for src, inbox in self.inboxes.items():
+                    inbox.reset_to(translated.get(src, 0))
+                local_floor = translated.get(LOCAL_CHANNEL, 0)
+                for outbox in self.outboxes.values():
+                    outbox.reset_to(local_floor)
+                self._seq_tid.clear()
+                self._unacked.clear()
+                self._local_keys.clear()
+                for fut in list(self._apply_futures.values()) + list(
+                    self._full_ack_futures.values()
+                ):
+                    if not fut.done():
+                        fut.cancel()
+                self._apply_futures.clear()
+                self._full_ack_futures.clear()
+                await self.engine.restore(body["engine"])
+                self._snapshot_frontiers = dict(translated)
+                self._last_snapshot_at = self.engine.clock()
+                self.catchup_installs += 1
+            self.trace.event(
+                "catchup",
+                phase="install",
+                source=body.get("site"),
+                frontiers=dict(translated),
+            )
+
     # -- request serving -------------------------------------------------------
 
     async def _serve_request(self, frame: Dict[str, Any], send) -> None:
@@ -947,6 +1714,8 @@ class ReplicaServer:
                 "order": self._handle_order,
                 "ping": self._handle_ping,
                 "metrics": self._handle_metrics,
+                "snapshot": self._handle_snapshot,
+                "snapshot-fetch": self._handle_snapshot_fetch,
             }.get(verb)
             if handler is None:
                 raise ValueError("unknown verb %r" % verb)
@@ -973,6 +1742,46 @@ class ReplicaServer:
 
     async def _handle_ping(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         return {"site": self.name, "method": self.engine.method_name}
+
+    async def _handle_snapshot(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """On-demand snapshot + compaction (operator / CLI verb)."""
+        if self._catching_up:
+            raise Unavailable(
+                "snapshot refused: replica is installing a peer snapshot"
+            )
+        result = await self.take_snapshot(kind="manual")
+        return {
+            "snapshot": {
+                "bytes": result["bytes"],
+                "frontiers": result["frontiers"],
+                "compacted": result["compacted"],
+            }
+        }
+
+    async def _handle_snapshot_fetch(
+        self, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Serve one chunk of this site's snapshot to a catching-up
+        peer.  ``fresh`` forces a new capture first; chunks are byte
+        slices of the (pure-ASCII) serialized envelope."""
+        if self._catching_up:
+            raise Unavailable(
+                "snapshot-fetch refused: this replica is itself catching up"
+            )
+        if bool(frame.get("fresh")) or not self._snapshot_store.exists():
+            await self.take_snapshot(kind="serve")
+        envelope = self._snapshot_store.load_envelope()
+        if envelope is None:
+            raise Unavailable("no valid snapshot available")
+        data = snapshot_bytes(envelope)
+        offset = max(0, int(frame.get("offset", 0)))
+        chunk = data[offset:offset + SNAPSHOT_CHUNK]
+        return {
+            "total": len(data),
+            "offset": offset,
+            "data": chunk.decode("ascii"),
+            "eof": offset + len(chunk) >= len(data),
+        }
 
     def _refresh_gauges(self) -> None:
         """Bring sampled (pull-model) series up to date for a scrape:
@@ -1007,6 +1816,12 @@ class ReplicaServer:
                 box.fsync_seconds
             )
             self.m_log_bytes.labels(log=label).set_to(box.bytes_written)
+            self.m_log_compactions.labels(log=label).set_to(
+                box.compaction_count
+            )
+            self.m_log_compacted.labels(log=label).set_to(
+                box.compacted_records
+            )
 
     async def _handle_metrics(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         """Expose the registry: Prometheus text plus a JSON mirror.
@@ -1064,6 +1879,26 @@ class ReplicaServer:
             },
             unacked_updates=len(self._unacked),
             drained=self._drained(),
+            catching_up=self._catching_up,
+            catchup_installs=self.catchup_installs,
+            backlog_limit=self.backlog_limit,
+            snapshot={
+                "exists": self._snapshot_store.exists(),
+                "frontiers": dict(self._snapshot_frontiers),
+                "age": (
+                    None
+                    if self._last_snapshot_at is None
+                    else round(now - self._last_snapshot_at, 4)
+                ),
+            },
+            log_bases={
+                "inbox": {
+                    src: box.base for src, box in self.inboxes.items()
+                },
+                "outbox": {
+                    p: box.base for p, box in self.outboxes.items()
+                },
+            },
         )
         return {"stats": stats}
 
@@ -1169,6 +2004,25 @@ class ReplicaServer:
             raise ValueError("update without operations")
         if not any(is_write(op) for op in ops):
             raise ValueError("update ET must contain a write (use query)")
+        if self._catching_up:
+            # Accepting an update mid-install would stamp it with a tid
+            # the incoming snapshot is about to overwrite.
+            self.m_updates_rejected.labels(reason="catchup").inc()
+            raise Unavailable(
+                "update refused: replica is installing a peer snapshot"
+            )
+        if self.backlog_limit:
+            worst = max(
+                (box.backlog for box in self.outboxes.values()), default=0
+            )
+            if worst >= self.backlog_limit:
+                # Shed write load instead of growing the durable queues
+                # without bound while a peer is slow or partitioned.
+                self.m_updates_rejected.labels(reason="overloaded").inc()
+                raise Overloaded(
+                    "update refused: channel backlog %d >= limit %d"
+                    % (worst, self.backlog_limit)
+                )
         self.engine.validate_update(ops)
         writes = tuple(op for op in ops if is_write(op))
         read_keys = [op.key for op in ops if op.is_read_op]
@@ -1177,46 +2031,51 @@ class ReplicaServer:
         if self.engine.needs_order:
             order = await self._acquire_order()
 
-        tid_seq = self.inboxes[LOCAL_CHANNEL].frontier + 1
-        tid = "%s:%d" % (self.name, tid_seq)
-        info = (("reads", read_keys),) if read_keys else ()
-        mset = MSet(
-            tid,
-            MSetKind.UPDATE,
-            writes,
-            origin=self.name,
-            order=order,
-            info=info,
-        )
-        payload = {"mset": encode_mset(mset)}
-        self.trace.event(
-            "update-submit", tid=tid, keys=list(mset.keys)
-        )
+        # The tid-assign -> record -> append -> apply region runs under
+        # the apply lock so a concurrent snapshot never captures a
+        # frontier whose engine effects it lacks (commit waits happen
+        # after release).
+        async with self._apply_lock:
+            tid_seq = self.inboxes[LOCAL_CHANNEL].frontier + 1
+            tid = "%s:%d" % (self.name, tid_seq)
+            info = (("reads", read_keys),) if read_keys else ()
+            mset = MSet(
+                tid,
+                MSetKind.UPDATE,
+                writes,
+                origin=self.name,
+                order=order,
+                info=info,
+            )
+            payload = {"mset": encode_mset(mset)}
+            self.trace.event(
+                "update-submit", tid=tid, keys=list(mset.keys)
+            )
 
-        # Durability before acknowledgement: the local log first, then
-        # every outbound channel log.  Only then is the update "in the
-        # stable queues" in the paper's sense.  ``sync()`` closes the
-        # ``fsync_interval`` window — nothing below may be reported
-        # committed while its log record is still unsynced.
-        self.inboxes[LOCAL_CHANNEL].record(tid_seq, payload)
-        self._local_keys[tid] = mset.keys
-        if self.peer_names:
-            self._unacked[tid] = set(self.peer_names)
+            # Durability before acknowledgement: the local log first,
+            # then every outbound channel log.  Only then is the update
+            # "in the stable queues" in the paper's sense.  ``sync()``
+            # closes the ``fsync_interval`` window — nothing below may
+            # be reported committed while its record is still unsynced.
+            self.inboxes[LOCAL_CHANNEL].record(tid_seq, payload)
+            self._local_keys[tid] = mset.keys
+            if self.peer_names:
+                self._unacked[tid] = set(self.peer_names)
+                for peer in self.peer_names:
+                    seq = self.outboxes[peer].append(payload)
+                    self._seq_tid[(peer, seq)] = tid
+            self.inboxes[LOCAL_CHANNEL].sync()
             for peer in self.peer_names:
-                seq = self.outboxes[peer].append(payload)
-                self._seq_tid[(peer, seq)] = tid
-        self.inboxes[LOCAL_CHANNEL].sync()
-        for peer in self.peer_names:
-            self.outboxes[peer].sync()
+                self.outboxes[peer].sync()
 
-        loop = asyncio.get_event_loop()
-        if self.engine.needs_order:
-            self._apply_futures[tid] = loop.create_future()
-        if self.engine.sync_commit and self.peer_names:
-            self._full_ack_futures[tid] = loop.create_future()
+            loop = asyncio.get_event_loop()
+            if self.engine.needs_order:
+                self._apply_futures[tid] = loop.create_future()
+            if self.engine.sync_commit and self.peer_names:
+                self._full_ack_futures[tid] = loop.create_future()
 
-        applied = await self.engine.accept(mset, local=True)
-        self._resolve_applied(applied)
+            applied = await self.engine.accept(mset, local=True)
+            self._resolve_applied(applied)
         self.trace.event(
             "update-apply", tid=tid, held=(mset not in applied)
         )
@@ -1274,6 +2133,11 @@ class ReplicaServer:
         timeout.  The guard also trips for queries already in flight
         when the partition starts.
         """
+        if self._catching_up:
+            raise Unavailable(
+                "epsilon=0 query refused: replica is installing a peer"
+                " snapshot"
+            )
         if self.degraded():
             raise Unavailable(
                 "epsilon=0 query refused: peers %s suspected"

@@ -1,0 +1,407 @@
+"""Snapshot checkpoints, catch-up, and rejoin across the live stack.
+
+Bottom-up coverage of the recovery tentpole: the envelope format
+(versioned + checksummed, corrupt images read as absent), engine
+checkpoint/restore round-trips, the server's snapshot verb with log
+compaction, restart-from-snapshot equivalence, anti-entropy rejoin of
+a disk-wiped replica, backpressure shedding (``OVERLOADED``), client
+primary rehoming after failover, and the packaged rejoin chaos
+scenario.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.live import (
+    LiveCluster,
+    LiveETFailed,
+    RejoinConfig,
+    SnapshotError,
+    SnapshotStore,
+    open_snapshot,
+    run_rejoin,
+    seal_snapshot,
+)
+from repro.live.client import LiveClient
+from repro.live.engine import make_engine
+from repro.live.server import LOCAL_CHANNEL, ReplicaServer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+#: timings tuned for test speed, not realism.
+FAST = dict(heartbeat_interval=0.1, suspect_after=0.4)
+
+
+def _body(**overrides):
+    body = {
+        "site": "site0",
+        "method": "commu",
+        "frontiers": {LOCAL_CHANNEL: 3, "site1": 2},
+        "engine": {"values": {"k": 1}},
+    }
+    body.update(overrides)
+    return body
+
+
+class TestSnapshotEnvelope:
+    def test_seal_open_round_trip(self):
+        body = _body()
+        envelope = seal_snapshot(body)
+        assert envelope["version"] == 1
+        assert open_snapshot(envelope) == body
+
+    def test_tampered_body_is_rejected(self):
+        envelope = seal_snapshot(_body())
+        envelope["body"]["frontiers"]["site1"] = 999
+        with pytest.raises(SnapshotError):
+            open_snapshot(envelope)
+
+    def test_alien_version_is_rejected(self):
+        envelope = seal_snapshot(_body())
+        envelope["version"] = 2
+        with pytest.raises(SnapshotError):
+            open_snapshot(envelope)
+
+    def test_missing_fields_are_rejected(self):
+        envelope = seal_snapshot({"site": "site0"})
+        with pytest.raises(SnapshotError):
+            open_snapshot(envelope)
+
+    def test_store_round_trip(self, tmp_path):
+        store = SnapshotStore(tmp_path / "snapshot.json")
+        body = _body()
+        assert store.load() is None
+        assert not store.exists()
+        assert store.save(seal_snapshot(body)) > 0
+        assert store.exists()
+        assert store.load() == body
+
+    def test_corrupt_file_reads_as_absent(self, tmp_path):
+        path = tmp_path / "snapshot.json"
+        store = SnapshotStore(path)
+        store.save(seal_snapshot(_body()))
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])  # torn image
+        assert store.load() is None
+        path.write_bytes(b"not json at all\n")
+        assert store.load() is None
+
+
+class TestEngineCheckpoint:
+    @pytest.mark.parametrize("method", ["commu", "ordup", "rowa"])
+    def test_checkpoint_restore_round_trip(self, method):
+        async def scenario():
+            peers = ("site0", "site1", "site2")
+            engine = make_engine(method, "site0", peers)
+            image = await engine.checkpoint()
+            clone = make_engine(method, "site0", peers)
+            await clone.restore(image)
+            # The restore is faithful: checkpointing the clone yields
+            # the identical image.
+            assert await clone.checkpoint() == image
+
+        run(scenario())
+
+    def test_checkpoint_after_load_round_trips(self, tmp_path):
+        """A checkpoint taken mid-life (non-empty store, advanced
+        frontiers) restores into an equal engine."""
+
+        async def scenario():
+            cluster = LiveCluster(
+                n_sites=2, method="commu", data_dir=tmp_path, **FAST
+            )
+            await cluster.start()
+            try:
+                client = await cluster.client("site0")
+                for i in range(12):
+                    await client.increment("k%d" % (i % 3), 1)
+                await cluster.settle()
+                engine = cluster.servers["site0"].engine
+                image = await engine.checkpoint()
+                clone = make_engine(
+                    "commu", "site0", ("site0", "site1")
+                )
+                await clone.restore(image)
+                assert await clone.checkpoint() == image
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+
+class TestSnapshotVerb:
+    def test_snapshot_compacts_the_logs(self, tmp_path):
+        async def scenario():
+            cluster = LiveCluster(
+                n_sites=3, method="commu", data_dir=tmp_path, **FAST
+            )
+            await cluster.start()
+            try:
+                client = await cluster.client("site0")
+                for i in range(20):
+                    await client.increment("k%d" % (i % 4), 1)
+                await cluster.settle()
+                summary = await cluster.snapshot("site0")
+                assert summary["bytes"] > 0
+                assert summary["frontiers"][LOCAL_CHANNEL] == 20
+                # Every applied record was below the snapshot
+                # frontier, so compaction dropped all of them:
+                # 20 local + 2 peer inboxes' worth on this site.
+                assert summary["compacted"] > 0
+                stats = (await cluster.site_stats())["site0"]
+                assert stats["snapshot"]["exists"] is True
+                assert stats["log_bases"]["inbox"][LOCAL_CHANNEL] == 20
+                # Compaction is observable, and a second snapshot
+                # with no new work compacts nothing further.
+                again = await cluster.snapshot("site0")
+                assert again["compacted"] == 0
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_restart_from_snapshot_preserves_state(self, tmp_path):
+        async def scenario():
+            cluster = LiveCluster(
+                n_sites=3, method="commu", data_dir=tmp_path, **FAST
+            )
+            await cluster.start()
+            try:
+                client = await cluster.client("site0")
+                for i in range(30):
+                    await client.increment("k%d" % (i % 4), 1)
+                await cluster.settle()
+                await cluster.snapshot_all()
+                before = await cluster.site_values()
+
+                # Kill + restart: recovery now starts from the
+                # snapshot and replays only the (empty) log tails.
+                await cluster.kill("site2")
+                await cluster.restart("site2")
+                await cluster.settle()
+                assert await cluster.converged()
+                assert (await cluster.site_values())["site2"] == (
+                    before["site2"]
+                )
+                # And the restarted replica still accepts new work.
+                client2 = await cluster.client("site2")
+                await client2.increment("k0", 1)
+                await cluster.settle()
+                assert await cluster.converged()
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+
+class TestWipedReplicaRejoin:
+    def test_wiped_replica_rejoins_via_snapshot_transfer(self, tmp_path):
+        """Disk loss + compacted donors: replay is impossible, the
+        wiped replica must fetch and install a peer snapshot."""
+
+        async def scenario():
+            cluster = LiveCluster(
+                n_sites=3, method="commu", data_dir=tmp_path, **FAST
+            )
+            await cluster.start()
+            try:
+                clients = {
+                    name: await cluster.client(name)
+                    for name in cluster.names
+                }
+                for i in range(24):
+                    name = cluster.names[i % 3]
+                    await clients[name].increment("k%d" % (i % 4), 1)
+                await cluster.settle()
+                # Compact everywhere: donor logs can no longer serve
+                # the wiped site's history from seq 1.
+                await cluster.snapshot_all()
+                before = await cluster.site_values()
+
+                await cluster.wipe("site2")
+                await cluster.restart("site2")
+                await cluster.wait_caught_up("site2")
+                await cluster.settle()
+
+                stats = await cluster.site_stats()
+                assert stats["site2"]["catchup_installs"] >= 1
+                assert stats["site2"]["catching_up"] is False
+                assert await cluster.converged()
+                # No acked update lost: the pre-wipe state survived
+                # the wipe via the snapshot transfer.
+                assert (await cluster.site_values())["site2"] == (
+                    before["site0"]
+                )
+
+                # The rejoined replica is a first-class citizen again:
+                # its fresh transaction ids collide with nothing.
+                client2 = await cluster.client("site2")
+                for _ in range(6):
+                    await client2.increment("k0", 1)
+                await cluster.settle()
+                assert await cluster.converged()
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+
+class TestBackpressure:
+    def test_updates_shed_with_overloaded_when_backlog_grows(
+        self, tmp_path
+    ):
+        async def scenario():
+            cluster = LiveCluster(
+                n_sites=2,
+                method="commu",
+                data_dir=tmp_path,
+                server_options={"backlog_limit": 6},
+                **FAST,
+            )
+            await cluster.start()
+            try:
+                client = await cluster.client("site0")
+                stats = (await cluster.site_stats())["site0"]
+                assert stats["backlog_limit"] == 6
+                # With the peer down, every accepted update parks in
+                # the outbox; past the limit the replica sheds load
+                # with a *typed* error instead of growing unboundedly.
+                await cluster.kill("site1")
+                accepted, outcome = 0, None
+                for _ in range(20):
+                    try:
+                        await client.increment("k0", 1)
+                        accepted += 1
+                    except LiveETFailed as exc:
+                        outcome = exc
+                        break
+                assert outcome is not None, "backlog never hit the limit"
+                assert outcome.overloaded
+                assert outcome.code == "OVERLOADED"
+                assert accepted <= 6
+
+                # Draining the backlog restores service.
+                await cluster.restart("site1")
+                await cluster.settle()
+                await client.increment("k0", 1)
+                await cluster.settle()
+                assert await cluster.converged()
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+
+class TestClientRehoming:
+    def test_client_rehomes_to_primary_after_failover(self, tmp_path):
+        async def scenario():
+            names = ["site0", "site1"]
+            servers = {}
+            for name in names:
+                servers[name] = ReplicaServer(
+                    name,
+                    peers=names,
+                    data_dir=tmp_path / name,
+                    method="commu",
+                    **FAST,
+                )
+            addrs = {
+                name: ("127.0.0.1", await server.bind("127.0.0.1", 0))
+                for name, server in servers.items()
+            }
+            for server in servers.values():
+                server.set_peers(addrs)
+                server.start_channels()
+            client = await LiveClient.connect(
+                *addrs["site0"],
+                failover=[addrs["site1"]],
+                primary_retry_interval=0.1,
+            )
+            try:
+                await client.values()
+                assert client._active_index == 0
+
+                # Primary dies: the next idempotent request fails
+                # over to the secondary.
+                await servers["site0"].stop()
+                await client.values()
+                assert client._active_index == 1
+                assert client.rehomes == 0
+
+                # Primary returns on the *same* address: after the
+                # retry interval, an idle moment rehomes the client.
+                servers["site0"] = ReplicaServer(
+                    "site0",
+                    peers=names,
+                    data_dir=tmp_path / "site0",
+                    method="commu",
+                    **FAST,
+                )
+                await servers["site0"].bind(*addrs["site0"])
+                servers["site0"].set_peers(addrs)
+                servers["site0"].start_channels()
+                deadline = asyncio.get_event_loop().time() + 5.0
+                while (
+                    client._active_index != 0
+                    and asyncio.get_event_loop().time() < deadline
+                ):
+                    await asyncio.sleep(0.12)
+                    await client.values()
+                assert client._active_index == 0
+                assert client.rehomes == 1
+                # The rehomed connection actually works.
+                await client.increment("k0", 1)
+            finally:
+                await client.close()
+                for server in servers.values():
+                    await server.stop()
+
+        run(scenario())
+
+
+class TestRejoinScenario:
+    @pytest.mark.parametrize("method", ["commu", "ordup"])
+    def test_packaged_rejoin_scenario_holds_invariants(
+        self, method, tmp_path
+    ):
+        async def scenario():
+            config = RejoinConfig(
+                seed=11,
+                method=method,
+                n_updates_before=18,
+                n_updates_during=18,
+                n_updates_after=6,
+                heartbeat_interval=0.1,
+                suspect_after=0.4,
+            )
+            report = await run_rejoin(config)
+            assert report.violations() == [], report.render()
+            assert report.catchup_installs >= 1
+            assert report.converged
+            assert report.compacted_records > 0
+
+        run(scenario())
+
+    def test_long_downtime_without_wipe_recovers(self, tmp_path):
+        """Keep the disk: recovery may use channel redelivery alone,
+        but every invariant still holds."""
+
+        async def scenario():
+            config = RejoinConfig(
+                seed=12,
+                wipe=False,
+                n_updates_before=18,
+                n_updates_during=18,
+                n_updates_after=6,
+                heartbeat_interval=0.1,
+                suspect_after=0.4,
+            )
+            report = await run_rejoin(config)
+            assert report.violations() == [], report.render()
+            assert report.converged
+
+        run(scenario())
