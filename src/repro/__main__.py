@@ -11,10 +11,15 @@ Usage::
         --peers site1=127.0.0.1:7001,site2=127.0.0.1:7002 \\
         --data /var/lib/repro/site0 --method commu
 
+    python -m repro serve --shards 4 --replicas 3 --admin-port 7100
+        # sharded: 4 replica groups + an admin endpoint for migrate
+
     python -m repro live-demo            # 3-replica cluster demo
     python -m repro chaos --seed 7       # seeded fault-injection run
     python -m repro chaos --seed 7 --artifacts out/  # + metrics/trace
     python -m repro chaos --scenario rejoin --seed 7 # disk-wipe rejoin
+    python -m repro chaos --scenario migrate --seed 7  # live shard move
+    python -m repro migrate --admin-port 7100 --shard 1  # move shard 1
     python -m repro metrics-dump --port 7000         # scrape one replica
     python -m repro snapshot --port 7000             # checkpoint + compact
 """
@@ -101,11 +106,133 @@ def _parse_peers(spec: str) -> Dict[str, Tuple[str, int]]:
     return peers
 
 
+def _cmd_serve_shards(args: argparse.Namespace) -> int:
+    """Boot a sharded deployment in one process: ``--shards`` replica
+    groups plus a tiny admin endpoint (same frame protocol) answering
+    ``ping`` / ``shard-map`` / ``settle`` / ``migrate`` / ``stats`` —
+    the ``migrate`` subcommand talks to it."""
+    import asyncio
+
+    from .live.cluster import ShardedCluster
+    from .live.protocol import read_frame, write_frame
+
+    async def main() -> int:
+        cluster = ShardedCluster(
+            n_shards=args.shards,
+            replicas=args.replicas,
+            method=args.method,
+            data_dir=pathlib.Path(args.data) if args.data else None,
+            host=args.host,
+            fsync=args.fsync,
+        )
+        await cluster.start()
+
+        async def admin(reader, writer) -> None:
+            try:
+                while True:
+                    frame = await read_frame(reader)
+                    if frame is None:
+                        return
+                    rid = frame.get("id")
+                    verb = frame.get("verb")
+                    try:
+                        if verb == "ping":
+                            body = {
+                                "shards": cluster.n_shards,
+                                "epoch": cluster.map.epoch,
+                            }
+                        elif verb == "shard-map":
+                            body = {"map": cluster.map.to_dict()}
+                        elif verb == "settle":
+                            await cluster.settle(
+                                timeout=float(frame.get("wait", 30.0))
+                            )
+                            body = {"drained": True}
+                        elif verb == "migrate":
+                            new_map = await cluster.migrate(
+                                int(frame.get("shard", 0))
+                            )
+                            body = {"map": new_map.to_dict()}
+                        elif verb == "stats":
+                            body = {"stats": await cluster.shard_stats()}
+                        else:
+                            raise ValueError("unknown admin verb %r" % verb)
+                        await write_frame(
+                            writer,
+                            {"type": "response", "id": rid, "ok": True,
+                             **body},
+                        )
+                    except (ConnectionError, OSError):
+                        raise
+                    except Exception as exc:
+                        await write_frame(
+                            writer,
+                            {
+                                "type": "response",
+                                "id": rid,
+                                "ok": False,
+                                "error": str(exc),
+                                "code": type(exc).__name__,
+                            },
+                        )
+            except (ConnectionError, OSError):
+                pass
+            finally:
+                writer.close()
+
+        admin_server = await asyncio.start_server(
+            admin, args.host, args.admin_port
+        )
+        admin_port = admin_server.sockets[0].getsockname()[1]
+        print(
+            "sharded %s cluster: %d shards x %d replicas, admin on %s:%d"
+            % (
+                args.method,
+                args.shards,
+                args.replicas,
+                args.host,
+                admin_port,
+            )
+        )
+        for shard, group in enumerate(cluster.groups):
+            print(
+                "  shard %d: %s"
+                % (
+                    shard,
+                    ", ".join(
+                        "%s=%s:%d" % (n, h, p)
+                        for n, (h, p) in sorted(group.addrs.items())
+                    ),
+                )
+            )
+        try:
+            while True:
+                await asyncio.sleep(3600)
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            admin_server.close()
+            await cluster.stop()
+        return 0
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .live.server import ReplicaServer
 
+    if args.shards:
+        return _cmd_serve_shards(args)
+    if not args.name or not args.data:
+        raise SystemExit(
+            "serve needs --name and --data (or --shards N for the "
+            "sharded in-process deployment)"
+        )
     peers = _parse_peers(args.peers)
 
     async def main() -> int:
@@ -199,6 +326,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     artifacts_dir = (
         pathlib.Path(args.artifacts) if args.artifacts else None
     )
+    if args.scenario == "migrate":
+        from .live.chaos import MigrateConfig, run_migrate_sync
+
+        migrate_config = MigrateConfig(
+            seed=args.seed,
+            n_shards=args.shards,
+            method=args.method,
+            crash_during=not args.no_crash,
+        )
+        migrate_report = run_migrate_sync(
+            migrate_config, artifacts_dir=artifacts_dir
+        )
+        print(migrate_report.render())
+        return 0 if migrate_report.ok else 1
     if args.scenario == "rejoin":
         from .live.chaos import RejoinConfig, run_rejoin_sync
 
@@ -231,6 +372,27 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     report = run_chaos_sync(config, artifacts_dir=artifacts_dir)
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    """Ask a sharded deployment's admin endpoint to live-migrate one
+    shard onto a fresh replica group; prints the new shard map."""
+    import asyncio
+    import json as json_mod
+
+    from .live.shard import shard_admin_request
+
+    async def main() -> int:
+        reply = await shard_admin_request(
+            (args.host, args.admin_port),
+            "migrate",
+            timeout=args.timeout,
+            shard=args.shard,
+        )
+        print(json_mod.dumps(reply["map"], indent=2, sort_keys=True))
+        return 0
+
+    return asyncio.run(main())
 
 
 def _cmd_snapshot(args: argparse.Namespace) -> int:
@@ -306,7 +468,10 @@ def main(argv: List[str] = None) -> int:
     serve = sub.add_parser(
         "serve", help="run one live replica server (asyncio TCP)"
     )
-    serve.add_argument("--name", required=True, help="this site's name")
+    serve.add_argument(
+        "--name", default=None,
+        help="this site's name (single-replica mode)",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0)
     serve.add_argument(
@@ -314,7 +479,21 @@ def main(argv: List[str] = None) -> int:
         help="comma-separated name=host:port peer listing",
     )
     serve.add_argument(
-        "--data", required=True, help="durable queue / log directory"
+        "--data", default=None,
+        help="durable queue / log directory (required unless --shards)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=0,
+        help="boot a sharded deployment instead: N replica groups in "
+        "this process, plus an admin endpoint for live migration",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=3,
+        help="replicas per shard group (sharded mode)",
+    )
+    serve.add_argument(
+        "--admin-port", type=int, default=0,
+        help="admin endpoint port in sharded mode (0 = ephemeral)",
     )
     serve.add_argument(
         "--method", default="commu", choices=("commu", "ordup", "rowa")
@@ -372,9 +551,16 @@ def main(argv: List[str] = None) -> int:
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--sites", type=int, default=3)
     chaos.add_argument(
-        "--scenario", default="faults", choices=("faults", "rejoin"),
+        "--scenario", default="faults",
+        choices=("faults", "rejoin", "migrate"),
         help="'faults' = drops/partition/crash (default); 'rejoin' = "
-        "snapshot + compaction + disk-wipe anti-entropy rejoin",
+        "snapshot + compaction + disk-wipe anti-entropy rejoin; "
+        "'migrate' = live shard cutover under routed write load "
+        "(crash mid-migration unless --no-crash)",
+    )
+    chaos.add_argument(
+        "--shards", type=int, default=3,
+        help="migrate scenario only: number of shards",
     )
     chaos.add_argument(
         "--no-wipe", action="store_true",
@@ -423,6 +609,23 @@ def main(argv: List[str] = None) -> int:
     )
     snapshot.add_argument("--host", default="127.0.0.1")
     snapshot.add_argument("--port", type=int, required=True)
+    migrate = sub.add_parser(
+        "migrate",
+        help="live-migrate one shard of a sharded deployment onto a "
+        "fresh replica group (epoch-fenced cutover)",
+    )
+    migrate.add_argument("--host", default="127.0.0.1")
+    migrate.add_argument(
+        "--admin-port", type=int, required=True,
+        help="the sharded deployment's admin endpoint port",
+    )
+    migrate.add_argument(
+        "--shard", type=int, required=True, help="shard index to move"
+    )
+    migrate.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="cutover wall-clock budget in seconds",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -436,6 +639,8 @@ def main(argv: List[str] = None) -> int:
         return _cmd_metrics_dump(args)
     if args.command == "snapshot":
         return _cmd_snapshot(args)
+    if args.command == "migrate":
+        return _cmd_migrate(args)
     return _cmd_run(args.ids, args.out)
 
 

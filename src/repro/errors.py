@@ -21,6 +21,11 @@ Codes:
 * :data:`OVERLOADED` — the replica is alive but shedding write load:
   a peer channel's durable backlog is past its high-water mark.
   Retry later, or at a less loaded replica.
+* :data:`WRONG_SHARD` — the addressed replica group does not (or no
+  longer does) own the requested keys' shard.  The error response
+  carries the newest shard map the replica knows (``map``); refresh
+  the routing table and retry at the owner.  The sharded router does
+  this automatically.
 
 Catch-all::
 
@@ -41,6 +46,7 @@ __all__ = [
     "ETError",
     "OVERLOADED",
     "UNAVAILABLE",
+    "WRONG_SHARD",
 ]
 
 #: a request needing full replica agreement was honestly refused.
@@ -51,6 +57,8 @@ EPSILON_EXCEEDED = "EPSILON_EXCEEDED"
 ABORTED = "ABORTED"
 #: the replica refused an update to bound its durable backlog.
 OVERLOADED = "OVERLOADED"
+#: the addressed replica group does not own the requested shard.
+WRONG_SHARD = "WRONG_SHARD"
 
 
 class ETError(RuntimeError):
@@ -81,3 +89,8 @@ class ETError(RuntimeError):
     def overloaded(self) -> bool:
         """True when the replica shed the request to bound backlog."""
         return self.code == OVERLOADED
+
+    @property
+    def wrong_shard(self) -> bool:
+        """True when the request was routed to a non-owner group."""
+        return self.code == WRONG_SHARD

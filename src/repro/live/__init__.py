@@ -26,6 +26,10 @@ Layers:
   disk-wipe / long-downtime rejoin scenario.
 * :mod:`repro.live.snapshot` — versioned, checksummed site snapshots
   backing log compaction and anti-entropy rejoin.
+* :mod:`repro.live.shard` — epoch-versioned shard map plus the
+  epoch-fenced live shard migration orchestrator.
+* :mod:`repro.live.router` — client-side shard router: the
+  ``LiveClient`` verb surface over N replica groups.
 """
 
 from .chaos import (
@@ -40,7 +44,7 @@ from .chaos import (
     run_rejoin_sync,
 )
 from .client import LiveClient, LiveETFailed, LiveETResult, RequestTimeout
-from .cluster import LiveCluster
+from .cluster import LiveCluster, ShardedCluster
 from .durable_queue import DurableInbox, DurableOutbox
 from .faults import CrashEvent, FaultPlan, FrameFate, LinkFaults
 from .engine import (
@@ -53,7 +57,9 @@ from .engine import (
     RowaLiveEngine,
     make_engine,
 )
+from .router import ShardRouter
 from .server import LOCAL_CHANNEL, Overloaded, ReplicaServer, Unavailable
+from .shard import ShardMap, WrongShard, key_shard, migrate_shard
 from .snapshot import (
     SnapshotError,
     SnapshotStore,
@@ -76,6 +82,12 @@ __all__ = [
     "LiveETResult",
     "RequestTimeout",
     "LiveCluster",
+    "ShardedCluster",
+    "ShardMap",
+    "ShardRouter",
+    "WrongShard",
+    "key_shard",
+    "migrate_shard",
     "CrashEvent",
     "FaultPlan",
     "FrameFate",

@@ -36,11 +36,23 @@ the rejoin went through a snapshot install rather than full replay,
 that the cluster reconverges to one-copy state, and that the rejoined
 victim accepts new updates with fresh, non-colliding transaction ids.
 
+A third scenario, :func:`run_migrate`, abuses the sharding layer: a
+sharded cluster takes routed writes, then one shard is live-migrated
+onto a fresh replica group *while the write workload keeps running* —
+and, optionally, one replacement replica is crashed between the fence
+and the state transfer and healed shortly after.  The harness asserts
+the epoch-fenced cutover loses no acknowledged update, that every
+replacement replica joined by snapshot install (a migration is a
+rejoin), that the fenced-out group honestly refuses with
+``WRONG_SHARD`` afterwards, and that the cluster reconverges with the
+migrated shard fully writable at the new epoch.
+
 Reproducible from the CLI::
 
     python -m repro chaos --seed 7
     python -m repro chaos --seed 7 --method ordup --no-crash
     python -m repro chaos --scenario rejoin --seed 7
+    python -m repro chaos --scenario migrate --seed 7
 """
 
 from __future__ import annotations
@@ -56,17 +68,22 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..core.transactions import EpsilonSpec
 from ..obs.trace import dump_events_jsonl, merge_traces
 from .client import LiveClient, LiveETFailed, RequestTimeout
-from .cluster import LiveCluster
+from .cluster import LiveCluster, ShardedCluster
 from .faults import FaultPlan, LinkFaults
+from .shard import key_shard
 
 __all__ = [
     "ChaosConfig",
     "ChaosReport",
+    "MigrateConfig",
+    "MigrateReport",
     "RejoinConfig",
     "RejoinReport",
     "persist_cluster_artifacts",
     "run_chaos",
     "run_chaos_sync",
+    "run_migrate",
+    "run_migrate_sync",
     "run_rejoin",
     "run_rejoin_sync",
 ]
@@ -779,3 +796,325 @@ def run_rejoin_sync(
 ) -> RejoinReport:
     """Blocking wrapper for CLI / benchmark use."""
     return asyncio.run(run_rejoin(config, data_dir, artifacts_dir))
+
+
+# -- live shard migration scenario ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class MigrateConfig:
+    """One reproducible live-migration scenario.
+
+    ``crash_during=True`` kills one replacement replica in the window
+    between the fence and the state transfer — the point where a
+    buggy cutover would lose acknowledged updates — and heals it
+    after ``crash_heal_delay`` seconds; the migration must stall and
+    then complete, not fail.
+    """
+
+    seed: int = 0
+    n_shards: int = 3
+    replicas: int = 3
+    method: str = "commu"
+    #: routed updates before / concurrently with / after the cutover.
+    n_updates_before: int = 45
+    n_updates_during: int = 30
+    n_updates_after: int = 30
+    #: the shard that moves groups mid-workload.
+    migrate_shard_index: int = 1
+    #: enough keys that every shard owns several.
+    keys: Tuple[str, ...] = tuple("acct%d" % i for i in range(8))
+    crash_during: bool = True
+    crash_heal_delay: float = 0.4
+    heartbeat_interval: float = 0.15
+    suspect_after: float = 0.6
+    request_timeout: float = 20.0
+    settle_timeout: float = 60.0
+    #: wall-clock budget for the cutover (also the router's patience
+    #: window for requests caught mid-migration).
+    migration_timeout: float = 30.0
+
+
+@dataclass
+class MigrateReport:
+    """What one migration run observed, and whether the invariants
+    held."""
+
+    config: MigrateConfig
+    acked: Dict[str, int] = field(default_factory=dict)
+    attempted: Dict[str, int] = field(default_factory=dict)
+    final: Dict[str, Any] = field(default_factory=dict)
+    update_failures: int = 0
+    #: keys owned by the migrated shard (the blast radius).
+    migrated_keys: Tuple[str, ...] = ()
+    epoch_before: int = 0
+    epoch_after: int = 0
+    migration_seconds: float = 0.0
+    #: shard maps the router adopted from WRONG_SHARD refusals.
+    router_map_refreshes: int = 0
+    #: snapshot installs across the replacement group (one per
+    #: replica proves migration went through the rejoin machinery).
+    new_group_installs: int = 0
+    #: post-cutover probe: the fenced-out group refuses WRONG_SHARD.
+    old_group_refuses: Optional[bool] = None
+    #: post-cutover strict (epsilon=0) read of a migrated key.
+    strict_read_ok: bool = False
+    converged: bool = False
+    wall_seconds: float = 0.0
+    artifacts: Dict[str, str] = field(default_factory=dict)
+
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        for key in sorted(set(self.acked) | set(self.final)):
+            acked = self.acked.get(key, 0)
+            attempted = self.attempted.get(key, 0)
+            got = self.final.get(key, 0)
+            if got < acked:
+                out.append(
+                    "acked update lost across the migration: %s "
+                    "converged to %s but %d increments were "
+                    "acknowledged" % (key, got, acked)
+                )
+            if got > attempted:
+                out.append(
+                    "update double-applied: %s converged to %s but "
+                    "only %d increments were attempted"
+                    % (key, got, attempted)
+                )
+        if self.epoch_after <= self.epoch_before:
+            out.append(
+                "shard-map epoch did not advance (%d -> %d)"
+                % (self.epoch_before, self.epoch_after)
+            )
+        if self.new_group_installs < self.config.replicas:
+            out.append(
+                "replacement group installed %d snapshot(s), expected "
+                "one per replica (%d) — the cutover bypassed the "
+                "rejoin machinery"
+                % (self.new_group_installs, self.config.replicas)
+            )
+        if self.old_group_refuses is False:
+            out.append(
+                "fenced-out group still serves its old shard instead "
+                "of refusing WRONG_SHARD"
+            )
+        if not self.strict_read_ok:
+            out.append(
+                "strict (epsilon=0) read of a migrated key failed "
+                "after the cutover"
+            )
+        if not self.converged:
+            out.append("replicas did not converge after the migration")
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations()
+
+    def render(self) -> str:
+        cfg = self.config
+        lines = [
+            "Migration run: seed=%d method=%s shards=%d x%d replicas "
+            "(%d+%d+%d routed updates%s)"
+            % (
+                cfg.seed,
+                cfg.method.upper(),
+                cfg.n_shards,
+                cfg.replicas,
+                cfg.n_updates_before,
+                cfg.n_updates_during,
+                cfg.n_updates_after,
+                ", crash mid-migration" if cfg.crash_during else "",
+            ),
+            "",
+            "updates: %d acked, %d failed-or-unknown of %d attempted"
+            % (
+                sum(self.acked.values()),
+                self.update_failures,
+                sum(self.attempted.values()),
+            ),
+            "shard %d (%d keys) cut over in %.2fs: epoch %d -> %d, "
+            "%d snapshot install(s), %d router map refresh(es)"
+            % (
+                cfg.migrate_shard_index,
+                len(self.migrated_keys),
+                self.migration_seconds,
+                self.epoch_before,
+                self.epoch_after,
+                self.new_group_installs,
+                self.router_map_refreshes,
+            ),
+            "old group post-cutover: %s"
+            % (
+                "refuses WRONG_SHARD"
+                if self.old_group_refuses
+                else "STILL SERVING"
+            ),
+            "strict read at new owner: %s"
+            % ("ok" if self.strict_read_ok else "FAILED"),
+            "reconverged: %s" % ("yes" if self.converged else "NO"),
+        ]
+        if self.artifacts:
+            lines.append("artifacts: %s" % self.artifacts.get("dir", ""))
+        lines.append("")
+        problems = self.violations()
+        if problems:
+            lines.append("INVARIANT VIOLATIONS (%d):" % len(problems))
+            lines.extend("  - " + p for p in problems)
+        else:
+            lines.append(
+                "all invariants held: no acked-update loss across the "
+                "cutover, snapshot-install rejoin, honest WRONG_SHARD "
+                "fencing, converged (%.1fs wall)" % self.wall_seconds
+            )
+        return "\n".join(lines)
+
+
+async def run_migrate(
+    config: MigrateConfig,
+    data_dir: Optional[pathlib.Path] = None,
+    artifacts_dir: Optional[pathlib.Path] = None,
+) -> MigrateReport:
+    """Execute one seeded live-migration scenario; never raises on
+    invariant failure — inspect :meth:`MigrateReport.violations`."""
+    started = time.monotonic()
+    cluster = ShardedCluster(
+        n_shards=config.n_shards,
+        replicas=config.replicas,
+        method=config.method,
+        data_dir=data_dir,
+        suspect_after=config.suspect_after,
+        heartbeat_interval=config.heartbeat_interval,
+    )
+    report = MigrateReport(config=config)
+    rng = random.Random(config.seed)
+    shard = config.migrate_shard_index % config.n_shards
+    report.migrated_keys = tuple(
+        k for k in config.keys if key_shard(k, config.n_shards) == shard
+    )
+    heal_tasks: List[asyncio.Task] = []
+    await cluster.start()
+    try:
+        router = cluster.router(
+            migration_wait=config.migration_timeout,
+            client_options={"request_timeout": config.request_timeout},
+        )
+
+        async def spray(count: int, pace: float = 0.0) -> None:
+            for _ in range(count):
+                key = rng.choice(config.keys)
+                report.attempted[key] = report.attempted.get(key, 0) + 1
+                try:
+                    await router.increment(key, 1)
+                except (
+                    LiveETFailed,
+                    ConnectionError,
+                    OSError,
+                    asyncio.TimeoutError,
+                    RequestTimeout,
+                ):
+                    report.update_failures += 1
+                else:
+                    report.acked[key] = report.acked.get(key, 0) + 1
+                if pace:
+                    await asyncio.sleep(rng.uniform(0.5, 1.0) * pace)
+
+        # Phase 1: routed writes so the migrating shard owns
+        # acknowledged state, checkpointed nowhere but its group.
+        await spray(config.n_updates_before)
+        await cluster.settle(timeout=config.settle_timeout)
+        report.epoch_before = cluster.map.epoch
+        old_group = cluster.groups[shard]
+        old_addr = old_group.addrs[old_group.names[0]]
+
+        # Phase 2: live cutover, with the write workload still
+        # running through the router — requests that catch the fence
+        # retry off the WRONG_SHARD map hint.
+        async def crash_mid_migration() -> None:
+            if not config.crash_during:
+                return
+            pending = cluster.pending
+            victim = pending.names[-1]
+            await pending.kill(victim)
+
+            async def heal() -> None:
+                await asyncio.sleep(config.crash_heal_delay)
+                await pending.restart(victim)
+
+            heal_tasks.append(asyncio.create_task(heal()))
+
+        t0 = time.monotonic()
+        migration = asyncio.ensure_future(
+            cluster.migrate(
+                shard,
+                before_install=crash_mid_migration,
+                settle_timeout=config.settle_timeout,
+                step_timeout=config.migration_timeout,
+            )
+        )
+        await spray(config.n_updates_during, pace=0.02)
+        await migration
+        report.migration_seconds = time.monotonic() - t0
+        report.epoch_after = cluster.map.epoch
+        report.new_group_installs = sum(
+            server.catchup_installs
+            for server in cluster.groups[shard].servers.values()
+        )
+
+        # Phase 3: the new owner is a first-class group — more routed
+        # writes, a strict read, and an honest refusal from the old
+        # group when addressed directly at its stale address.
+        await spray(config.n_updates_after)
+        await cluster.settle(timeout=config.settle_timeout)
+        if report.migrated_keys:
+            probe_key = report.migrated_keys[0]
+            try:
+                await router.read(probe_key, epsilon=0)
+                report.strict_read_ok = True
+            except (LiveETFailed, ConnectionError, OSError):
+                report.strict_read_ok = False
+            stale = await LiveClient.connect(
+                *old_addr, reconnect=False, request_timeout=5.0
+            )
+            try:
+                await stale.read(probe_key)
+                report.old_group_refuses = False
+            except LiveETFailed as exc:
+                report.old_group_refuses = exc.wrong_shard
+            except (ConnectionError, OSError):
+                report.old_group_refuses = None  # already decommissioned
+            finally:
+                await stale.close()
+        else:  # pragma: no cover — 8 keys over <= 8 shards always hit
+            report.strict_read_ok = True
+        report.router_map_refreshes = router.map_refreshes
+        report.converged = await cluster.converged()
+        report.final = {
+            key: value
+            for key, value in (await cluster.values()).items()
+            if key in config.keys
+        }
+        if artifacts_dir is not None:
+            base = pathlib.Path(artifacts_dir)
+            report.artifacts = {"dir": str(base)}
+            for index, group in enumerate(cluster.groups):
+                sub = await persist_cluster_artifacts(
+                    group, base / ("shard%d" % index)
+                )
+                report.artifacts["shard%d" % index] = sub["dir"]
+    finally:
+        for task in heal_tasks:
+            if not task.done():
+                task.cancel()
+        report.wall_seconds = time.monotonic() - started
+        await cluster.stop()
+    return report
+
+
+def run_migrate_sync(
+    config: MigrateConfig,
+    data_dir: Optional[pathlib.Path] = None,
+    artifacts_dir: Optional[pathlib.Path] = None,
+) -> MigrateReport:
+    """Blocking wrapper for CLI / benchmark use."""
+    return asyncio.run(run_migrate(config, data_dir, artifacts_dir))

@@ -69,7 +69,7 @@ __all__ = ["LiveClient", "LiveETFailed", "LiveETResult", "RequestTimeout"]
 _IDEMPOTENT_VERBS = frozenset(
     {
         "query", "values", "stats", "ping", "order", "settle",
-        "metrics", "snapshot", "snapshot-fetch",
+        "metrics", "snapshot", "snapshot-fetch", "shard-info",
     }
 )
 
@@ -82,7 +82,21 @@ class LiveETFailed(ETError):
     ``"UNAVAILABLE"`` means the replica honestly refused an
     ``epsilon = 0`` request while partitioned from its peers (retry
     with a relaxed budget or at another replica).
+
+    ``frame`` is the raw error response, kept because typed refusals
+    can carry structured context past the message — a ``WRONG_SHARD``
+    refusal ships the newest shard map under ``frame["map"]``, which
+    is how the router refreshes its routing table.
     """
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "",
+        frame: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message, code)
+        self.frame: Dict[str, Any] = frame or {}
 
 
 class LiveETResult(Mapping):
@@ -405,7 +419,9 @@ class LiveClient:
             ) from None
         if not frame.get("ok"):
             raise LiveETFailed(
-                frame.get("error", "ET failed"), frame.get("code", "")
+                frame.get("error", "ET failed"),
+                frame.get("code", ""),
+                frame,
             )
         return frame
 

@@ -25,6 +25,8 @@ split-brain scenario.
 from __future__ import annotations
 
 import asyncio
+import json
+import os
 import pathlib
 import shutil
 import tempfile
@@ -33,9 +35,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .client import LiveClient, LiveETFailed
 from .faults import FaultPlan
+from .router import ShardRouter
 from .server import ReplicaServer
+from .shard import ShardMap, migrate_shard, shard_admin_request
 
-__all__ = ["LiveCluster"]
+__all__ = ["LiveCluster", "ShardedCluster"]
 
 
 class LiveCluster:
@@ -56,10 +60,20 @@ class LiveCluster:
         fsync_interval: float = 0.0,
         observability: bool = True,
         server_options: Optional[Dict[str, Any]] = None,
+        site_names: Optional[Sequence[str]] = None,
+        shard: Optional[Dict[str, Any]] = None,
     ) -> None:
-        if n_sites < 1:
+        if site_names is not None:
+            self.names = list(site_names)
+        else:
+            self.names = ["site%d" % i for i in range(n_sites)]
+        if not self.names:
             raise ValueError("a cluster needs at least one site")
-        self.names: List[str] = ["site%d" % i for i in range(n_sites)]
+        #: shard ownership passed to every replica (including
+        #: restarts); a :class:`ShardedCluster` mutates this dict as
+        #: the group's ownership changes (adopted / retired), so a
+        #: replica restarted later boots with the current truth.
+        self.shard: Optional[Dict[str, Any]] = shard
         self.method = method
         self.host = host
         self.fsync = fsync
@@ -103,6 +117,7 @@ class LiveCluster:
             window=self.window,
             fsync_interval=self.fsync_interval,
             observability=self.observability,
+            shard=dict(self.shard) if self.shard is not None else None,
             **self.server_options,
         )
 
@@ -317,6 +332,299 @@ class LiveCluster:
             _canonical(site_values) for site_values in values.values()
         ]
         return all(snap == snapshots[0] for snap in snapshots)
+
+
+class ShardedCluster:
+    """One replica group per hash shard, managed as one unit.
+
+    Each shard is a full :class:`LiveCluster` — its own engine,
+    durable logs, peer channels, and snapshots — so epsilon gauges,
+    degraded mode, and overlap bounds hold per shard exactly as they
+    do for an unsharded group.  Site names encode the shard
+    (``s2r0`` = shard 2, replica 0) and are reused across migrations,
+    which is what makes migration's frontier translation the identity.
+
+        cluster = ShardedCluster(n_shards=4, replicas=3)
+        await cluster.start()
+        router = cluster.router()
+        await router.increment("balance", 100)
+        await cluster.migrate(1)     # live: shard 1 moves groups
+        await cluster.stop()
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        replicas: int = 3,
+        method: str = "commu",
+        data_dir: Optional[pathlib.Path] = None,
+        host: str = "127.0.0.1",
+        fsync: bool = False,
+        suspect_after: float = 0.75,
+        heartbeat_interval: float = 0.25,
+        observability: bool = True,
+        server_options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("a sharded cluster needs at least one shard")
+        self.n_shards = n_shards
+        self.replicas = replicas
+        self.method = method
+        self.host = host
+        self.fsync = fsync
+        self.suspect_after = suspect_after
+        self.heartbeat_interval = heartbeat_interval
+        self.observability = observability
+        self.server_options = dict(server_options or {})
+        self._own_tmp: Optional[tempfile.TemporaryDirectory] = None
+        if data_dir is None:
+            self._own_tmp = tempfile.TemporaryDirectory(
+                prefix="repro-shards-"
+            )
+            data_dir = pathlib.Path(self._own_tmp.name)
+        self.data_dir = pathlib.Path(data_dir)
+        #: current owner group of each shard, by shard index.
+        self.groups: List[LiveCluster] = []
+        #: groups fenced out by a migration, kept running (they serve
+        #: WRONG_SHARD hints) until :meth:`decommission_retired`.
+        self.retired: List[LiveCluster] = []
+        #: replacement group mid-migration (chaos hooks reach it here).
+        self.pending: Optional[LiveCluster] = None
+        #: shard-map epoch; bumps on every completed migration.
+        self.epoch = 0
+        #: per-shard owner-group generation (data-dir namespacing).
+        self._generation = [0] * n_shards
+        self._routers: List[ShardRouter] = []
+        # The manifest records which generation directory owns each
+        # shard's current data.  Without it, a process restart after a
+        # migration would boot the retired generation — resurrecting
+        # pre-migration state and orphaning acknowledged updates.
+        self._manifest_path = self.data_dir / "shards.json"
+        if self._manifest_path.exists():
+            manifest = json.loads(self._manifest_path.read_text())
+            if manifest["n_shards"] != n_shards:
+                raise ValueError(
+                    "data dir %s was laid out for %d shards, not %d"
+                    % (self.data_dir, manifest["n_shards"], n_shards)
+                )
+            self._generation = [
+                int(g) for g in manifest["generations"]
+            ]
+            # A restart boots on fresh ephemeral ports under the saved
+            # epoch's addresses: publish past it so stale routers
+            # (which only adopt strictly newer epochs) re-learn.
+            self.epoch = int(manifest["epoch"]) + 1
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _group_names(self, shard: int) -> List[str]:
+        return ["s%dr%d" % (shard, i) for i in range(self.replicas)]
+
+    def _make_group(self, shard: int, accepting: bool) -> LiveCluster:
+        generation = self._generation[shard]
+        return LiveCluster(
+            site_names=self._group_names(shard),
+            method=self.method,
+            data_dir=self.data_dir / ("shard%d" % shard)
+            / ("g%d" % generation),
+            host=self.host,
+            fsync=self.fsync,
+            suspect_after=self.suspect_after,
+            heartbeat_interval=self.heartbeat_interval,
+            observability=self.observability,
+            server_options=self.server_options,
+            shard={
+                "index": shard,
+                "count": self.n_shards,
+                "epoch": self.epoch,
+                "accepting": accepting,
+            },
+        )
+
+    @staticmethod
+    def _group_addrs(group: LiveCluster) -> List[Tuple[str, int]]:
+        return [group.addrs[name] for name in group.names]
+
+    @property
+    def map(self) -> ShardMap:
+        """The current routing table."""
+        return ShardMap(
+            self.epoch,
+            tuple(
+                tuple(self._group_addrs(group)) for group in self.groups
+            ),
+        )
+
+    def _save_manifest(self) -> None:
+        payload = json.dumps(
+            {
+                "n_shards": self.n_shards,
+                "epoch": self.epoch,
+                "generations": self._generation,
+            },
+            indent=2,
+        )
+        tmp = self._manifest_path.with_suffix(".tmp")
+        tmp.write_text(payload + "\n")
+        os.replace(tmp, self._manifest_path)
+
+    async def start(self) -> None:
+        for shard in range(self.n_shards):
+            group = self._make_group(shard, accepting=True)
+            await group.start()
+            self.groups.append(group)
+        # Seed every replica with the current map so shard-info (and
+        # the map hint on WRONG_SHARD refusals) works from boot.
+        await self._broadcast_map()
+        self._save_manifest()
+
+    async def stop(self) -> None:
+        for router in self._routers:
+            await router.close()
+        self._routers.clear()
+        for group in self.groups + self.retired:
+            await group.stop()
+        if self.pending is not None:
+            await self.pending.stop()
+            self.pending = None
+        self.groups.clear()
+        self.retired.clear()
+        if self._own_tmp is not None:
+            self._own_tmp.cleanup()
+            self._own_tmp = None
+
+    async def decommission_retired(self) -> int:
+        """Stop groups fenced out by completed migrations."""
+        count = len(self.retired)
+        for group in self.retired:
+            await group.stop()
+        self.retired.clear()
+        return count
+
+    # -- access ----------------------------------------------------------------
+
+    def router(self, **options: Any) -> ShardRouter:
+        """A (cluster-managed) router over the current map."""
+        router = ShardRouter(self.map, **options)
+        self._routers.append(router)
+        return router
+
+    async def _broadcast_map(self) -> None:
+        """Push the current map to every running owner replica."""
+        payload = self.map.to_dict()
+        for group in self.groups:
+            group.shard["epoch"] = self.epoch  # restarts boot current
+            for name in list(group.servers):
+                await shard_admin_request(
+                    group.addrs[name], "shard-adopt", map=payload
+                )
+        # Refresh retired groups' WRONG_SHARD hints too (best-effort —
+        # they are on their way out and may already be gone).
+        for group in self.retired:
+            for name in list(group.servers):
+                try:
+                    await shard_admin_request(
+                        group.addrs[name], "shard-retire", map=payload
+                    )
+                except (
+                    ConnectionError,
+                    OSError,
+                    asyncio.TimeoutError,
+                    LiveETFailed,
+                ):
+                    pass
+
+    # -- cluster-wide probes ---------------------------------------------------
+
+    async def settle(self, timeout: float = 30.0) -> None:
+        """Drain every shard concurrently (max-of-shards latency)."""
+        await asyncio.gather(
+            *(group.settle(timeout) for group in self.groups)
+        )
+
+    async def converged(self) -> bool:
+        """Every group's replicas agree within that group."""
+        results = await asyncio.gather(
+            *(group.converged() for group in self.groups)
+        )
+        return all(results)
+
+    async def values(self) -> Dict[str, Any]:
+        """Union of all shards' stores (keys are disjoint by hash)."""
+        merged: Dict[str, Any] = {}
+        for group in self.groups:
+            client = await group._probe(group.names[0])
+            merged.update(await client.values())
+        return merged
+
+    async def shard_stats(self) -> Dict[int, Dict[str, Dict[str, Any]]]:
+        """Per-shard, per-site stats (shard index -> site -> stats)."""
+        return {
+            shard: await group.site_stats()
+            for shard, group in enumerate(self.groups)
+        }
+
+    async def shard_metrics(self) -> Dict[int, Dict[str, Dict[str, Any]]]:
+        """Per-shard, per-site metrics scrapes."""
+        return {
+            shard: await group.site_metrics()
+            for shard, group in enumerate(self.groups)
+        }
+
+    # -- elasticity ------------------------------------------------------------
+
+    async def migrate(
+        self,
+        shard: int,
+        before_install=None,
+        settle_timeout: float = 30.0,
+        step_timeout: float = 30.0,
+    ) -> ShardMap:
+        """Move one shard onto a fresh replica group, live.
+
+        Epoch-fenced cutover (see :mod:`repro.live.shard`): the old
+        group is fenced and drained, each replacement replica installs
+        its same-named counterpart's snapshot, and the replacements
+        adopt the bumped map.  The old group stays up, answering
+        ``WRONG_SHARD`` with the new map, until
+        :meth:`decommission_retired`.  ``before_install`` is a chaos
+        hook run between the fence and the transfer (the replacement
+        group is reachable as :attr:`pending` there).
+        """
+        if not 0 <= shard < self.n_shards:
+            raise ValueError("no such shard: %d" % shard)
+        old = self.groups[shard]
+        self._generation[shard] += 1
+        new = self._make_group(shard, accepting=False)
+        await new.start()
+        self.pending = new
+        new_map = self.map.with_group(shard, self._group_addrs(new))
+        loop = asyncio.get_running_loop()
+        try:
+            await migrate_shard(
+                site_names=list(old.names),
+                old_addr_of=lambda name: old.addrs[name],
+                new_addr_of=lambda name: new.addrs[name],
+                new_map=new_map.to_dict(),
+                settle_timeout=settle_timeout,
+                step_timeout=step_timeout,
+                clock=loop.time,
+                before_install=before_install,
+            )
+        finally:
+            self.pending = None
+        self.groups[shard] = new
+        self.retired.append(old)
+        self.epoch = new_map.epoch
+        new.shard["accepting"] = True  # restarts boot accepting
+        final = self.map
+        if final.groups != new_map.groups:
+            # A replacement replica healed on a new port mid-cutover:
+            # the fence-time map is stale, so publish a fresher epoch.
+            self.epoch += 1
+        await self._broadcast_map()
+        self._save_manifest()
+        return self.map
 
 
 def _canonical(values: Dict[str, object]) -> Dict[str, object]:

@@ -103,6 +103,7 @@ from .protocol import (
     write_frame,
     write_frames,
 )
+from .shard import WrongShard, key_shard
 from .snapshot import (
     SnapshotError,
     SnapshotStore,
@@ -115,6 +116,7 @@ __all__ = [
     "ReplicaServer",
     "Unavailable",
     "Overloaded",
+    "WrongShard",
     "LOCAL_CHANNEL",
 ]
 
@@ -182,9 +184,32 @@ class ReplicaServer:
         observability: bool = True,
         registry: Optional[Registry] = None,
         trace: Optional[TraceRecorder] = None,
+        shard: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.name = name
         self.peer_names = tuple(sorted(p for p in peers if p != name))
+        #: shard ownership, when this replica serves one partition of a
+        #: sharded keyspace: ``{"index": i, "count": n, "epoch": e,
+        #: "accepting": bool}``.  ``None`` means the replica owns the
+        #: whole keyspace (the unsharded deployment) and no ownership
+        #: checks run.  A booting migration target sets
+        #: ``accepting=False`` and refuses traffic until ``shard-adopt``.
+        if shard is not None:
+            self.shard_index = int(shard["index"])
+            self.shard_count = int(shard["count"])
+            self.shard_epoch = int(shard.get("epoch", 0))
+            self._shard_accepting = bool(shard.get("accepting", True))
+        else:
+            self.shard_index = None
+            self.shard_count = None
+            self.shard_epoch = 0
+            self._shard_accepting = True
+        #: True once this group was fenced out of its shard: every
+        #: update/query is answered WRONG_SHARD with the newest map.
+        self._shard_retired = False
+        #: newest shard map this replica has been told about (the
+        #: hint carried on WRONG_SHARD refusals).
+        self._shard_map: Optional[Dict[str, Any]] = None
         self.data_dir = pathlib.Path(data_dir)
         self.method = method
         self.fsync = fsync
@@ -226,8 +251,14 @@ class ReplicaServer:
         if registry is not None:
             self.registry = registry
         elif observability:
+            # ``shard`` joins ``site`` as a constant label so scrapes
+            # across a sharded cluster split per-shard health (epsilon
+            # gauges, channel backlog, ack latency) without relabeling.
+            const_labels = {"site": name}
+            if self.shard_index is not None:
+                const_labels["shard"] = str(self.shard_index)
             self.registry = Registry(
-                threadsafe=True, const_labels={"site": name}
+                threadsafe=True, const_labels=const_labels
             )
         else:
             self.registry = NULL_REGISTRY
@@ -1349,13 +1380,17 @@ class ReplicaServer:
 
     # -- anti-entropy catch-up -------------------------------------------------
 
-    async def _peer_request(
-        self, peer: str, verb: str, timeout: float = 5.0, **params: Any
+    async def _addr_request(
+        self,
+        addr: Tuple[str, int],
+        verb: str,
+        timeout: float = 5.0,
+        label: str = "replica",
+        **params: Any,
     ) -> Dict[str, Any]:
-        """One out-of-band request/response exchange with a peer."""
-        addr = self.peer_addrs.get(peer)
-        if addr is None or self._link_severed(peer):
-            raise ConnectionError("no route to peer %s" % peer)
+        """One out-of-band request/response exchange with an arbitrary
+        replica address (a mesh peer, or a migration counterpart in a
+        different group)."""
         reader, writer = await asyncio.open_connection(*addr)
         try:
             await write_frame(
@@ -1368,12 +1403,26 @@ class ReplicaServer:
         finally:
             writer.close()
         if reply is None:
-            raise ConnectionError("peer %s closed during %s" % (peer, verb))
+            raise ConnectionError(
+                "%s closed during %s" % (label, verb)
+            )
         if not reply.get("ok"):
             raise RuntimeError(
-                "peer %s refused %s: %s"
-                % (peer, verb, reply.get("error", "unknown error"))
+                "%s refused %s: %s"
+                % (label, verb, reply.get("error", "unknown error"))
             )
+        return reply
+
+    async def _peer_request(
+        self, peer: str, verb: str, timeout: float = 5.0, **params: Any
+    ) -> Dict[str, Any]:
+        """One out-of-band request/response exchange with a peer."""
+        addr = self.peer_addrs.get(peer)
+        if addr is None or self._link_severed(peer):
+            raise ConnectionError("no route to peer %s" % peer)
+        reply = await self._addr_request(
+            addr, verb, timeout=timeout, label="peer %s" % peer, **params
+        )
         self._note_peer_alive(peer)
         return reply
 
@@ -1585,7 +1634,24 @@ class ReplicaServer:
         raise last_error
 
     async def _fetch_snapshot(self, source: str) -> Dict[str, Any]:
-        """Pull one peer's snapshot in chunks over the request verb.
+        """Pull one mesh peer's snapshot in chunks (rejoin path)."""
+        addr = self.peer_addrs.get(source)
+        if addr is None or self._link_severed(source):
+            raise ConnectionError("no route to peer %s" % source)
+        body = await self._fetch_snapshot_addr(
+            addr, label="peer %s" % source
+        )
+        self._note_peer_alive(source)
+        return body
+
+    async def _fetch_snapshot_addr(
+        self, addr: Tuple[str, int], label: str
+    ) -> Dict[str, Any]:
+        """Pull a replica's snapshot in chunks over the request verb.
+
+        Address-based so it serves both rejoin (a mesh peer) and shard
+        migration (the same-named counterpart in the retired owner
+        group, which is *not* in this replica's peer set).
 
         ``fresh=True`` on the first chunk makes the source take a new
         snapshot before serving, so the image reflects its *current*
@@ -1594,10 +1660,11 @@ class ReplicaServer:
         offset = 0
         total: Optional[int] = None
         while True:
-            reply = await self._peer_request(
-                source,
+            reply = await self._addr_request(
+                addr,
                 "snapshot-fetch",
                 timeout=15.0,
+                label=label,
                 offset=offset,
                 fresh=(offset == 0),
             )
@@ -1611,7 +1678,7 @@ class ReplicaServer:
         if total is not None and len(raw) != total:
             raise SnapshotError(
                 "snapshot fetch from %s truncated (%d of %d bytes)"
-                % (source, len(raw), total)
+                % (label, len(raw), total)
             )
         return open_snapshot(json.loads(raw))
 
@@ -1716,6 +1783,10 @@ class ReplicaServer:
                 "metrics": self._handle_metrics,
                 "snapshot": self._handle_snapshot,
                 "snapshot-fetch": self._handle_snapshot_fetch,
+                "shard-info": self._handle_shard_info,
+                "shard-retire": self._handle_shard_retire,
+                "shard-adopt": self._handle_shard_adopt,
+                "fetch-install": self._handle_fetch_install,
             }.get(verb)
             if handler is None:
                 raise ValueError("unknown verb %r" % verb)
@@ -1726,17 +1797,21 @@ class ReplicaServer:
             raise
         except Exception as exc:  # surfaced to the client, not fatal
             self.m_requests.labels(verb=str(verb), outcome="error").inc()
+            response = {
+                "type": "response",
+                "id": rid,
+                "ok": False,
+                "error": str(exc),
+                "code": getattr(exc, "code", None) or type(exc).__name__,
+            }
+            # Typed errors may carry structured context (WRONG_SHARD
+            # ships the newest shard map so the refusal itself is the
+            # routing-table refresh).
+            extra = getattr(exc, "extra", None)
+            if isinstance(extra, dict):
+                response.update(extra)
             try:
-                await send(
-                    {
-                        "type": "response",
-                        "id": rid,
-                        "ok": False,
-                        "error": str(exc),
-                        "code": getattr(exc, "code", None)
-                        or type(exc).__name__,
-                    }
-                )
+                await send(response)
             except (ConnectionError, OSError):
                 pass
 
@@ -1782,6 +1857,162 @@ class ReplicaServer:
             "data": chunk.decode("ascii"),
             "eof": offset + len(chunk) >= len(data),
         }
+
+    # -- sharding --------------------------------------------------------------
+
+    def _adopt_map(self, new_map: Dict[str, Any]) -> None:
+        """Remember the newest shard map this replica has been shown.
+
+        Epoch-monotonic: an older map never overwrites a newer one, so
+        a straggling orchestration message cannot roll the fence back.
+        """
+        epoch = int(new_map.get("epoch", 0))
+        if self._shard_map is not None and epoch < int(
+            self._shard_map.get("epoch", 0)
+        ):
+            return
+        self._shard_map = new_map
+        self.shard_epoch = epoch
+
+    async def _handle_shard_info(
+        self, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Routing discovery: this group's shard state and newest map."""
+        if self.shard_index is None:
+            return {"shard": None, "map": None}
+        return {
+            "shard": {
+                "index": self.shard_index,
+                "count": self.shard_count,
+                "epoch": self.shard_epoch,
+                "accepting": self._shard_accepting,
+                "retired": self._shard_retired,
+            },
+            "map": self._shard_map,
+        }
+
+    async def _handle_shard_retire(
+        self, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Fence this replica out of its shard (migration step 1).
+
+        From this response on, every update/query is refused with
+        ``WRONG_SHARD`` carrying the epoch-bumped map — no acknowledged
+        update can land behind the migration's back.  Idempotent.
+        """
+        if self.shard_index is None:
+            raise ValueError("shard-retire on an unsharded replica")
+        new_map = frame.get("map")
+        if isinstance(new_map, dict):
+            self._adopt_map(new_map)
+        self._shard_retired = True
+        self.trace.event(
+            "shard",
+            phase="retire",
+            shard=self.shard_index,
+            epoch=self.shard_epoch,
+        )
+        return {"retired": True, "shard": self.shard_index}
+
+    async def _handle_shard_adopt(
+        self, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Start accepting the shard at the new epoch (final step)."""
+        if self.shard_index is None:
+            raise ValueError("shard-adopt on an unsharded replica")
+        new_map = frame.get("map")
+        if isinstance(new_map, dict):
+            self._adopt_map(new_map)
+        self._shard_accepting = True
+        self.trace.event(
+            "shard",
+            phase="adopt",
+            shard=self.shard_index,
+            epoch=self.shard_epoch,
+        )
+        return {
+            "accepting": True,
+            "shard": self.shard_index,
+            "epoch": self.shard_epoch,
+        }
+
+    async def _handle_fetch_install(
+        self, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Migration state transfer: pull a fresh snapshot from the
+        named counterpart (same site name, old owner group) at
+        ``host:port`` and install it.
+
+        Frontier translation is the *identity* because a replacement
+        group reuses the source group's site names — the counterpart's
+        channel namespace is exactly ours, unlike the rejoin path where
+        the source is a different site.  The drained source can only be
+        at-or-ahead of a cold replacement on every channel, so the
+        dominance rule degenerates to: install if ahead anywhere,
+        report already-current otherwise.
+        """
+        if self._catching_up:
+            raise Unavailable(
+                "fetch-install refused: an install is already running"
+            )
+        if (
+            self.shard_index is not None
+            and self._shard_accepting
+            and not self._shard_retired
+        ):
+            raise ValueError(
+                "fetch-install refused: this replica is actively "
+                "serving shard %d" % self.shard_index
+            )
+        host = str(frame.get("host", ""))
+        port = int(frame.get("port", 0))
+        site = str(frame.get("site", ""))
+        if not host or not port:
+            raise ValueError("fetch-install needs the source host/port")
+        self._catching_up = True
+        try:
+            body = await self._fetch_snapshot_addr(
+                (host, port),
+                label="counterpart %s" % (site or host),
+            )
+            if body.get("method") != self.method:
+                raise SnapshotError(
+                    "counterpart snapshot is for method %r"
+                    % body.get("method")
+                )
+            if site and body.get("site") != site:
+                raise SnapshotError(
+                    "counterpart snapshot claims site %r, wanted %r"
+                    % (body.get("site"), site)
+                )
+            frontiers = {
+                src: int(seq)
+                for src, seq in body.get("frontiers", {}).items()
+            }
+            translated = {
+                channel: frontiers.get(channel, 0)
+                for channel in self.inboxes
+            }
+            dominates = all(
+                translated[ch] >= box.frontier
+                for ch, box in self.inboxes.items()
+            )
+            if not dominates:
+                if all(
+                    translated[ch] <= box.frontier
+                    for ch, box in self.inboxes.items()
+                ):
+                    # Retried after a completed install: local state
+                    # already covers the snapshot.  Never roll back.
+                    return {"installed": False, "current": True}
+                raise RuntimeError(
+                    "counterpart snapshot and local state diverged; "
+                    "refusing install"
+                )
+            await self._install_snapshot(body, translated)
+            return {"installed": True, "frontiers": translated}
+        finally:
+            self._catching_up = False
 
     def _refresh_gauges(self) -> None:
         """Bring sampled (pull-model) series up to date for a scrape:
@@ -1900,6 +2131,14 @@ class ReplicaServer:
                 },
             },
         )
+        if self.shard_index is not None:
+            stats["shard"] = {
+                "index": self.shard_index,
+                "count": self.shard_count,
+                "epoch": self.shard_epoch,
+                "accepting": self._shard_accepting,
+                "retired": self._shard_retired,
+            }
         return {"stats": stats}
 
     async def _handle_settle(self, frame: Dict[str, Any]) -> Dict[str, Any]:
@@ -1998,12 +2237,45 @@ class ReplicaServer:
                 backoff = min(backoff * 2, self.retry_max)
         raise ConnectionError("server stopping")
 
+    def _check_shard(self, keys: Sequence[str]) -> None:
+        """Refuse work this replica's group does not own.
+
+        A retired group (fenced out by a migration) refuses everything;
+        an owning group refuses keys that hash elsewhere; a migration
+        target that has not adopted the shard yet refuses with
+        ``UNAVAILABLE`` so routers hold their (safe-to-retry) requests
+        until the cutover completes.  Unsharded replicas skip all of
+        this — ``shard=None`` means the whole keyspace is local.
+        """
+        if self.shard_index is None:
+            return
+        if self._shard_retired:
+            raise WrongShard(
+                "shard %d was migrated away from this group (epoch %d)"
+                % (self.shard_index, self.shard_epoch),
+                self._shard_map,
+            )
+        if not self._shard_accepting:
+            raise Unavailable(
+                "shard %d is migrating onto this group; retry shortly"
+                % self.shard_index
+            )
+        for key in keys:
+            owner = key_shard(key, self.shard_count)
+            if owner != self.shard_index:
+                raise WrongShard(
+                    "key %r belongs to shard %d, not %d"
+                    % (key, owner, self.shard_index),
+                    self._shard_map,
+                )
+
     async def _handle_update(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         ops = decode_ops(frame.get("ops", ()))
         if not ops:
             raise ValueError("update without operations")
         if not any(is_write(op) for op in ops):
             raise ValueError("update ET must contain a write (use query)")
+        self._check_shard([op.key for op in ops])
         if self._catching_up:
             # Accepting an update mid-install would stamp it with a tid
             # the incoming snapshot is about to overwrite.
@@ -2103,6 +2375,7 @@ class ReplicaServer:
         keys = frame.get("keys")
         if not keys or not all(isinstance(k, str) for k in keys):
             raise ValueError("query needs a list of string keys")
+        self._check_shard(keys)
         spec = decode_spec(frame.get("spec"))
         if spec.is_strict and self.peer_names:
             outcome = await self._strict_query_guarded(keys, spec)

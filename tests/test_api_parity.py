@@ -26,8 +26,9 @@ from repro import (
     WriteOp,
 )
 from repro.core.transactions import EpsilonSpec
-from repro.live import LiveCluster, LiveETFailed
+from repro.live import LiveCluster, LiveETFailed, ShardedCluster
 from repro.live.client import LiveClient
+from repro.live.router import ShardRouter
 
 SHARED_VERBS = (
     "write",
@@ -71,7 +72,23 @@ class LiveBackend:
         await self.cluster.stop()
 
 
-BACKENDS = {"sim": SimBackend, "live": LiveBackend}
+class ShardedBackend:
+    """The same program again, with the keyspace split across two
+    replica groups behind the client-side shard router."""
+
+    async def start(self):
+        self.cluster = ShardedCluster(n_shards=2, replicas=2)
+        await self.cluster.start()
+        self.client = self.cluster.router()
+
+    async def call(self, verb, *args, **kwargs):
+        return await getattr(self.client, verb)(*args, **kwargs)
+
+    async def close(self):
+        await self.cluster.stop()
+
+
+BACKENDS = {"sim": SimBackend, "live": LiveBackend, "sharded": ShardedBackend}
 
 
 async def _shared_program(backend):
@@ -116,6 +133,7 @@ class TestSharedSurface:
     def test_both_clients_expose_verb(self, verb):
         assert callable(getattr(Client, verb))
         assert callable(getattr(LiveClient, verb))
+        assert callable(getattr(ShardRouter, verb))
 
     @pytest.mark.parametrize("verb", ("read", "read_many"))
     def test_budget_parameters_match(self, verb):
@@ -156,7 +174,11 @@ class TestSameProgramSameAnswers:
             }
             return out
 
-        assert canonical(_run("sim")) == canonical(_run("live"))
+        reference = canonical(_run("sim"))
+        assert reference == canonical(_run("live"))
+        # Splitting the keyspace across groups must not change any
+        # answer the program can observe.
+        assert reference == canonical(_run("sharded"))
 
 
 class TestSharedFailureTaxonomy:
