@@ -10,9 +10,16 @@ the fail-fast latency of ``epsilon = 0`` reads at the partitioned
 replica, the injected fault counts, and the invariant verdict (no
 acked-update loss, no epsilon breach, convergence after heal).
 
-ORDUP runs without the crash phase: a crash between order-token grant
-and durable logging leaves a gap that stalls the global order (a
-documented limitation; see docs/LIVE.md).
+ORDUP runs without the crash phase in faults mode: the chaos crash is
+uncoordinated, and an origin that dies between order-token grant and
+durable logging leaves a sequence gap that stalls the global order (a
+documented liveness limitation; see docs/LIVE.md).  Sequencer crashes
+are measured separately by ``--mode elect``, which kills the elected
+leader at quiescence and reports the *failover blackout window* —
+crash to first survivor-acknowledged update, spanning failure
+detection, the epoch-bumping election, and order re-acquisition —
+across several seeds, persisting the numbers to
+``BENCH_live_elect.json`` with ``--json``.
 
 Each run persists its observability artifacts (per-site Prometheus
 text, combined metrics JSON, merged lifecycle trace) under
@@ -32,14 +39,23 @@ Standalone:  PYTHONPATH=src python benchmarks/bench_live_faults.py
                  --artifacts BENCH_live_faults_artifacts
              PYTHONPATH=src python benchmarks/bench_live_faults.py \\
                  --mode rejoin
+             PYTHONPATH=src python benchmarks/bench_live_faults.py \\
+                 --mode elect --json
 Under pytest: pytest benchmarks/bench_live_faults.py --benchmark-only
 """
 
 import asyncio
+import json
 import pathlib
 import time
 
-from repro.live import ChaosConfig, LiveCluster, run_chaos_sync
+from repro.live import (
+    ChaosConfig,
+    ElectConfig,
+    LiveCluster,
+    run_chaos_sync,
+    run_elect_sync,
+)
 
 SEED = 7
 METHODS = ("commu", "ordup")
@@ -244,6 +260,109 @@ def run_live_rejoin():
     return "\n".join(lines), results
 
 
+ELECT_SEEDS = (7, 11, 23)
+
+
+def run_live_elect(artifacts_dir=None):
+    """Sequencer failover across seeds; return (text, reports, json)."""
+    reports = []
+    for seed in ELECT_SEEDS:
+        seed_artifacts = (
+            pathlib.Path(artifacts_dir) / ("seed%d" % seed)
+            if artifacts_dir is not None
+            else None
+        )
+        reports.append(
+            run_elect_sync(
+                ElectConfig(seed=seed), artifacts_dir=seed_artifacts
+            )
+        )
+    config = reports[0].config
+    lines = [
+        "Sequencer failover: 3 replicas (ORDUP), leader killed at "
+        "quiescence, blackout = crash -> first survivor-acked update "
+        "(heartbeat %.2fs, suspect %.2fs, dead at 3x)"
+        % (config.heartbeat_interval, config.suspect_after),
+        "",
+        "%-6s %10s %14s %12s %10s %10s"
+        % ("seed", "blackout", "leader", "epoch", "acked", "invariants"),
+    ]
+    for r in reports:
+        lines.append(
+            "%-6d %8.2fs %14s %12d %6d/%-3d %10s"
+            % (
+                r.config.seed,
+                r.blackout_seconds,
+                "%s>%s" % (r.old_leader, r.new_leader or "?"),
+                r.epoch_after,
+                sum(r.acked.values()),
+                sum(r.attempted.values()),
+                "held" if r.ok else "BROKEN",
+            )
+        )
+    for r in reports:
+        for problem in r.violations():
+            lines.append("  seed %d: %s" % (r.config.seed, problem))
+    blackouts = [r.blackout_seconds for r in reports]
+    lines.append("")
+    lines.append(
+        "blackout window: min %.2fs / mean %.2fs / max %.2fs over %d "
+        "seeds (budget %.1fs)"
+        % (
+            min(blackouts),
+            sum(blackouts) / len(blackouts),
+            max(blackouts),
+            len(blackouts),
+            config.blackout_limit,
+        )
+    )
+    payload = {
+        "benchmark": "live_elect",
+        "method": config.method,
+        "n_sites": config.n_sites,
+        "heartbeat_interval": config.heartbeat_interval,
+        "suspect_after": config.suspect_after,
+        "blackout_limit": config.blackout_limit,
+        "blackout_seconds": {
+            "min": min(blackouts),
+            "mean": sum(blackouts) / len(blackouts),
+            "max": max(blackouts),
+        },
+        "per_seed": [
+            {
+                "seed": r.config.seed,
+                "blackout_seconds": r.blackout_seconds,
+                "old_leader": r.old_leader,
+                "new_leader": r.new_leader,
+                "epoch_after": r.epoch_after,
+                "acked": sum(r.acked.values()),
+                "attempted": sum(r.attempted.values()),
+                "update_failures": r.update_failures,
+                "converged": r.converged,
+                "violations": r.violations(),
+            }
+            for r in reports
+        ],
+    }
+    return "\n".join(lines), reports, payload
+
+
+def test_live_elect(benchmark, show):
+    from conftest import run_once
+
+    text, reports, payload = run_once(benchmark, run_live_elect)
+    show(text)
+
+    for report in reports:
+        assert report.violations() == [], report.render()
+        # The blackout window is bounded well inside the budget: the
+        # detector needs 3x suspect_after to declare the leader dead,
+        # and everything after (election + lease + retry) is fast.
+        assert report.blackout_seconds <= report.config.blackout_limit
+        assert report.epoch_after > report.epoch_before
+        assert report.new_leader and report.new_leader != report.old_leader
+
+
 def test_live_rejoin(benchmark, show):
     from conftest import run_once
 
@@ -293,18 +412,33 @@ if __name__ == "__main__":
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--mode", choices=("faults", "rejoin"), default="faults",
+        "--mode", choices=("faults", "rejoin", "elect"), default="faults",
         help="'faults' = chaos availability run (default); 'rejoin' = "
-        "snapshot catch-up vs full-replay recovery of a wiped replica",
+        "snapshot catch-up vs full-replay recovery of a wiped replica; "
+        "'elect' = sequencer-failover blackout window across seeds",
     )
     parser.add_argument(
         "--artifacts", metavar="DIR", default=None,
-        help="persist per-method metrics + trace artifacts under "
-        "DIR/<method>/ (faults mode only)",
+        help="persist per-run metrics + trace artifacts under "
+        "DIR/<method or seed>/ (faults and elect modes)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", nargs="?", const="BENCH_live_elect.json",
+        default=None,
+        help="elect mode: write the failover numbers to FILE "
+        "(default %(const)s)",
     )
     args = parser.parse_args()
     started = time.monotonic()
-    if args.mode == "rejoin":
+    if args.mode == "elect":
+        text, _, payload = run_live_elect(artifacts_dir=args.artifacts)
+        print(text)
+        if args.json:
+            pathlib.Path(args.json).write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+            print("\nwrote %s" % args.json)
+    elif args.mode == "rejoin":
         text, _ = run_live_rejoin()
         print(text)
     else:

@@ -19,6 +19,8 @@ Usage::
     python -m repro chaos --seed 7 --artifacts out/  # + metrics/trace
     python -m repro chaos --scenario rejoin --seed 7 # disk-wipe rejoin
     python -m repro chaos --scenario migrate --seed 7  # live shard move
+    python -m repro chaos --scenario elect --seed 7    # sequencer failover
+    python -m repro chaos --scenario wan --seed 7      # region partition
     python -m repro migrate --admin-port 7100 --shard 1  # move shard 1
     python -m repro metrics-dump --port 7000         # scrape one replica
     python -m repro snapshot --port 7000             # checkpoint + compact
@@ -249,6 +251,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             backlog_limit=args.backlog_limit,
             catchup=not args.no_catchup,
             catchup_lag=args.catchup_lag,
+            heartbeat_interval=args.heartbeat_interval,
+            suspect_after=args.suspect_after,
         )
         port = await server.bind(args.host, args.port)
         server.set_peers(peers)
@@ -340,6 +344,32 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
         print(migrate_report.render())
         return 0 if migrate_report.ok else 1
+    if args.scenario == "elect":
+        from .live.chaos import ElectConfig, run_elect_sync
+
+        elect_config = ElectConfig(
+            seed=args.seed,
+            n_sites=args.sites,
+            n_updates_during=args.updates,
+        )
+        elect_report = run_elect_sync(
+            elect_config, artifacts_dir=artifacts_dir
+        )
+        print(elect_report.render())
+        return 0 if elect_report.ok else 1
+    if args.scenario == "wan":
+        from .live.chaos import WanConfig, run_wan_sync
+
+        wan_config = WanConfig(
+            seed=args.seed,
+            method=args.method,
+            n_updates_before=args.updates,
+        )
+        wan_report = run_wan_sync(
+            wan_config, artifacts_dir=artifacts_dir
+        )
+        print(wan_report.render())
+        return 0 if wan_report.ok else 1
     if args.scenario == "rejoin":
         from .live.chaos import RejoinConfig, run_rejoin_sync
 
@@ -536,6 +566,16 @@ def main(argv: List[str] = None) -> int:
         "snapshot catch-up over channel resend (0 = only when the "
         "log cannot serve)",
     )
+    serve.add_argument(
+        "--heartbeat-interval", type=float, default=0.25,
+        help="seconds between peer heartbeats (jittered +/-25%% "
+        "per site)",
+    )
+    serve.add_argument(
+        "--suspect-after", type=float, default=0.75,
+        help="floor on the adaptive failure-detector timeout: a peer "
+        "silent this long (or longer, on jittery links) is suspected",
+    )
     demo = sub.add_parser(
         "live-demo", help="boot an in-process live cluster and drive it"
     )
@@ -552,11 +592,15 @@ def main(argv: List[str] = None) -> int:
     chaos.add_argument("--sites", type=int, default=3)
     chaos.add_argument(
         "--scenario", default="faults",
-        choices=("faults", "rejoin", "migrate"),
+        choices=("faults", "rejoin", "migrate", "elect", "wan"),
         help="'faults' = drops/partition/crash (default); 'rejoin' = "
         "snapshot + compaction + disk-wipe anti-entropy rejoin; "
         "'migrate' = live shard cutover under routed write load "
-        "(crash mid-migration unless --no-crash)",
+        "(crash mid-migration unless --no-crash); 'elect' = kill the "
+        "ORDUP sequencer, measure the failover blackout, fence the "
+        "resurrected stale leader; 'wan' = two modeled WAN regions, "
+        "full region partition, epsilon-bounded availability on both "
+        "sides",
     )
     chaos.add_argument(
         "--shards", type=int, default=3,

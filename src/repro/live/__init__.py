@@ -15,7 +15,12 @@ Layers:
 * :mod:`repro.live.engine` — transport-agnostic COMMU / ORDUP engines
   plus the synchronous write-all (ROWA) baseline.
 * :mod:`repro.live.server` — a per-replica asyncio TCP server with
-  heartbeat failure detection and degraded-mode query handling.
+  adaptive heartbeat failure detection, gossip-driven membership, and
+  degraded-mode query handling.
+* :mod:`repro.live.gossip` — versioned membership table (incarnation-
+  numbered node records) and the phi-style adaptive failure detector.
+* :mod:`repro.live.election` — durable epoch/promise/leader state for
+  the ORDUP sequencer's epoch-fenced leader election.
 * :mod:`repro.live.client` — pipelined async client facade with
   per-request timeouts, reconnect, and failover.
 * :mod:`repro.live.cluster` — in-process N-replica bootstrapper.
@@ -23,7 +28,8 @@ Layers:
   duplicate / reorder / partition / crash schedules).
 * :mod:`repro.live.chaos` — randomized-but-seeded chaos harness
   asserting the paper's invariants under faults, including the
-  disk-wipe / long-downtime rejoin scenario.
+  disk-wipe / long-downtime rejoin, sequencer-failover, and
+  multi-region WAN partition scenarios.
 * :mod:`repro.live.snapshot` — versioned, checksummed site snapshots
   backing log compaction and anti-entropy rejoin.
 * :mod:`repro.live.shard` — epoch-versioned shard map plus the
@@ -35,18 +41,35 @@ Layers:
 from .chaos import (
     ChaosConfig,
     ChaosReport,
+    ElectConfig,
+    ElectReport,
     RejoinConfig,
     RejoinReport,
+    WanConfig,
+    WanReport,
     persist_cluster_artifacts,
     run_chaos,
     run_chaos_sync,
+    run_elect,
+    run_elect_sync,
     run_rejoin,
     run_rejoin_sync,
+    run_wan,
+    run_wan_sync,
 )
 from .client import LiveClient, LiveETFailed, LiveETResult, RequestTimeout
 from .cluster import LiveCluster, ShardedCluster
 from .durable_queue import DurableInbox, DurableOutbox
-from .faults import CrashEvent, FaultPlan, FrameFate, LinkFaults
+from .election import ElectionState
+from .faults import (
+    CrashEvent,
+    FaultPlan,
+    FrameFate,
+    LinkFaults,
+    WAN_INTER,
+    WAN_INTRA,
+)
+from .gossip import FailureDetector, MembershipTable, NodeRecord
 from .engine import (
     CommuLiveEngine,
     ENGINES,
@@ -70,13 +93,21 @@ from .snapshot import (
 __all__ = [
     "ChaosConfig",
     "ChaosReport",
+    "ElectConfig",
+    "ElectReport",
     "RejoinConfig",
     "RejoinReport",
+    "WanConfig",
+    "WanReport",
     "run_rejoin",
     "run_rejoin_sync",
     "persist_cluster_artifacts",
     "run_chaos",
     "run_chaos_sync",
+    "run_elect",
+    "run_elect_sync",
+    "run_wan",
+    "run_wan_sync",
     "LiveClient",
     "LiveETFailed",
     "LiveETResult",
@@ -92,8 +123,14 @@ __all__ = [
     "FaultPlan",
     "FrameFate",
     "LinkFaults",
+    "WAN_INTER",
+    "WAN_INTRA",
     "DurableInbox",
     "DurableOutbox",
+    "ElectionState",
+    "FailureDetector",
+    "MembershipTable",
+    "NodeRecord",
     "CommuLiveEngine",
     "ENGINES",
     "LiveEngine",

@@ -47,12 +47,34 @@ rejoin), that the fenced-out group honestly refuses with
 ``WRONG_SHARD`` afterwards, and that the cluster reconverges with the
 migrated shard fully writable at the new epoch.
 
+A fourth scenario, :func:`run_elect`, targets the ORDUP sequencer's
+single point of failure: the cluster warms up, the elected leader is
+killed, and the harness measures the *blackout window* — crash to the
+first survivor-acknowledged update, spanning failure detection, the
+epoch-bumping election, and order-acquisition retry — then resurrects
+the deposed leader and immediately asks it for an order token.  The
+asserts are the failover safety claims: the election happened, no
+acknowledged update was lost, the stale leader never granted at its
+old epoch (no two leaders commit in one epoch), every site agrees on
+the final leadership view, and the cluster reconverges.
+
+A fifth scenario, :func:`run_wan`, runs the cluster across modeled
+multi-region WAN links (tens of milliseconds of latency plus a
+bandwidth ceiling between regions) and severs the inter-region links
+mid-run.  Both sides must stay live within their epsilon budgets —
+bounded reads answer with honest inconsistency accounting and
+asynchronous writes keep acking region-locally — while ``epsilon = 0``
+reads refuse fast with the typed ``UNAVAILABLE`` code; after the heal
+the regions must reconverge to one-copy state.
+
 Reproducible from the CLI::
 
     python -m repro chaos --seed 7
     python -m repro chaos --seed 7 --method ordup --no-crash
     python -m repro chaos --scenario rejoin --seed 7
     python -m repro chaos --scenario migrate --seed 7
+    python -m repro chaos --scenario elect --seed 7
+    python -m repro chaos --scenario wan --seed 7
 """
 
 from __future__ import annotations
@@ -75,17 +97,25 @@ from .shard import key_shard
 __all__ = [
     "ChaosConfig",
     "ChaosReport",
+    "ElectConfig",
+    "ElectReport",
     "MigrateConfig",
     "MigrateReport",
     "RejoinConfig",
     "RejoinReport",
+    "WanConfig",
+    "WanReport",
     "persist_cluster_artifacts",
     "run_chaos",
     "run_chaos_sync",
+    "run_elect",
+    "run_elect_sync",
     "run_migrate",
     "run_migrate_sync",
     "run_rejoin",
     "run_rejoin_sync",
+    "run_wan",
+    "run_wan_sync",
 ]
 
 
@@ -523,10 +553,11 @@ def run_chaos_sync(
 class RejoinConfig:
     """One reproducible rejoin scenario.
 
-    The victim is always the *last* site: with ORDUP the order server
-    lives at the lexicographically first site, which must not be
-    wiped (the global order counter is not replicated — a documented
-    limit of the live runtime).
+    The victim is always the *last* site: with ORDUP the sequencer
+    starts at the lexicographically first site, and keeping it out of
+    the blast radius means this scenario measures rejoin mechanics,
+    not leader failover (losing the sequencer now triggers an
+    epoch-fenced election — :func:`run_elect` covers that path).
     """
 
     seed: int = 0
@@ -1118,3 +1149,712 @@ def run_migrate_sync(
 ) -> MigrateReport:
     """Blocking wrapper for CLI / benchmark use."""
     return asyncio.run(run_migrate(config, data_dir, artifacts_dir))
+
+
+# -- sequencer failover scenario ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class ElectConfig:
+    """One reproducible sequencer-failover scenario (ORDUP only).
+
+    The initial sequencer (the elected leader, or the lexicographic
+    default before any election) is killed at quiescence; the harness
+    measures the *blackout window* — crash to first survivor-acked
+    update, which spans failure detection, the election, and the
+    survivors' order-acquisition retry — then resurrects the deposed
+    leader and probes it for a stale-epoch order grant (the
+    split-brain check).  Killing at quiescence is deliberate: an
+    origin that crashes between grant and durable log loses only
+    unacknowledged work (a documented liveness-only window), and this
+    scenario is about the safety claims.
+    """
+
+    seed: int = 0
+    n_sites: int = 3
+    method: str = "ordup"
+    #: updates across *all* sites before the crash (warm-up, so the
+    #: victim owns acknowledged, fully propagated state).
+    n_updates_before: int = 40
+    #: updates at the survivors while the old leader stays down.
+    n_updates_during: int = 40
+    #: updates routed *through the resurrected ex-leader* afterwards —
+    #: they must reach the new sequencer and ack.
+    n_updates_after: int = 12
+    keys: Tuple[str, ...] = ("acct0", "acct1", "acct2", "acct3")
+    fsync: bool = False
+    heartbeat_interval: float = 0.1
+    suspect_after: float = 0.4
+    request_timeout: float = 30.0
+    settle_timeout: float = 60.0
+    #: wall-clock budget for the blackout window (detector
+    #: dead-escalation + election + lease + retry).
+    blackout_limit: float = 15.0
+    #: wall-clock budget for the new epoch to appear in stats.
+    elect_timeout: float = 20.0
+
+
+@dataclass
+class ElectReport:
+    """What one failover run observed, and whether the invariants held."""
+
+    config: ElectConfig
+    old_leader: str = ""
+    new_leader: str = ""
+    epoch_before: int = 0
+    epoch_after: int = 0
+    #: crash -> first survivor-acked update, seconds.
+    blackout_seconds: float = 0.0
+    #: outcome of the order-token probe against the resurrected stale
+    #: leader: (error code, granted epoch).  An empty code with an
+    #: epoch below ``epoch_after`` is a split brain.
+    stale_probe: Optional[Tuple[str, int]] = None
+    #: the resurrected ex-leader's epoch once it resynced.
+    resynced_epoch: int = 0
+    #: every site's final (epoch, leader) view — must agree.
+    leader_views: Dict[str, Tuple[int, str]] = field(default_factory=dict)
+    acked: Dict[str, int] = field(default_factory=dict)
+    attempted: Dict[str, int] = field(default_factory=dict)
+    final: Dict[str, Any] = field(default_factory=dict)
+    update_failures: int = 0
+    #: updates acked through the resurrected ex-leader.
+    revenant_acked: int = 0
+    converged: bool = False
+    wall_seconds: float = 0.0
+    artifacts: Dict[str, str] = field(default_factory=dict)
+
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        for key in sorted(set(self.acked) | set(self.final)):
+            acked = self.acked.get(key, 0)
+            attempted = self.attempted.get(key, 0)
+            got = self.final.get(key, 0)
+            if got < acked:
+                out.append(
+                    "acked update lost across the failover: %s converged "
+                    "to %s but %d increments were acknowledged"
+                    % (key, got, acked)
+                )
+            if got > attempted:
+                out.append(
+                    "update double-applied: %s converged to %s but only "
+                    "%d increments were attempted" % (key, got, attempted)
+                )
+        if self.epoch_after <= self.epoch_before:
+            out.append(
+                "crashing the sequencer did not trigger an election "
+                "(epoch stayed at %d)" % self.epoch_before
+            )
+        elif not self.new_leader or self.new_leader == self.old_leader:
+            out.append(
+                "leadership did not move off the crashed sequencer"
+            )
+        if self.blackout_seconds > self.config.blackout_limit:
+            out.append(
+                "failover blackout %.2fs exceeded the %.1fs budget"
+                % (self.blackout_seconds, self.config.blackout_limit)
+            )
+        if self.stale_probe is not None:
+            code, epoch = self.stale_probe
+            if not code and epoch < self.epoch_after:
+                out.append(
+                    "SPLIT BRAIN: resurrected leader granted an order "
+                    "token at stale epoch %d (current epoch %d)"
+                    % (epoch, self.epoch_after)
+                )
+        if self.epoch_after and self.resynced_epoch < self.epoch_after:
+            out.append(
+                "resurrected leader never adopted the new epoch "
+                "(stuck at %d, cluster at %d)"
+                % (self.resynced_epoch, self.epoch_after)
+            )
+        if len(set(self.leader_views.values())) > 1:
+            out.append(
+                "sites disagree on leadership at quiescence: %s"
+                % {k: v for k, v in sorted(self.leader_views.items())}
+            )
+        if self.config.n_updates_after and self.revenant_acked == 0:
+            out.append(
+                "no update routed through the resurrected ex-leader "
+                "was acknowledged"
+            )
+        if not self.converged:
+            out.append("replicas did not reconverge after the failover")
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations()
+
+    def render(self) -> str:
+        cfg = self.config
+        lines = [
+            "Failover run: seed=%d method=%s sites=%d (%d+%d+%d updates)"
+            % (
+                cfg.seed,
+                cfg.method.upper(),
+                cfg.n_sites,
+                cfg.n_updates_before,
+                cfg.n_updates_during,
+                cfg.n_updates_after,
+            ),
+            "",
+            "updates: %d acked, %d failed-or-unknown of %d attempted"
+            % (
+                sum(self.acked.values()),
+                self.update_failures,
+                sum(self.attempted.values()),
+            ),
+            "sequencer: %s (epoch %d) -> %s (epoch %d)"
+            % (
+                self.old_leader,
+                self.epoch_before,
+                self.new_leader or "(none)",
+                self.epoch_after,
+            ),
+            "failover blackout: %.2fs (budget %.1fs)"
+            % (self.blackout_seconds, cfg.blackout_limit),
+        ]
+        if self.stale_probe is not None:
+            code, epoch = self.stale_probe
+            lines.append(
+                "resurrected-leader order probe: %s"
+                % (code or ("granted at epoch %d" % epoch))
+            )
+        lines.append(
+            "resurrected leader resynced to epoch %d, %d updates "
+            "acked through it" % (self.resynced_epoch, self.revenant_acked)
+        )
+        lines.append(
+            "reconverged: %s" % ("yes" if self.converged else "NO")
+        )
+        if self.artifacts:
+            lines.append("artifacts: %s" % self.artifacts.get("dir", ""))
+        lines.append("")
+        problems = self.violations()
+        if problems:
+            lines.append("INVARIANT VIOLATIONS (%d):" % len(problems))
+            lines.extend("  - " + p for p in problems)
+        else:
+            lines.append(
+                "all invariants held: election fenced the old epoch, no "
+                "acked-update loss, one leader per epoch, converged "
+                "(%.1fs wall)" % self.wall_seconds
+            )
+        return "\n".join(lines)
+
+
+async def run_elect(
+    config: ElectConfig,
+    data_dir: Optional[pathlib.Path] = None,
+    artifacts_dir: Optional[pathlib.Path] = None,
+) -> ElectReport:
+    """Execute one seeded failover scenario; never raises on invariant
+    failure — inspect :meth:`ElectReport.violations`."""
+    started = time.monotonic()
+    cluster = LiveCluster(
+        n_sites=config.n_sites,
+        method=config.method,
+        data_dir=data_dir,
+        fsync=config.fsync,
+        suspect_after=config.suspect_after,
+        heartbeat_interval=config.heartbeat_interval,
+    )
+    report = ElectReport(config=config)
+    rng = random.Random(config.seed)
+    await cluster.start()
+    try:
+        names = list(cluster.names)
+        leader = cluster.servers[names[0]].current_leader()
+        report.old_leader = leader
+        survivors = [n for n in names if n != leader]
+        clients: Dict[str, LiveClient] = {}
+        for name in names:
+            clients[name] = await cluster.client(
+                name, request_timeout=config.request_timeout
+            )
+
+        async def spray(count: int, sites: Sequence[str]) -> int:
+            acked = 0
+            for _ in range(count):
+                site = rng.choice(list(sites))
+                key = rng.choice(config.keys)
+                report.attempted[key] = report.attempted.get(key, 0) + 1
+                try:
+                    await clients[site].increment(key, 1)
+                except (
+                    LiveETFailed,
+                    ConnectionError,
+                    OSError,
+                    asyncio.TimeoutError,
+                    RequestTimeout,
+                ):
+                    report.update_failures += 1
+                else:
+                    report.acked[key] = report.acked.get(key, 0) + 1
+                    acked += 1
+            return acked
+
+        # Phase 1: warm up through the initial sequencer and settle,
+        # so the victim's acked state is fully propagated when it dies.
+        await spray(config.n_updates_before, names)
+        await cluster.settle(timeout=config.settle_timeout)
+        report.epoch_before = cluster.servers[survivors[0]].election.epoch
+
+        # Phase 2: kill the sequencer.  The blackout window is crash to
+        # first survivor-acked update: the survivor's order acquisition
+        # spins while the detector escalates and the election runs, so
+        # one increment call measures the whole outage end-to-end.
+        await cluster.kill(leader)
+        t0 = time.monotonic()
+        probe_key = config.keys[0]
+        deadline = t0 + config.blackout_limit + 5.0
+        while True:
+            report.attempted[probe_key] = (
+                report.attempted.get(probe_key, 0) + 1
+            )
+            try:
+                await clients[survivors[0]].increment(probe_key, 1)
+            except (
+                LiveETFailed,
+                ConnectionError,
+                OSError,
+                asyncio.TimeoutError,
+                RequestTimeout,
+            ):
+                report.update_failures += 1
+                report.blackout_seconds = time.monotonic() - t0
+                if time.monotonic() >= deadline:
+                    break
+            else:
+                report.acked[probe_key] = (
+                    report.acked.get(probe_key, 0) + 1
+                )
+                report.blackout_seconds = time.monotonic() - t0
+                break
+
+        # The election must be visible in stats (epoch bumped, leader
+        # moved) — poll a survivor.
+        poll_deadline = time.monotonic() + config.elect_timeout
+        while time.monotonic() < poll_deadline:
+            stats = await clients[survivors[0]].stats()
+            election = stats.get("election", {})
+            if int(election.get("epoch", 0)) > report.epoch_before:
+                report.epoch_after = int(election.get("epoch", 0))
+                report.new_leader = str(election.get("leader") or "")
+                break
+            await asyncio.sleep(0.1)
+
+        # Phase 3: the survivors keep writing under the new sequencer.
+        await spray(config.n_updates_during, survivors)
+
+        # Phase 4: resurrect the deposed leader and immediately ask it
+        # for an order token.  Its durable election state predates the
+        # failover, so before the epoch probe completes it is a
+        # live replica that still *believes* it is the sequencer —
+        # exactly the split-brain window the fencing must close: the
+        # probe must be refused (or, once resynced, redirected), never
+        # granted at the stale epoch.
+        await cluster.restart(leader)
+        await clients[leader].close()
+        clients[leader] = await cluster.client(
+            leader, request_timeout=config.request_timeout
+        )
+        try:
+            reply = await clients[leader].request("order", timeout=5.0)
+        except LiveETFailed as exc:
+            report.stale_probe = (exc.code or "ERROR", -1)
+        except (
+            ConnectionError,
+            OSError,
+            asyncio.TimeoutError,
+            RequestTimeout,
+        ) as exc:
+            report.stale_probe = (type(exc).__name__, -1)
+        else:
+            order = list(reply.get("order") or [])
+            granted_epoch = int(order[1]) if len(order) > 1 else 0
+            report.stale_probe = ("", granted_epoch)
+
+        # The revenant must adopt the new epoch via its boot probe /
+        # gossip, then serve as an ordinary replica.
+        poll_deadline = time.monotonic() + config.elect_timeout
+        while time.monotonic() < poll_deadline:
+            stats = await clients[leader].stats()
+            election = stats.get("election", {})
+            epoch = int(election.get("epoch", 0))
+            if epoch >= report.epoch_after and election.get("synced"):
+                report.resynced_epoch = epoch
+                break
+            await asyncio.sleep(0.1)
+
+        # Phase 5: updates routed through the ex-leader must reach the
+        # new sequencer and ack.
+        report.revenant_acked = await spray(
+            config.n_updates_after, [leader]
+        )
+        await cluster.settle(timeout=config.settle_timeout)
+        report.converged = await cluster.converged()
+        values = await cluster.site_values()
+        if values:
+            any_site = next(iter(values.values()))
+            report.final = {
+                key: any_site.get(key, 0) for key in config.keys
+            }
+        for name in names:
+            stats = await clients[name].stats()
+            election = stats.get("election", {})
+            report.leader_views[name] = (
+                int(election.get("epoch", 0)),
+                str(election.get("leader") or ""),
+            )
+        if artifacts_dir is not None:
+            report.artifacts = await persist_cluster_artifacts(
+                cluster, pathlib.Path(artifacts_dir)
+            )
+    finally:
+        report.wall_seconds = time.monotonic() - started
+        await cluster.stop()
+    return report
+
+
+def run_elect_sync(
+    config: ElectConfig,
+    data_dir: Optional[pathlib.Path] = None,
+    artifacts_dir: Optional[pathlib.Path] = None,
+) -> ElectReport:
+    """Blocking wrapper for CLI / benchmark use."""
+    return asyncio.run(run_elect(config, data_dir, artifacts_dir))
+
+
+# -- multi-region WAN scenario -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WanConfig:
+    """One reproducible multi-region WAN scenario.
+
+    Sites are split into regions joined by modeled WAN links
+    (:data:`~repro.live.faults.WAN_INTER`: tens of milliseconds of
+    propagation plus a bandwidth ceiling) with LAN-grade links inside
+    each region.  Mid-run, the inter-region links are severed — a full
+    region partition — and the harness checks the paper's availability
+    split on *both* sides: epsilon-bounded reads keep answering with
+    honest inconsistency accounting, an ``epsilon = 0`` read refuses
+    fast with the typed ``UNAVAILABLE`` code, and asynchronous writes
+    keep acking locally.  After the heal, everything must reconverge.
+    """
+
+    seed: int = 0
+    method: str = "commu"
+    #: sites per region, assigned in name order (site0, site1, ...).
+    region_sites: Tuple[int, ...] = (2, 2)
+    n_updates_before: int = 40
+    #: updates *per region* while partitioned.
+    n_updates_during: int = 20
+    n_updates_after: int = 20
+    keys: Tuple[str, ...] = ("acct0", "acct1", "acct2", "acct3")
+    #: budget for the degraded bounded probe (generous on purpose —
+    #: availability, not precision, is under test).
+    bounded_epsilon: int = 10_000
+    fsync: bool = False
+    heartbeat_interval: float = 0.15
+    suspect_after: float = 0.6
+    request_timeout: float = 20.0
+    settle_timeout: float = 60.0
+    #: the strict probe must refuse within this bound (fail fast, not
+    #: hang until some distant timeout).
+    strict_probe_limit: float = 1.0
+
+    @property
+    def n_sites(self) -> int:
+        return sum(self.region_sites)
+
+
+@dataclass
+class WanReport:
+    """What one WAN run observed, and whether the invariants held."""
+
+    config: WanConfig
+    regions: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    acked: Dict[str, int] = field(default_factory=dict)
+    attempted: Dict[str, int] = field(default_factory=dict)
+    final: Dict[str, Any] = field(default_factory=dict)
+    update_failures: int = 0
+    #: per-region strict (epsilon=0) probe during the partition:
+    #: region -> (elapsed seconds, error code; "" means it answered).
+    strict_probes: Dict[str, Tuple[float, str]] = field(
+        default_factory=dict
+    )
+    #: per-region bounded probe: region -> reported inconsistency
+    #: (None means it failed to answer).
+    bounded_probes: Dict[str, Optional[int]] = field(default_factory=dict)
+    #: updates acked in each region while partitioned.
+    partition_acked: Dict[str, int] = field(default_factory=dict)
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    converged: bool = False
+    wall_seconds: float = 0.0
+    artifacts: Dict[str, str] = field(default_factory=dict)
+
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        for key in sorted(set(self.acked) | set(self.final)):
+            acked = self.acked.get(key, 0)
+            attempted = self.attempted.get(key, 0)
+            got = self.final.get(key, 0)
+            if got < acked:
+                out.append(
+                    "acked update lost across the region partition: %s "
+                    "converged to %s but %d increments were acknowledged"
+                    % (key, got, acked)
+                )
+            if got > attempted:
+                out.append(
+                    "update double-applied: %s converged to %s but only "
+                    "%d increments were attempted" % (key, got, attempted)
+                )
+        for region in sorted(self.regions):
+            probe = self.strict_probes.get(region)
+            if probe is None:
+                out.append(
+                    "no strict probe recorded in region %s" % region
+                )
+            else:
+                elapsed, code = probe
+                if not code:
+                    out.append(
+                        "epsilon=0 read answered in partitioned region "
+                        "%s (must refuse)" % region
+                    )
+                elif elapsed > self.config.strict_probe_limit:
+                    out.append(
+                        "epsilon=0 refusal in region %s took %.2fs "
+                        "(budget %.1fs)"
+                        % (region, elapsed, self.config.strict_probe_limit)
+                    )
+            if self.bounded_probes.get(region) is None:
+                out.append(
+                    "bounded read went unavailable in partitioned "
+                    "region %s" % region
+                )
+            if (
+                self.config.n_updates_during
+                and self.partition_acked.get(region, 0) == 0
+            ):
+                out.append(
+                    "no update acked in region %s during the partition "
+                    "(asynchronous writes must stay live)" % region
+                )
+        if not self.fault_counts.get("delayed"):
+            out.append(
+                "WAN latency model never engaged (no delayed frames)"
+            )
+        if not self.converged:
+            out.append("regions did not reconverge after the heal")
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations()
+
+    def render(self) -> str:
+        cfg = self.config
+        lines = [
+            "WAN run: seed=%d method=%s regions=%s (%d+%dx%d+%d updates)"
+            % (
+                cfg.seed,
+                cfg.method.upper(),
+                "/".join(str(n) for n in cfg.region_sites),
+                cfg.n_updates_before,
+                len(self.regions) or len(cfg.region_sites),
+                cfg.n_updates_during,
+                cfg.n_updates_after,
+            ),
+            "",
+            "updates: %d acked, %d failed-or-unknown of %d attempted"
+            % (
+                sum(self.acked.values()),
+                self.update_failures,
+                sum(self.attempted.values()),
+            ),
+        ]
+        for region in sorted(self.regions):
+            probe = self.strict_probes.get(region)
+            strict = "(missing)"
+            if probe is not None:
+                elapsed, code = probe
+                strict = "%s in %.0f ms" % (
+                    code or "(answered)", elapsed * 1e3
+                )
+            bounded = self.bounded_probes.get(region)
+            lines.append(
+                "region %s partitioned: strict probe %s, bounded probe "
+                "%s, %d updates acked"
+                % (
+                    region,
+                    strict,
+                    "inconsistency=%s" % bounded
+                    if bounded is not None
+                    else "UNAVAILABLE",
+                    self.partition_acked.get(region, 0),
+                )
+            )
+        lines.append(
+            "faults injected: "
+            + ", ".join(
+                "%s=%d" % (k, v)
+                for k, v in sorted(self.fault_counts.items())
+            )
+        )
+        lines.append(
+            "reconverged: %s" % ("yes" if self.converged else "NO")
+        )
+        if self.artifacts:
+            lines.append("artifacts: %s" % self.artifacts.get("dir", ""))
+        lines.append("")
+        problems = self.violations()
+        if problems:
+            lines.append("INVARIANT VIOLATIONS (%d):" % len(problems))
+            lines.extend("  - " + p for p in problems)
+        else:
+            lines.append(
+                "all invariants held: both regions stayed live within "
+                "epsilon, strict reads refused honestly, reconverged "
+                "(%.1fs wall)" % self.wall_seconds
+            )
+        return "\n".join(lines)
+
+
+async def run_wan(
+    config: WanConfig,
+    data_dir: Optional[pathlib.Path] = None,
+    artifacts_dir: Optional[pathlib.Path] = None,
+) -> WanReport:
+    """Execute one seeded WAN scenario; never raises on invariant
+    failure — inspect :meth:`WanReport.violations`."""
+    started = time.monotonic()
+    plan = FaultPlan(config.seed)
+    cluster = LiveCluster(
+        n_sites=config.n_sites,
+        method=config.method,
+        data_dir=data_dir,
+        faults=plan,
+        fsync=config.fsync,
+        suspect_after=config.suspect_after,
+        heartbeat_interval=config.heartbeat_interval,
+    )
+    report = WanReport(config=config)
+    rng = random.Random(config.seed)
+    names = list(cluster.names)
+    regions: Dict[str, Tuple[str, ...]] = {}
+    cursor = 0
+    for i, count in enumerate(config.region_sites):
+        regions["region%d" % i] = tuple(names[cursor : cursor + count])
+        cursor += count
+    report.regions = regions
+    plan.set_regions(regions)
+    await cluster.start()
+    try:
+        clients: Dict[str, LiveClient] = {}
+        for name in names:
+            clients[name] = await cluster.client(
+                name, request_timeout=config.request_timeout
+            )
+
+        async def spray(count: int, sites: Sequence[str]) -> int:
+            acked = 0
+            for _ in range(count):
+                site = rng.choice(list(sites))
+                key = rng.choice(config.keys)
+                report.attempted[key] = report.attempted.get(key, 0) + 1
+                try:
+                    await clients[site].increment(key, 1)
+                except (
+                    LiveETFailed,
+                    ConnectionError,
+                    OSError,
+                    asyncio.TimeoutError,
+                    RequestTimeout,
+                ):
+                    report.update_failures += 1
+                else:
+                    report.acked[key] = report.acked.get(key, 0) + 1
+                    acked += 1
+            return acked
+
+        # Phase 1: cross-region steady state over the modeled WAN.
+        await spray(config.n_updates_before, names)
+        await cluster.settle(timeout=config.settle_timeout)
+
+        # Phase 2: sever every inter-region link and let the failure
+        # detectors age the remote peers out.
+        plan.partition(plan.region_groups())
+        await asyncio.sleep(
+            config.suspect_after + 3 * config.heartbeat_interval
+        )
+        probe_key = config.keys[0]
+        for region, sites in sorted(regions.items()):
+            probe_site = sites[0]
+            t0 = time.monotonic()
+            try:
+                await clients[probe_site].read(
+                    probe_key, epsilon=0, timeout=5.0
+                )
+            except LiveETFailed as exc:
+                report.strict_probes[region] = (
+                    time.monotonic() - t0,
+                    exc.code,
+                )
+            except (ConnectionError, OSError) as exc:
+                report.strict_probes[region] = (
+                    time.monotonic() - t0,
+                    type(exc).__name__,
+                )
+            else:
+                report.strict_probes[region] = (
+                    time.monotonic() - t0, ""
+                )
+            try:
+                outcome = await clients[probe_site].query(
+                    [probe_key],
+                    EpsilonSpec(import_limit=config.bounded_epsilon),
+                    timeout=5.0,
+                )
+            except (LiveETFailed, ConnectionError, OSError):
+                report.bounded_probes[region] = None
+            else:
+                report.bounded_probes[region] = outcome["inconsistency"]
+            # Asynchronous writes must keep acking region-locally.
+            report.partition_acked[region] = await spray(
+                config.n_updates_during, list(sites)
+            )
+
+        # Phase 3: heal and reconverge across the WAN.
+        plan.heal_all()
+        await spray(config.n_updates_after, names)
+        await cluster.settle(timeout=config.settle_timeout)
+        report.converged = await cluster.converged()
+        values = await cluster.site_values()
+        if values:
+            any_site = next(iter(values.values()))
+            report.final = {
+                key: any_site.get(key, 0) for key in config.keys
+            }
+        if artifacts_dir is not None:
+            report.artifacts = await persist_cluster_artifacts(
+                cluster, pathlib.Path(artifacts_dir)
+            )
+    finally:
+        report.fault_counts = dict(plan.counts)
+        report.wall_seconds = time.monotonic() - started
+        await cluster.stop()
+    return report
+
+
+def run_wan_sync(
+    config: WanConfig,
+    data_dir: Optional[pathlib.Path] = None,
+    artifacts_dir: Optional[pathlib.Path] = None,
+) -> WanReport:
+    """Blocking wrapper for CLI / benchmark use."""
+    return asyncio.run(run_wan(config, data_dir, artifacts_dir))

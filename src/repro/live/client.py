@@ -191,6 +191,9 @@ class LiveClient:
         self._last_primary_probe = 0.0
         #: observability: times the client moved back to the primary.
         self.rehomes = 0
+        #: observability: failover-list refreshes from gossiped
+        #: membership (stats replies carry the table).
+        self.membership_refreshes = 0
 
     @classmethod
     async def connect(
@@ -513,7 +516,48 @@ class LiveClient:
         return (await self.request("values"))["values"]
 
     async def stats(self) -> Dict[str, Any]:
-        return (await self.request("stats"))["stats"]
+        stats = (await self.request("stats"))["stats"]
+        self._learn_membership(stats.get("membership"))
+        return stats
+
+    def _learn_membership(self, records: Any) -> None:
+        """Refresh the failover address list from a gossiped
+        membership block (carried on ``stats`` replies).
+
+        The primary and currently active addresses are preserved in
+        place; every other live member address replaces the static
+        constructor tail, so failover targets stay current through
+        joins, leaves, and address moves."""
+        if not isinstance(records, list):
+            return
+        learned: List[Tuple[str, int]] = []
+        for rec in records:
+            if not isinstance(rec, dict):
+                continue
+            if rec.get("status") in ("dead", "left"):
+                continue
+            host, port = rec.get("host"), rec.get("port")
+            if host and port:
+                learned.append((str(host), int(port)))
+        if not learned:
+            return
+        keep = [self._addrs[0]]
+        if self._active_index < len(self._addrs):
+            active = self._addrs[self._active_index]
+            if active not in keep:
+                keep.append(active)
+        fresh = keep + [addr for addr in learned if addr not in keep]
+        if fresh != self._addrs:
+            active = self._addrs[self._active_index]
+            self._addrs = fresh
+            self._active_index = fresh.index(active)
+            self.membership_refreshes += 1
+
+    async def refresh_membership(self) -> List[Tuple[str, int]]:
+        """Explicitly re-learn replica addresses from the server's
+        gossiped membership table; returns the refreshed list."""
+        await self.stats()
+        return list(self._addrs)
 
     async def metrics(self) -> Dict[str, Any]:
         """Scrape the replica's metrics registry.

@@ -164,8 +164,13 @@ class LiveCluster:
         if site_dir.exists():
             shutil.rmtree(site_dir)
 
-    async def restart(self, name: str) -> None:
-        """Recover a killed replica from its durable queues."""
+    async def restart(self, name: str, rewire: bool = True) -> None:
+        """Recover a killed replica from its durable queues.
+
+        With ``rewire=False`` the other replicas are *not* told the new
+        address — they must re-learn it from the restarted replica's
+        gossip (its bumped incarnation out-versions the stale record).
+        """
         if name in self.servers:
             raise RuntimeError("%s is still running" % name)
         server = self._make_server(name)
@@ -174,10 +179,43 @@ class LiveCluster:
         self.addrs[name] = (self.host, port)
         server.set_peers(self.addrs)
         server.start_channels()
-        # Everyone else re-points their channels at the new address.
-        for other in self.servers.values():
-            other.set_peers(self.addrs)
+        if rewire:
+            # Everyone else re-points their channels at the new address.
+            for other in self.servers.values():
+                other.set_peers(self.addrs)
         await self._drop_probe(name)  # old address is stale
+
+    async def join(self, name: str, seed: Optional[str] = None) -> None:
+        """Boot a brand-new member wired to a single seed peer; gossip
+        spreads its membership to everyone else (and everyone else's
+        to it) without manual rewiring."""
+        if name in self.servers:
+            raise RuntimeError("%s is already running" % name)
+        if seed is None:
+            seed = next(iter(self.servers))
+        server = ReplicaServer(
+            name,
+            peers=[name, seed],
+            data_dir=self.data_dir / name,
+            method=self.method,
+            fsync=self.fsync,
+            faults=self.faults,
+            suspect_after=self.suspect_after,
+            heartbeat_interval=self.heartbeat_interval,
+            batch_size=self.batch_size,
+            window=self.window,
+            fsync_interval=self.fsync_interval,
+            observability=self.observability,
+            shard=dict(self.shard) if self.shard is not None else None,
+            **self.server_options,
+        )
+        port = await server.bind(self.host, 0)
+        self.servers[name] = server
+        self.addrs[name] = (self.host, port)
+        if name not in self.names:
+            self.names.append(name)
+        server.set_peers({seed: self.addrs[seed]})
+        server.start_channels()
 
     # -- fault helpers -------------------------------------------------------
 

@@ -1,0 +1,149 @@
+"""Durable epoch-fenced election state for the ORDUP sequencer.
+
+The live ORDUP engine needs a single order authority.  Historically
+that was the lexicographically-first site name — a fixed single point
+of failure.  This module holds the small durable state machine that
+lets the authority move:
+
+* ``promised`` — the highest epoch this replica has promised to (it
+  will never promise a lower epoch, nor accept a leader announcement
+  for one).  Persisted *before* the promise reply is sent, so a crash
+  and restart cannot un-promise.
+* ``epoch`` / ``leader`` / ``base`` — the currently adopted leadership:
+  the leader of ``epoch`` resumed sequencing from ``base`` (the max
+  durable order frontier across the majority that elected it); every
+  sequence number it grants is > ``base`` and travels with the epoch as
+  a ``(seq, epoch)`` token.
+* ``bases`` — per-epoch bases for every epoch this replica has adopted,
+  which the engine uses to fence stale-epoch tokens: a token from old
+  epoch ``e`` is admissible only if its seq is <= the base of every
+  adopted epoch newer than ``e`` (i.e. it was granted before the
+  handover point and is merely late).
+
+Safety argument (one leader per epoch): a candidate needs promises
+from a majority of the full membership before adopting an epoch, and a
+replica promises each epoch at most once (monotonic ``promised``,
+durable).  Two leaders in the same epoch would need two disjoint
+majorities — impossible.  Fencing then ensures a deposed leader's
+grants can never commit past the handover point: the new leader's
+``base`` covers everything the old leader could have durably acked, and
+anything above it carries a stale epoch that every fenced replica
+refuses.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["ElectionState"]
+
+
+class ElectionState:
+    """Durable promise/adopt record for epoch-fenced leadership."""
+
+    def __init__(self, path: Optional[Path] = None) -> None:
+        self.path = path
+        self.promised = 0
+        self.epoch = 0
+        self.leader: Optional[str] = None
+        self.base = 0
+        #: epoch -> base, for every epoch adopted at this replica.
+        self.bases: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # persistence
+
+    def load(self) -> None:
+        if self.path is None or not self.path.exists():
+            return
+        try:
+            raw = json.loads(self.path.read_text())
+            self.promised = int(raw.get("promised", 0))
+            self.epoch = int(raw.get("epoch", 0))
+            self.leader = raw.get("leader")
+            self.base = int(raw.get("base", 0))
+            self.bases = {int(k): int(v) for k, v in raw.get("bases", {}).items()}
+        except (ValueError, KeyError, OSError):
+            pass
+
+    def _persist(self) -> None:
+        if self.path is None:
+            return
+        payload = {
+            "promised": self.promised,
+            "epoch": self.epoch,
+            "leader": self.leader,
+            "base": self.base,
+            "bases": {str(k): v for k, v in self.bases.items()},
+        }
+        try:
+            self.path.write_text(json.dumps(payload))
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # transitions
+
+    def promise(self, epoch: int) -> bool:
+        """Promise ``epoch`` iff it is higher than any prior promise.
+
+        Durable before returning True — the reply must not outrun the
+        disk, or a crashed replica could re-promise the same epoch to a
+        second candidate.
+        """
+        if epoch <= self.promised:
+            return False
+        self.promised = epoch
+        self._persist()
+        return True
+
+    def adopt(self, epoch: int, leader: str, base: int) -> bool:
+        """Adopt ``leader`` for ``epoch`` (monotonic; durable).
+
+        Used both by the winning candidate itself and by replicas
+        learning the outcome.  Adoption implies a promise at least as
+        high — a replica that adopts epoch ``e`` will never promise
+        ``e`` to a later candidate.
+        """
+        if epoch < self.epoch:
+            return False
+        if epoch == self.epoch and self.leader == leader:
+            return False
+        self.epoch = epoch
+        self.leader = leader
+        self.base = int(base)
+        self.bases[epoch] = int(base)
+        if self.promised < epoch:
+            self.promised = epoch
+        self._persist()
+        return True
+
+    # ------------------------------------------------------------------
+    # views
+
+    def min_base_above(self, epoch: int) -> Optional[int]:
+        """Smallest adopted base among epochs strictly newer than ``epoch``.
+
+        A stale-epoch token is admissible only if its seq <= this value
+        (it predates every handover the replica knows about).  Returns
+        None when no newer epoch has been adopted.
+        """
+        newer = [b for e, b in self.bases.items() if e > epoch]
+        if not newer:
+            return None
+        return min(newer)
+
+    def wire(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "leader": self.leader,
+            "base": self.base,
+            "promised": self.promised,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "ElectionState(epoch=%d leader=%r base=%d promised=%d)" % (
+            self.epoch, self.leader, self.base, self.promised,
+        )

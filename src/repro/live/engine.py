@@ -549,9 +549,75 @@ class OrdupLiveEngine(LiveEngine):
         self.last_writer: Dict[str, Tuple[Tuple[int, int], Any]] = {}
         #: highest order token applied, gap-free.
         self.frontier: Tuple[int, int] = (0, 0)
+        #: highest leadership epoch this engine has adopted; tokens
+        #: from older epochs are fenced unless they predate every
+        #: newer epoch's handover base.
+        self._current_epoch = 0
+        #: epoch -> base sequence the epoch's leader resumed from.
+        self._epoch_bases: Dict[int, int] = {0: 0}
+        #: stale-epoch tokens refused (observability).
+        self.fenced_count = 0
+
+    def adopt_epoch(self, epoch: int, base: int) -> None:
+        """Record a leadership handover: ``epoch``'s leader resumed at ``base``.
+
+        Must be called with the server's apply lock held (like
+        ``accept``).  Purges held-back MSets that the handover fences:
+        entries above ``base`` carrying an older epoch were granted by
+        a deposed leader after the handover point and can never become
+        applicable.
+        """
+        if epoch <= self._current_epoch:
+            return
+        self._current_epoch = int(epoch)
+        self._epoch_bases[int(epoch)] = int(base)
+        stale = [
+            seqno
+            for seqno, held in self.buffer._holdback.items()
+            if not self._epoch_admits(held.order[1], seqno)
+        ]
+        for seqno in stale:
+            del self.buffer._holdback[seqno]
+            self.fenced_count += 1
+
+    def _epoch_admits(self, epoch: int, seq: int) -> bool:
+        """Is a ``(seq, epoch)`` token admissible under the fence?
+
+        Current/newer epochs always admit (a newer epoch implies a
+        majority elected it; adoption follows via gossip).  An older
+        epoch admits only tokens at or below the base of every adopted
+        newer epoch — i.e. grants that predate the handover and are
+        merely arriving late.
+        """
+        if epoch >= self._current_epoch:
+            return True
+        floor = min(
+            b for e, b in self._epoch_bases.items() if e > epoch
+        )
+        return seq <= floor
+
+    def order_admissible(self, order: Tuple[int, int]) -> bool:
+        return self._epoch_admits(int(order[1]), int(order[0]))
+
+    def max_order_seen(self) -> int:
+        """Highest sequence number durably known here, held-back included.
+
+        A new leader resumes from the max of this across the electing
+        majority, so every grant any replica has seen is covered.
+        """
+        seen = self.frontier[0]
+        if self.buffer._holdback:
+            seen = max(seen, max(self.buffer._holdback))
+        return seen
 
     def _accept_locked(self, mset: MSet, local: bool) -> List[MSet]:
         assert mset.order is not None, "ORDUP MSets carry an order token"
+        if not self._epoch_admits(mset.order[1], mset.order[0]):
+            # Fenced: granted by a deposed leader past the handover
+            # point.  Return no applies; the channel still acks so the
+            # sender's queue drains (the update was never client-acked).
+            self.fenced_count += 1
+            return []
         applied: List[MSet] = []
         for ready in self.buffer.offer(mset.order[0], mset):
             self._note_drift(ready)
@@ -624,6 +690,10 @@ class OrdupLiveEngine(LiveEngine):
                         self.buffer._holdback.items()
                     )
                 ],
+                "epoch": self._current_epoch,
+                "bases": {
+                    str(e): b for e, b in self._epoch_bases.items()
+                },
             }
         }
 
@@ -642,11 +712,19 @@ class OrdupLiveEngine(LiveEngine):
                 "last_writer", {}
             ).items()
         }
+        self._current_epoch = int(ordup.get("epoch", 0))
+        self._epoch_bases = {
+            int(e): int(b)
+            for e, b in ordup.get("bases", {"0": 0}).items()
+        }
+        self._epoch_bases.setdefault(0, 0)
 
     def stats(self) -> Dict[str, Any]:
         out = super().stats()
         out["frontier"] = list(self.frontier)
         out["held_back"] = self.buffer.held
+        out["epoch"] = self._current_epoch
+        out["fenced"] = self.fenced_count
         return out
 
 

@@ -34,7 +34,14 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["LinkFaults", "FrameFate", "CrashEvent", "FaultPlan"]
+__all__ = [
+    "LinkFaults",
+    "FrameFate",
+    "CrashEvent",
+    "FaultPlan",
+    "WAN_INTRA",
+    "WAN_INTER",
+]
 
 
 @dataclass(frozen=True)
@@ -50,12 +57,30 @@ class LinkFaults:
     #: uniform added latency range, seconds.
     delay_min: float = 0.0
     delay_max: float = 0.0
+    #: link bandwidth in bytes/second (0 = unmodelled/infinite).  When
+    #: set, each frame's serialized size adds ``nbytes / bandwidth`` of
+    #: transmission delay on top of the propagation delay above.
+    bandwidth: float = 0.0
 
     def quiet(self) -> bool:
         """True when this spec injects nothing."""
         return not (
-            self.drop or self.duplicate or self.reorder or self.delay_max
+            self.drop
+            or self.duplicate
+            or self.reorder
+            or self.delay_max
+            or self.bandwidth
         )
+
+
+#: Intra-region link profile: sub-millisecond propagation, no
+#: meaningful bandwidth ceiling at our frame sizes.
+WAN_INTRA = LinkFaults(delay_min=0.0005, delay_max=0.002)
+
+#: Inter-region WAN profile: tens of milliseconds of propagation plus
+#: a 4 MiB/s bandwidth model, so big mset-batch frames pay a visible
+#: serialization cost crossing regions.
+WAN_INTER = LinkFaults(delay_min=0.02, delay_max=0.06, bandwidth=4 << 20)
 
 
 @dataclass(frozen=True)
@@ -100,6 +125,11 @@ class FaultPlan:
         self._severed: Set[Tuple[str, str]] = set()
         self._rngs: Dict[Tuple[str, str], random.Random] = {}
         self.crashes: List[CrashEvent] = []
+        #: region name -> site names, when set_regions configured one.
+        self.regions: Dict[str, Tuple[str, ...]] = {}
+        #: True once any configured link models bandwidth — gates the
+        #: (mildly costly) frame-size computation in the send path.
+        self.models_bandwidth = bool(self.default.bandwidth)
         #: observability: how much damage was actually injected.
         self.counts: Dict[str, int] = {
             "dropped": 0,
@@ -113,10 +143,43 @@ class FaultPlan:
 
     def set_default(self, faults: LinkFaults) -> None:
         self.default = faults
+        if faults.bandwidth:
+            self.models_bandwidth = True
 
     def set_link(self, src: str, dst: str, faults: LinkFaults) -> None:
         """Override the fault rates of one directed link."""
         self._links[(src, dst)] = faults
+        if faults.bandwidth:
+            self.models_bandwidth = True
+
+    def set_regions(
+        self,
+        regions: Dict[str, Sequence[str]],
+        intra: Optional[LinkFaults] = None,
+        inter: Optional[LinkFaults] = None,
+    ) -> None:
+        """Model a multi-region topology: cheap links inside each
+        region, expensive (latency + bandwidth) links across regions.
+
+        ``regions`` maps region name -> site names.  Defaults:
+        :data:`WAN_INTRA` inside, :data:`WAN_INTER` across.
+        """
+        intra = WAN_INTRA if intra is None else intra
+        inter = WAN_INTER if inter is None else inter
+        self.regions = {name: tuple(sites) for name, sites in regions.items()}
+        site_region = {
+            site: name for name, sites in regions.items() for site in sites
+        }
+        for src, src_region in site_region.items():
+            for dst, dst_region in site_region.items():
+                if src == dst:
+                    continue
+                profile = intra if src_region == dst_region else inter
+                self.set_link(src, dst, profile)
+
+    def region_groups(self) -> List[List[str]]:
+        """Site groups for :meth:`partition`, one per configured region."""
+        return [list(sites) for sites in self.regions.values()]
 
     def faults_for(self, src: str, dst: str) -> LinkFaults:
         return self._links.get((src, dst), self.default)
@@ -176,8 +239,13 @@ class FaultPlan:
             self._rngs[key] = rng
         return rng
 
-    def frame_fate(self, src: str, dst: str) -> FrameFate:
-        """Decide the fate of the next outbound frame on a link."""
+    def frame_fate(self, src: str, dst: str, nbytes: int = 0) -> FrameFate:
+        """Decide the fate of the next outbound frame on a link.
+
+        ``nbytes`` is the frame's serialized size; links with a
+        bandwidth model add ``nbytes / bandwidth`` of transmission
+        delay on top of the sampled propagation delay.
+        """
         faults = self.faults_for(src, dst)
         if faults.quiet():
             return _CLEAN
@@ -187,6 +255,8 @@ class FaultPlan:
         delay = 0.0
         if faults.delay_max > 0:
             delay = rng.uniform(faults.delay_min, faults.delay_max)
+        if faults.bandwidth > 0 and nbytes > 0:
+            delay += nbytes / faults.bandwidth
         if drop:
             self.counts["dropped"] += 1
         if duplicate:

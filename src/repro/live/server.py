@@ -75,6 +75,7 @@ import asyncio
 import json
 import logging
 import pathlib
+import random
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -88,8 +89,10 @@ from ..obs.registry import (
 from ..obs.trace import TraceRecorder
 from ..replica.mset import MSet, MSetKind
 from .durable_queue import DurableInbox, DurableOutbox
+from .election import ElectionState
 from .engine import LiveEngine, QueryTimeout, make_engine
 from .faults import FaultPlan
+from .gossip import DEAD, LEFT, SUSPECT, FailureDetector, MembershipTable
 from .protocol import (
     MAX_FRAME,
     ProtocolError,
@@ -308,6 +311,34 @@ class ReplicaServer:
         self._order_lock = asyncio.Lock()
         self._order_counter = 0
         self._order_path = self.data_dir / "order.json"
+        #: which peer the cached order connection dials (re-dial on
+        #: leader change).
+        self._order_target: Optional[str] = None
+        #: gossiped membership table + adaptive failure detector.
+        self.membership = MembershipTable(
+            name, self.data_dir / "membership.json"
+        )
+        self.detector = FailureDetector(floor=suspect_after)
+        #: durable election state for the ORDUP sequencer.
+        self.election = ElectionState(self.data_dir / "election.json")
+        #: peer -> (last epoch it gossiped, monotonic instant) — the
+        #: leader's gossip lease: grants require a majority of fresh
+        #: acks at the leader's own epoch.
+        self._peer_epochs: Dict[str, Tuple[int, float]] = {}
+        #: ORDUP with peers: True once the boot epoch probe confirmed
+        #: we are not resurrecting with a stale epoch.  Grants are
+        #: refused until then.
+        self._epoch_synced = not (self.engine.needs_order and self.peer_names)
+        self._election_task: Optional[asyncio.Task] = None
+        #: serializes campaigns (one at a time per replica).
+        self._campaign_lock = asyncio.Lock()
+        #: deterministic per-server jitter stream (heartbeat spread).
+        self._rng = random.Random(name)
+        #: peer -> currently suspected? (suspicion-transition counting).
+        self._suspected_state: Dict[str, bool] = {}
+        #: True once start_channels ran (gossip joins then spawn their
+        #: channel loops immediately instead of waiting for it).
+        self._channels_started = False
         self._monitor_task: Optional[asyncio.Task] = None
         #: last degraded() value the monitor observed (gauge flips).
         self._last_degraded = False
@@ -451,6 +482,24 @@ class ReplicaServer:
             "outbound channels rewound for a regressed receiver",
             labels=("peer",),
         )
+        self.m_elections = reg.counter(
+            "elections_total",
+            "sequencer election campaigns started here, by outcome",
+            labels=("outcome",),
+        )
+        self.m_leader_epoch = reg.gauge(
+            "leader_epoch",
+            "highest sequencer leadership epoch adopted at this replica",
+        )
+        self.m_membership_size = reg.gauge(
+            "membership_size",
+            "member records in the gossiped table (left excluded)",
+        )
+        self.m_suspicions = reg.counter(
+            "suspicions_total",
+            "times the adaptive detector newly suspected one peer",
+            labels=("peer",),
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -485,6 +534,11 @@ class ReplicaServer:
                 )
             except (ValueError, KeyError, json.JSONDecodeError):
                 self._order_counter = 0
+        self.membership.load()
+        self.election.load()
+        if self.election.epoch > 0 and hasattr(self.engine, "adopt_epoch"):
+            self.engine.adopt_epoch(self.election.epoch, self.election.base)
+        self.m_leader_epoch.set(self.election.epoch)
         await self._recover()
         self._running = True
         self._server = await asyncio.start_server(
@@ -492,6 +546,10 @@ class ReplicaServer:
         )
         self.host = host
         self.port = self._server.sockets[0].getsockname()[1]
+        self.membership.update_self(
+            host=host, port=self.port, shard=self.shard_index,
+        )
+        self.m_membership_size.set(self.membership.active_count())
         return self.port
 
     async def _recover(self) -> None:
@@ -593,12 +651,16 @@ class ReplicaServer:
         for peer, addr in addrs.items():
             if peer != self.name:
                 self.peer_addrs[peer] = tuple(addr)
+                self.membership.observe(peer, addr[0], int(addr[1]))
+        self.m_membership_size.set(self.membership.active_count())
         self._order_conn = None  # re-resolve on next order request
+        self._order_target = None
 
     def start_channels(self) -> None:
         """Launch one durable sender loop per peer channel."""
         if self._channel_tasks:
             return
+        self._channels_started = True
         now = self.engine.clock()
         for peer in self.peer_names:
             # Grace period: a freshly booted cluster is not "degraded"
@@ -617,6 +679,16 @@ class ReplicaServer:
             task = asyncio.ensure_future(self._snapshot_loop())
             task.add_done_callback(self._note_task_crash)
             self._channel_tasks.append(task)
+        if self.engine.needs_order and self.peer_names:
+            if self._election_task is None:
+                self._election_task = asyncio.ensure_future(
+                    self._election_loop()
+                )
+                self._election_task.add_done_callback(self._note_task_crash)
+            if not self._epoch_synced:
+                task = asyncio.ensure_future(self._epoch_probe())
+                task.add_done_callback(self._note_task_crash)
+                self._channel_tasks.append(task)
         if (
             self.catchup_enabled
             and self.peer_names
@@ -651,6 +723,10 @@ class ReplicaServer:
             self._catchup_task.cancel()
             self._channel_tasks.append(self._catchup_task)
             self._catchup_task = None
+        if self._election_task is not None:
+            self._election_task.cancel()
+            self._channel_tasks.append(self._election_task)
+            self._election_task = None
         for task in self._channel_tasks + list(self._conn_tasks):
             task.cancel()
         for task in self._channel_tasks + list(self._conn_tasks):
@@ -698,15 +774,40 @@ class ReplicaServer:
 
     def _note_peer_alive(self, peer: str) -> None:
         if peer in self.outboxes or peer in self.inboxes:
-            self.peer_last_seen[peer] = self.engine.clock()
+            now = self.engine.clock()
+            self.peer_last_seen[peer] = now
             self.channel_failures[peer] = 0
+            self.detector.heartbeat(peer, now)
 
     def peer_alive(self, peer: str) -> bool:
-        """True while we have recent evidence the peer is reachable."""
+        """True while we have recent evidence the peer is reachable.
+
+        Adaptive: the detector suspects a peer only when staleness
+        exceeds its observed inter-arrival distribution (mean + 4
+        sigma, floored at ``suspect_after``), so high-jitter WAN links
+        don't flap degraded mode on every slow heartbeat.
+        """
         seen = self.peer_last_seen.get(peer)
         if seen is None:
             return False
-        return self.engine.clock() - seen < self.suspect_after
+        now = self.engine.clock()
+        if self.detector.last_seen(peer) is None:
+            # grace window before the first heartbeat lands
+            return now - seen < self.suspect_after
+        return not self.detector.suspect(peer, now)
+
+    def peer_dead(self, peer: str) -> bool:
+        """True once staleness passes the dead escalation (3x the
+        adaptive suspicion bound) — the trigger for elections."""
+        if self.detector.last_seen(peer) is None:
+            seen = self.peer_last_seen.get(peer)
+            if seen is None:
+                return False
+            return (
+                self.engine.clock() - seen
+                > self.detector.dead_multiple * self.suspect_after
+            )
+        return self.detector.dead(peer, self.engine.clock())
 
     def suspected_peers(self) -> Tuple[str, ...]:
         """Peers currently failing the heartbeat deadline."""
@@ -730,6 +831,21 @@ class ReplicaServer:
             await asyncio.sleep(self.heartbeat_interval / 2)
 
     def _check_degraded_transition(self) -> None:
+        suspected = set(self.suspected_peers())
+        for peer in self.peer_names:
+            was = self._suspected_state.get(peer, False)
+            now = peer in suspected
+            if now and not was:
+                self.m_suspicions.labels(peer=peer).inc()
+                self.membership.set_status(peer, SUSPECT)
+                self.trace.event("membership", peer=peer, status=SUSPECT)
+            # recovery needs no local de-escalation: the suspected
+            # peer sees our rumor in gossip, refutes by bumping its
+            # incarnation, and the refutation out-versions us.
+            self._suspected_state[peer] = now
+            if now and self.peer_dead(peer):
+                if self.membership.set_status(peer, DEAD):
+                    self.trace.event("membership", peer=peer, status=DEAD)
         now_degraded = self.degraded()
         if now_degraded != self._last_degraded:
             self._last_degraded = now_degraded
@@ -744,6 +860,348 @@ class ReplicaServer:
                 "%s: degraded -> %s (suspected: %s)",
                 self.name, now_degraded,
                 ",".join(self.suspected_peers()) or "-",
+            )
+
+    # -- gossip membership ---------------------------------------------------
+
+    async def _merge_gossip(
+        self, src: str, payload: Dict[str, Any]
+    ) -> None:
+        """Merge a heartbeat's piggybacked membership + leadership
+        digest.  Membership changes may wire in newly discovered
+        members or re-learn moved addresses; a higher leadership epoch
+        is adopted (fencing the engine) under the apply lock."""
+        if not isinstance(payload, dict):
+            return
+        changed = self.membership.merge(payload.get("nodes", ()))
+        self.m_membership_size.set(self.membership.active_count())
+        for name in changed:
+            await self._apply_member_change(name)
+        leader = payload.get("leader")
+        if isinstance(leader, dict):
+            epoch = int(leader.get("epoch", 0))
+            self._peer_epochs[src] = (epoch, self.engine.clock())
+            who = leader.get("leader")
+            if who and epoch > self.election.epoch:
+                await self._adopt_leader(
+                    epoch, str(who), int(leader.get("base", 0))
+                )
+
+    async def _apply_member_change(self, name: str) -> None:
+        """React to one changed membership record: join, address
+        move, or a frontier digest showing we are far behind."""
+        if name == self.name:
+            return
+        rec = self.membership.get(name)
+        if rec is None or rec.status == LEFT:
+            return
+        if rec.shard != self.shard_index:
+            return  # a different shard's replica group
+        if name not in self.peer_names:
+            if rec.host and rec.port:
+                self.add_peer(name, rec.host, rec.port)
+            return
+        if rec.host and rec.port:
+            current = self.peer_addrs.get(name)
+            if current != (rec.host, rec.port):
+                self.peer_addrs[name] = (rec.host, rec.port)
+                if self._order_target == name:
+                    self._order_conn = None
+                self.trace.event(
+                    "membership", peer=name, status="moved",
+                    host=rec.host, port=rec.port,
+                )
+        # Frontier digest: the peer has originated records far beyond
+        # what we durably hold from it — steer ourselves to snapshot
+        # catch-up instead of waiting to be told.
+        inbox = self.inboxes.get(name)
+        if (
+            self.catchup_lag
+            and self.catchup_enabled
+            and not self._catching_up
+            and inbox is not None
+            and rec.frontier - inbox.frontier > self.catchup_lag
+        ):
+            self._trigger_catchup("gossip-digest", preferred=name)
+
+    def add_peer(self, name: str, host: str, port: int) -> None:
+        """Dynamically wire a gossip-discovered member into this
+        replica: durable channel logs, engine peer set, address book,
+        and (when running) a live channel loop.  The new channel
+        starts at our local frontier with a ``peer-reset`` owed, so
+        the joiner snapshot-installs history instead of replaying it
+        through the channel."""
+        if name == self.name:
+            return
+        if name in self.peer_names:
+            self.peer_addrs[name] = (host, int(port))
+            return
+        self.peer_names = tuple(sorted(self.peer_names + (name,)))
+        self.peer_addrs[name] = (host, int(port))
+        self.membership.observe(name, host, int(port))
+        outbox = DurableOutbox(
+            self.data_dir / "outbox" / ("%s.log" % name),
+            self.fsync,
+            self.fsync_interval,
+        )
+        inbox = DurableInbox(
+            self.data_dir / "inbox" / ("%s.log" % name),
+            self.fsync,
+            self.fsync_interval,
+        )
+        self.outboxes[name] = outbox
+        self.inboxes[name] = inbox
+        local_frontier = self.inboxes[LOCAL_CHANNEL].frontier
+        if outbox._seq < local_frontier:
+            outbox.reset_to(local_frontier)
+            if self.catchup_enabled and local_frontier > 0:
+                self._reset_peers.add(name)
+        self.engine.peers = tuple(sorted(set(self.engine.peers) | {name}))
+        self.trace.event("membership", peer=name, status="join")
+        logger.info(
+            "%s: discovered member %s at %s:%d", self.name, name, host, port
+        )
+        if self._running and self._channels_started:
+            self.peer_last_seen.setdefault(name, self.engine.clock())
+            self._outbox_events[name] = asyncio.Event()
+            self._outbox_events[name].set()
+            task = asyncio.ensure_future(self._channel_loop(name))
+            task.add_done_callback(self._note_task_crash)
+            self._channel_tasks.append(task)
+
+    # -- sequencer election --------------------------------------------------
+
+    def current_leader(self) -> str:
+        """The site authorized to grant order tokens: the elected
+        leader once any election has happened, else the static
+        lexicographic default (backward compatible)."""
+        if self.election.epoch > 0 and self.election.leader:
+            return self.election.leader
+        return self.order_site
+
+    def _grant_allowed(self) -> bool:
+        """May this replica grant order tokens *right now*?
+
+        Two conditions beyond being the leader: the boot epoch probe
+        must have confirmed our epoch is current (a resurrected
+        deposed leader cannot self-grant at its stale epoch before
+        learning the new one), and a majority of the full membership
+        must have gossiped *our* epoch within the suspicion floor —
+        the leader's lease.  A leader isolated on the minority side of
+        a partition loses the lease and refuses, so it can never ack
+        updates the majority's new leader will fence."""
+        if not self._epoch_synced:
+            return False
+        if not self.peer_names:
+            return True
+        now = self.engine.clock()
+        epoch = self.election.epoch
+        fresh = 1  # ourselves
+        for peer, (peer_epoch, at) in self._peer_epochs.items():
+            if peer_epoch == epoch and now - at < self.suspect_after:
+                fresh += 1
+        return fresh >= self._quorum()
+
+    def _quorum(self) -> int:
+        """Majority of the *full* membership (left members excluded).
+
+        The denominator is everyone, not just reachable members — two
+        disjoint 'majorities' of reachable subsets is exactly the
+        split-brain this fences out.  Floored at the static peer list
+        so a not-yet-gossiped table cannot shrink the quorum."""
+        members = max(
+            self.membership.active_count(), len(self.peer_names) + 1
+        )
+        return members // 2 + 1
+
+    def _check_order_authority(self) -> None:
+        leader = self.current_leader()
+        if self.name != leader:
+            raise ValueError("order tokens are issued by %s" % leader)
+        if not self._grant_allowed():
+            raise Unavailable(
+                "order authority lease not held at %s (epoch %d)"
+                % (self.name, self.election.epoch)
+            )
+
+    async def _adopt_leader(
+        self, epoch: int, leader: str, base: int
+    ) -> None:
+        """Adopt a leadership announcement (ours or gossiped) and
+        fence the engine, atomically with respect to applies."""
+        async with self._apply_lock:
+            if not self.election.adopt(epoch, leader, base):
+                return
+            if hasattr(self.engine, "adopt_epoch"):
+                self.engine.adopt_epoch(epoch, base)
+        self._epoch_synced = True
+        self.m_leader_epoch.set(epoch)
+        if leader != self.name:
+            self._order_conn = None
+            self._order_target = None
+        self.trace.event(
+            "election", phase="adopt", epoch=epoch, leader=leader,
+            base=base,
+        )
+        logger.info(
+            "%s: adopted leader %s for epoch %d (base %d)",
+            self.name, leader, epoch, base,
+        )
+
+    async def _elect_rpc(
+        self, peer: str, epoch: int
+    ) -> Optional[Dict[str, Any]]:
+        """One elect request to one peer (vote request, or a pure
+        epoch read at ``epoch=0``).  Returns the reply or None."""
+        addr = self.peer_addrs.get(peer) or self.membership.address(peer)
+        if addr is None:
+            return None
+        if self.faults is not None and (
+            self.faults.is_severed(self.name, peer)
+            or self.faults.is_severed(peer, self.name)
+        ):
+            return None
+        writer = None
+        try:
+            reader, writer = await asyncio.open_connection(*addr)
+            await write_frame(
+                writer,
+                {
+                    "type": "request",
+                    "id": 0,
+                    "verb": "elect",
+                    "epoch": epoch,
+                    "candidate": self.name,
+                },
+            )
+            reply = await asyncio.wait_for(
+                read_frame(reader), timeout=self.ack_timeout
+            )
+        except (OSError, ConnectionError, asyncio.TimeoutError, ProtocolError):
+            return None
+        finally:
+            if writer is not None:
+                writer.close()
+        if not isinstance(reply, dict) or not reply.get("ok"):
+            return None
+        return reply
+
+    async def _epoch_probe(self) -> None:
+        """Boot-time epoch sync (ORDUP with peers): learn the cluster's
+        current epoch from a majority before any grant is allowed, so
+        a deposed leader resurrected with stale durable state cannot
+        resume sequencing at its old epoch."""
+        backoff = self.retry_base
+        while self._running and not self._epoch_synced:
+            replies = 0
+            best: Optional[Tuple[int, str, int]] = None
+            for peer in self.peer_names:
+                reply = await self._elect_rpc(peer, 0)
+                if reply is None:
+                    continue
+                replies += 1
+                epoch = int(reply.get("epoch", 0))
+                if reply.get("leader") and (
+                    best is None or epoch > best[0]
+                ):
+                    best = (
+                        epoch,
+                        str(reply["leader"]),
+                        int(reply.get("base", 0)),
+                    )
+            if replies + 1 >= self._quorum():
+                if best is not None and best[0] > self.election.epoch:
+                    await self._adopt_leader(*best)
+                self._epoch_synced = True
+                self.trace.event(
+                    "election", phase="epoch-sync",
+                    epoch=self.election.epoch,
+                )
+                return
+            await asyncio.sleep(backoff)
+            backoff = min(backoff * 2, self.retry_max)
+
+    def _best_candidate(self, exclude: Tuple[str, ...] = ()) -> str:
+        """Deterministic candidate ranking: highest incarnation among
+        live members, ties to the lexicographically smallest name.
+        Every replica computes the same answer from converged gossip,
+        so normally exactly one campaigns."""
+        best = self.name
+        rec = self.membership.get(self.name)
+        best_inc = rec.incarnation if rec is not None else 0
+        for peer in self.peer_names:
+            if peer in exclude or not self.peer_alive(peer):
+                continue
+            rec = self.membership.get(peer)
+            inc = rec.incarnation if rec is not None else 0
+            if inc > best_inc or (inc == best_inc and peer < best):
+                best, best_inc = peer, inc
+        return best
+
+    async def _election_loop(self) -> None:
+        """Watch the order authority; campaign when it is dead."""
+        while self._running:
+            await asyncio.sleep(self._heartbeat_jitter())
+            if not self._epoch_synced or self._catching_up:
+                continue
+            leader = self.current_leader()
+            if leader == self.name or not self.peer_dead(leader):
+                continue
+            if self._best_candidate(exclude=(leader,)) == self.name:
+                await self._campaign()
+
+    async def _campaign(self) -> None:
+        """Run one election round: self-promise a fresh epoch, gather
+        promises (carrying durable order frontiers), and on majority
+        adopt leadership resuming from the max frontier seen."""
+        async with self._campaign_lock:
+            epoch = max(self.election.promised, self.election.epoch) + 1
+            if not self.election.promise(epoch):
+                return
+            self.m_elections.labels(outcome="started").inc()
+            self.trace.event("election", phase="campaign", epoch=epoch)
+            votes = 1
+            max_seen = getattr(self.engine, "max_order_seen", None)
+            frontiers = [max_seen() if max_seen is not None else 0]
+            for peer in self.peer_names:
+                reply = await self._elect_rpc(peer, epoch)
+                if reply is None:
+                    continue
+                if reply.get("promised"):
+                    votes += 1
+                    frontiers.append(int(reply.get("frontier", 0)))
+            if votes < self._quorum():
+                self.m_elections.labels(outcome="lost").inc()
+                self.trace.event(
+                    "election", phase="lost", epoch=epoch, votes=votes,
+                )
+                # Jittered backoff before the loop re-evaluates, so
+                # duelling candidates desynchronize.
+                await asyncio.sleep(
+                    self.retry_base
+                    + self._rng.random() * self.heartbeat_interval
+                )
+                return
+            base = max(frontiers)
+            async with self._order_lock:
+                # Resume sequencing above every grant any majority
+                # member has durably seen; persisted before the first
+                # new grant can be issued.
+                self._order_counter = max(self._order_counter, base)
+                self._order_path.write_text(
+                    json.dumps(
+                        {"next": self._order_counter, "epoch": epoch}
+                    )
+                )
+            await self._adopt_leader(epoch, self.name, base)
+            self.m_elections.labels(outcome="won").inc()
+            self.trace.event(
+                "election", phase="won", epoch=epoch, base=base,
+                votes=votes,
+            )
+            logger.info(
+                "%s: won election for epoch %d (base %d, votes %d)",
+                self.name, epoch, base, votes,
             )
 
     # -- channel sender loops ------------------------------------------------
@@ -891,6 +1349,16 @@ class ReplicaServer:
                 state["sent_hi"] = outbox.frontier
                 await asyncio.sleep(self.retry_base)
                 continue
+            if now >= state.get("hb_next", 0.0):
+                # Time-based, not idle-only: gossip and the leader's
+                # epoch lease ride heartbeats, so they must keep
+                # flowing under load.  Jittered per link so a large
+                # cluster's probes don't synchronize into bursts (and
+                # a synchronized stall into a false-suspicion storm).
+                await self._heartbeat_probe(peer, writer)
+                state["hb_next"] = (
+                    self.engine.clock() + self._heartbeat_jitter()
+                )
             fresh = [
                 (seq, payload)
                 for seq, payload in outbox.pending()
@@ -900,9 +1368,7 @@ class ReplicaServer:
             if fresh and room > 0:
                 await self._send_batches(peer, writer, state, fresh, room)
                 continue
-            if not inflight and outbox.drained():
-                await self._heartbeat_probe(peer, writer)
-            timeout = self.heartbeat_interval
+            timeout = max(0.01, state["hb_next"] - self.engine.clock())
             if inflight:
                 # Wake in time for the stall deadline of the oldest
                 # in-flight batch.
@@ -954,7 +1420,12 @@ class ReplicaServer:
                 )
             copies = 1
             if self.faults is not None:
-                fate = self.faults.frame_fate(self.name, peer)
+                nbytes = 0
+                if self.faults.models_bandwidth:
+                    nbytes = len(
+                        json.dumps(frame, separators=(",", ":"))
+                    )
+                fate = self.faults.frame_fate(self.name, peer, nbytes)
                 if fate.delay:
                     # A link delay holds up everything behind it too:
                     # flush what is already queued, then stall.
@@ -992,19 +1463,43 @@ class ReplicaServer:
             batches.append(current)
         return batches
 
+    def _heartbeat_jitter(self) -> float:
+        """Next heartbeat delay: the configured interval +/- 25%,
+        drawn from this server's deterministic jitter stream."""
+        return self.heartbeat_interval * (0.75 + 0.5 * self._rng.random())
+
+    def _gossip_payload(self) -> Dict[str, Any]:
+        """The membership + leadership digest piggybacked on every
+        heartbeat and heartbeat reply."""
+        self.membership.update_self(
+            frontier=self.inboxes[LOCAL_CHANNEL].frontier
+        )
+        return {
+            "nodes": self.membership.wire(),
+            "leader": self.election.wire(),
+        }
+
     async def _heartbeat_probe(
         self, peer: str, writer: asyncio.StreamWriter
     ) -> None:
-        """One idle-channel liveness probe.  The reply (if any) is
-        consumed by the ack reader; a lost probe is not an error — the
-        peer just stays un-refreshed and ages toward suspicion."""
+        """One liveness probe, carrying the gossip digest.  The reply
+        (if any) is consumed by the ack reader; a lost probe is not an
+        error — the peer just stays un-refreshed and ages toward
+        suspicion."""
         if self.faults is not None:
             fate = self.faults.frame_fate(self.name, peer)
             if fate.delay:
                 await asyncio.sleep(fate.delay)
             if fate.drop:
                 return
-        await write_frame(writer, {"type": "hb", "src": self.name})
+        await write_frame(
+            writer,
+            {
+                "type": "hb",
+                "src": self.name,
+                "gossip": self._gossip_payload(),
+            },
+        )
 
     async def _channel_ack_reader(
         self, peer: str, reader: asyncio.StreamReader, state: Dict[str, Any]
@@ -1033,6 +1528,8 @@ class ReplicaServer:
                 self._note_peer_alive(peer)
                 if "seq" in frame:
                     self._reconcile_ack(peer, int(frame["seq"]), state)
+                if "gossip" in frame:
+                    await self._merge_gossip(peer, frame["gossip"])
 
     def _reconcile_ack(
         self, peer: str, seq: int, state: Dict[str, Any]
@@ -1166,6 +1663,8 @@ class ReplicaServer:
                 elif kind == "hb":
                     src = str(frame.get("src", ""))
                     self._note_peer_alive(src)
+                    if "gossip" in frame:
+                        await self._merge_gossip(src, frame["gossip"])
                     reply: Dict[str, Any] = {
                         "type": "hb-ack", "src": self.name,
                     }
@@ -1175,6 +1674,8 @@ class ReplicaServer:
                         # frontier so an idle channel still detects a
                         # regressed (wiped) receiver.
                         reply["seq"] = inbox.frontier
+                    if "gossip" in frame:
+                        reply["gossip"] = self._gossip_payload()
                     await send(reply)
                 elif kind == "peer-reset":
                     # A sender compacted away records we never saw (or
@@ -1779,6 +2280,7 @@ class ReplicaServer:
                 "stats": self._handle_stats,
                 "settle": self._handle_settle,
                 "order": self._handle_order,
+                "elect": self._handle_elect,
                 "ping": self._handle_ping,
                 "metrics": self._handle_metrics,
                 "snapshot": self._handle_snapshot,
@@ -2139,6 +2641,11 @@ class ReplicaServer:
                 "accepting": self._shard_accepting,
                 "retired": self._shard_retired,
             }
+        election = dict(self.election.wire())
+        election["order_site"] = self.current_leader()
+        election["synced"] = self._epoch_synced
+        stats["election"] = election
+        stats["membership"] = self.membership.wire()
         return {"stats": stats}
 
     async def _handle_settle(self, frame: Dict[str, Any]) -> Dict[str, Any]:
@@ -2183,39 +2690,81 @@ class ReplicaServer:
         }
 
     async def _handle_order(self, frame: Dict[str, Any]) -> Dict[str, Any]:
-        if self.name != self.order_site:
-            raise ValueError(
-                "order tokens are issued by %s" % self.order_site
-            )
+        self._check_order_authority()
         return {"order": list(self._grant_order())}
 
+    async def _handle_elect(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Vote request (or pure epoch read at ``epoch=0``) from a
+        candidate.  A promise is durable before the reply leaves this
+        process — a crash cannot un-promise — and carries the max
+        durable order sequence this replica has seen, from which the
+        winner computes its resume base."""
+        epoch = int(frame.get("epoch", 0))
+        candidate = str(frame.get("candidate", ""))
+        granted = self.election.promise(epoch) if epoch > 0 else False
+        if granted:
+            self.trace.event(
+                "election", phase="promise", epoch=epoch,
+                candidate=candidate,
+            )
+        max_seen = getattr(self.engine, "max_order_seen", None)
+        return {
+            "promised": granted,
+            "promised_epoch": self.election.promised,
+            "epoch": self.election.epoch,
+            "leader": self.election.leader,
+            "base": self.election.base,
+            "frontier": max_seen() if max_seen is not None else 0,
+        }
+
     def _grant_order(self) -> Tuple[int, int]:
-        """Issue the next gap-free global order token (durable)."""
+        """Issue the next gap-free global order token (durable),
+        stamped with the granting leader's epoch."""
         self._order_counter += 1
         self._order_path.write_text(
-            json.dumps({"next": self._order_counter})
+            json.dumps(
+                {"next": self._order_counter, "epoch": self.election.epoch}
+            )
         )
-        return (self._order_counter, 0)
+        return (self._order_counter, self.election.epoch)
 
     async def _acquire_order(self) -> Tuple[int, int]:
-        """Get a token from the cluster's order server, with retry."""
-        if self.name == self.order_site:
-            return self._grant_order()
+        """Get a token from the cluster's order authority, with retry.
+
+        Re-resolves the current leader on every attempt, so an
+        election mid-retry redirects the request instead of hammering
+        the dead sequencer; a local lease refusal (leader fenced or
+        not yet synced) backs off the same way."""
         backoff = self.retry_base
         while self._running:
+            leader = self.current_leader()
+            if leader == self.name:
+                try:
+                    self._check_order_authority()
+                    return self._grant_order()
+                except (Unavailable, ValueError):
+                    await asyncio.sleep(backoff)
+                    backoff = min(backoff * 2, self.retry_max)
+                    continue
             try:
-                if self._link_severed(self.order_site):
+                if self._link_severed(leader):
                     raise ConnectionError(
-                        "link to order site %s severed" % self.order_site
+                        "link to order site %s severed" % leader
                     )
                 async with self._order_lock:
-                    if self._order_conn is None:
-                        addr = self.peer_addrs.get(self.order_site)
+                    if self._order_conn is None or self._order_target != leader:
+                        if self._order_conn is not None:
+                            self._order_conn[1].close()
+                            self._order_conn = None
+                        addr = self.peer_addrs.get(
+                            leader
+                        ) or self.membership.address(leader)
                         if addr is None:
                             raise ConnectionError("no address for order site")
                         self._order_conn = await asyncio.open_connection(
                             *addr
                         )
+                        self._order_target = leader
                     reader, writer = self._order_conn
                     await write_frame(
                         writer,
@@ -2225,14 +2774,20 @@ class ReplicaServer:
                         read_frame(reader), timeout=5.0
                     )
                 if reply is None or not reply.get("ok"):
-                    raise ConnectionError("order request failed")
+                    raise ConnectionError(
+                        "order request failed: %s"
+                        % (reply or {}).get("error", "connection lost")
+                    )
                 order = reply["order"]
-                self._note_peer_alive(self.order_site)
-                return (int(order[0]), int(order[1]))
+                self._note_peer_alive(leader)
+                if len(order) > 1:
+                    return (int(order[0]), int(order[1]))
+                return (int(order[0]), 0)
             except (OSError, ConnectionError, asyncio.TimeoutError):
                 if self._order_conn is not None:
                     self._order_conn[1].close()
                     self._order_conn = None
+                    self._order_target = None
                 await asyncio.sleep(backoff)
                 backoff = min(backoff * 2, self.retry_max)
         raise ConnectionError("server stopping")
@@ -2308,6 +2863,16 @@ class ReplicaServer:
         # frontier whose engine effects it lacks (commit waits happen
         # after release).
         async with self._apply_lock:
+            if order is not None and hasattr(self.engine, "order_admissible"):
+                if not self.engine.order_admissible(order):
+                    # The granting leader was deposed between the grant
+                    # and our durable record: refuse *before* any log
+                    # append, so a fenced update is never client-acked.
+                    self.m_updates_rejected.labels(reason="fenced").inc()
+                    raise Unavailable(
+                        "order token %r fenced by a newer leadership epoch"
+                        % (list(order),)
+                    )
             tid_seq = self.inboxes[LOCAL_CHANNEL].frontier + 1
             tid = "%s:%d" % (self.name, tid_seq)
             info = (("reads", read_keys),) if read_keys else ()

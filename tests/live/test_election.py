@@ -1,0 +1,377 @@
+"""Epoch-fenced sequencer failover: election state, fencing, e2e.
+
+Unit tests pin the durable promise/adopt state machine and the
+engine-level epoch fence; integration tests kill the ORDUP sequencer
+at several phase boundaries and assert the failover safety claims —
+an election happens, updates keep acknowledging, no acked update is
+lost, and a resurrected deposed leader is fenced rather than allowed
+to grant at its stale epoch (no two leaders commit in one epoch).
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.operations import IncrementOp
+from repro.live import LiveCluster, LiveETFailed
+from repro.live.client import RequestTimeout
+from repro.live.election import ElectionState
+from repro.live.engine import OrdupLiveEngine
+from repro.replica.mset import MSet
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestElectionState:
+    def test_promise_is_monotonic(self, tmp_path):
+        state = ElectionState(tmp_path / "election.json")
+        assert state.promise(3)
+        assert not state.promise(3)  # each epoch promised at most once
+        assert not state.promise(2)
+        assert state.promise(4)
+        assert state.promised == 4
+
+    def test_promise_survives_restart(self, tmp_path):
+        path = tmp_path / "election.json"
+        state = ElectionState(path)
+        state.promise(5)
+        reborn = ElectionState(path)
+        reborn.load()
+        # A crash cannot un-promise: the reply never outruns the disk.
+        assert not reborn.promise(5)
+        assert reborn.promised == 5
+
+    def test_adopt_is_monotonic_and_lifts_promised(self, tmp_path):
+        state = ElectionState(tmp_path / "election.json")
+        assert state.adopt(2, "siteB", base=17)
+        assert (state.epoch, state.leader, state.base) == (2, "siteB", 17)
+        assert state.promised == 2
+        assert not state.adopt(1, "siteA", base=3)
+        assert not state.adopt(2, "siteB", base=17)  # no-op repeat
+        assert state.adopt(3, "siteC", base=40)
+        assert state.bases == {2: 17, 3: 40}
+
+    def test_min_base_above_fences_stale_epochs(self, tmp_path):
+        state = ElectionState(tmp_path / "election.json")
+        state.adopt(1, "siteB", base=10)
+        state.adopt(3, "siteC", base=25)
+        assert state.min_base_above(0) == 10
+        assert state.min_base_above(1) == 25
+        assert state.min_base_above(3) is None
+
+    def test_adoption_survives_restart(self, tmp_path):
+        path = tmp_path / "election.json"
+        state = ElectionState(path)
+        state.adopt(2, "siteB", base=9)
+        reborn = ElectionState(path)
+        reborn.load()
+        assert reborn.wire() == state.wire()
+        assert reborn.bases == {2: 9}
+
+
+def _ordered_mset(seq, epoch, origin="siteB", amount=1):
+    return MSet(
+        tid="%s:%d" % (origin, seq),
+        ops=(IncrementOp("x", amount),),
+        origin=origin,
+        order=(seq, epoch),
+    )
+
+
+class TestEngineEpochFence:
+    def test_stale_epoch_tokens_are_fenced_past_the_base(self):
+        async def main():
+            engine = OrdupLiveEngine("siteA", ["siteA", "siteB"])
+            for seq in range(1, 6):
+                await engine.accept(_ordered_mset(seq, 0))
+            assert engine.frontier == (5, 0)
+
+            engine.adopt_epoch(1, base=5)
+            # Tokens at the current epoch always pass.
+            assert engine.order_admissible((6, 1))
+            # Stale-epoch tokens pass only at or below the handover
+            # base — merely late, granted before the handover.
+            assert engine.order_admissible((5, 0))
+            assert not engine.order_admissible((6, 0))
+
+            applied = await engine.accept(_ordered_mset(6, 1))
+            assert [m.order for m in applied] == [(6, 1)]
+            # A deposed leader's grant past the base applies nowhere.
+            fenced_before = engine.fenced_count
+            assert await engine.accept(_ordered_mset(7, 0)) == []
+            assert engine.fenced_count == fenced_before + 1
+            assert engine.store.get("x", 0) == 6
+
+        run(main())
+
+    def test_adopt_purges_fenced_holdback(self):
+        async def main():
+            engine = OrdupLiveEngine("siteA", ["siteA", "siteB"])
+            await engine.accept(_ordered_mset(1, 0))
+            # Held back behind the gap at seq 2 — and granted past the
+            # handover point by what turns out to be a deposed leader.
+            await engine.accept(_ordered_mset(3, 0))
+            assert engine.max_order_seen() == 3
+
+            engine.adopt_epoch(1, base=1)
+            # The held-back (3, 0) can never become applicable: seqs
+            # 2.. belong to epoch 1 now.  It must not wedge the buffer.
+            applied = await engine.accept(_ordered_mset(2, 1))
+            assert [m.order for m in applied] == [(2, 1)]
+            assert engine.fenced_count >= 1
+
+        run(main())
+
+    def test_epoch_state_survives_checkpoint_restore(self):
+        async def main():
+            engine = OrdupLiveEngine("siteA", ["siteA", "siteB"])
+            for seq in range(1, 4):
+                await engine.accept(_ordered_mset(seq, 0))
+            engine.adopt_epoch(2, base=3)
+
+            reborn = OrdupLiveEngine("siteA", ["siteA", "siteB"])
+            await reborn.restore(await engine.checkpoint())
+            assert not reborn.order_admissible((4, 0))
+            assert reborn.order_admissible((4, 2))
+
+        run(main())
+
+
+async def _ack_one(client, key, deadline):
+    """Retry one increment until it acks (or the deadline passes)."""
+    while True:
+        try:
+            await client.increment(key, 1)
+            return True
+        except (
+            LiveETFailed,
+            ConnectionError,
+            OSError,
+            asyncio.TimeoutError,
+            RequestTimeout,
+        ):
+            if time.monotonic() >= deadline:
+                return False
+            await asyncio.sleep(0.1)
+
+
+async def _wait_election(client, min_epoch, timeout=15.0):
+    """Poll stats until the adopted epoch reaches ``min_epoch``."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        stats = await client.stats()
+        election = stats.get("election", {})
+        if int(election.get("epoch", 0)) >= min_epoch:
+            return election
+        await asyncio.sleep(0.1)
+    raise AssertionError("no election reached epoch %d" % min_epoch)
+
+
+def _fast_cluster(tmp_path):
+    return LiveCluster(
+        n_sites=3,
+        method="ordup",
+        data_dir=tmp_path,
+        heartbeat_interval=0.05,
+        suspect_after=0.2,
+    )
+
+
+class TestSequencerFailover:
+    def test_elect_verb_promises_once_per_epoch(self, tmp_path):
+        async def main():
+            cluster = _fast_cluster(tmp_path)
+            await cluster.start()
+            try:
+                client = await cluster.client("site1")
+                reply = await client.request(
+                    "elect", epoch=7, candidate="siteZ"
+                )
+                assert reply["promised"] is True
+                assert reply["promised_epoch"] == 7
+                assert "frontier" in reply
+                # Same epoch again: already promised, refused — the
+                # one-promise-per-epoch rule behind one-leader-per-epoch.
+                again = await client.request(
+                    "elect", epoch=7, candidate="siteY"
+                )
+                assert again["promised"] is False
+                # epoch=0 is a pure read of the adopted state.
+                probe = await client.request(
+                    "elect", epoch=0, candidate=""
+                )
+                assert probe["promised"] is False
+                assert probe["epoch"] == 0
+                await client.close()
+            finally:
+                await cluster.stop()
+
+        run(main())
+
+    @pytest.mark.parametrize("phase", ["cold", "warm", "handover"])
+    def test_kill_leader_at_phase_boundary(self, phase, tmp_path):
+        """Crash the sequencer cold (no state), warm (settled state),
+        and again after one completed handover — each time the
+        survivors must elect, resume, and reconverge with zero
+        acked-update loss."""
+
+        async def main():
+            cluster = _fast_cluster(tmp_path)
+            await cluster.start()
+            acked = 0
+            try:
+                clients = {
+                    name: await cluster.client(name)
+                    for name in cluster.names
+                }
+                leader = cluster.servers["site0"].current_leader()
+                min_epoch = 1
+                if phase != "cold":
+                    for i in range(12):
+                        await clients[cluster.names[i % 3]].increment(
+                            "acct", 1
+                        )
+                        acked += 1
+                    await cluster.settle(timeout=30.0)
+                if phase == "handover":
+                    # Complete one failover first, then kill the *new*
+                    # leader: the second election must stack on the
+                    # first (epoch 2, fresh base).
+                    await cluster.kill(leader)
+                    survivor = [
+                        n for n in cluster.names if n != leader
+                    ][0]
+                    deadline = time.monotonic() + 20.0
+                    assert await _ack_one(
+                        clients[survivor], "acct", deadline
+                    )
+                    acked += 1
+                    election = await _wait_election(
+                        clients[survivor], 1
+                    )
+                    await cluster.restart(leader)
+                    await clients[leader].close()
+                    clients[leader] = await cluster.client(leader)
+                    await _wait_election(clients[leader], 1)
+                    # Drain the first failover's acked update to every
+                    # site before crashing again: an update acked only
+                    # at the about-to-die leader stalls the next epoch
+                    # behind a gap nobody left alive can fill (the
+                    # documented acked-but-unpropagated window).
+                    await cluster.settle(timeout=30.0)
+                    leader = election["leader"]
+                    min_epoch = 2
+
+                await cluster.kill(leader)
+                survivors = [n for n in cluster.names if n != leader]
+                deadline = time.monotonic() + 20.0
+                for survivor in survivors:
+                    assert await _ack_one(
+                        clients[survivor], "acct", deadline
+                    ), "update at %s never acked after the crash" % (
+                        survivor,
+                    )
+                    acked += 1
+                election = await _wait_election(
+                    clients[survivors[0]], min_epoch
+                )
+                assert election["leader"] in survivors
+
+                await cluster.restart(leader)
+                await clients[leader].close()
+                clients[leader] = await cluster.client(leader)
+                assert await _ack_one(
+                    clients[leader], "acct", time.monotonic() + 20.0
+                )
+                acked += 1
+                await cluster.settle(timeout=30.0)
+                assert await cluster.converged()
+                values = await cluster.site_values()
+                for state in values.values():
+                    # Acked updates all present; retries never
+                    # double-apply.
+                    assert state.get("acct", 0) == acked
+                for client in clients.values():
+                    await client.close()
+            finally:
+                await cluster.stop()
+
+        run(main())
+
+    def test_resurrected_stale_leader_is_fenced(self, tmp_path):
+        """Split-brain probe: the deposed sequencer comes back with
+        durable state that still says it leads epoch 0.  It must not
+        grant at that stale epoch — boot probe + lease hold it silent
+        until it adopts the new epoch and steps down."""
+
+        async def main():
+            cluster = _fast_cluster(tmp_path)
+            await cluster.start()
+            try:
+                clients = {
+                    name: await cluster.client(name)
+                    for name in cluster.names
+                }
+                for i in range(9):
+                    await clients[cluster.names[i % 3]].increment(
+                        "acct", 1
+                    )
+                await cluster.settle(timeout=30.0)
+
+                leader = cluster.servers["site0"].current_leader()
+                await cluster.kill(leader)
+                survivors = [n for n in cluster.names if n != leader]
+                assert await _ack_one(
+                    clients[survivors[0]], "acct",
+                    time.monotonic() + 20.0,
+                )
+                election = await _wait_election(clients[survivors[0]], 1)
+                new_leader = election["leader"]
+                assert new_leader != leader
+
+                await cluster.restart(leader)
+                await clients[leader].close()
+                clients[leader] = await cluster.client(leader)
+                # Probe the revenant for an order token before it has
+                # any chance to resync: every acceptable outcome is a
+                # refusal; a grant at epoch < 1 is a split brain.
+                try:
+                    reply = await clients[leader].request(
+                        "order", timeout=5.0
+                    )
+                except LiveETFailed:
+                    pass
+                else:
+                    granted = list(reply.get("order") or [])
+                    assert len(granted) > 1 and int(granted[1]) >= 1, (
+                        "stale leader granted %r at its old epoch"
+                        % (granted,)
+                    )
+
+                # The revenant adopts the new epoch and steps down.
+                revenant = await _wait_election(clients[leader], 1)
+                assert revenant["leader"] == new_leader
+                deadline = time.monotonic() + 15.0
+                while time.monotonic() < deadline:
+                    if cluster.servers[leader].election.epoch >= 1:
+                        break
+                    await asyncio.sleep(0.05)
+                assert cluster.servers[leader].election.leader == (
+                    new_leader
+                )
+
+                # And serves as an ordinary replica at the new epoch.
+                assert await _ack_one(
+                    clients[leader], "acct", time.monotonic() + 20.0
+                )
+                await cluster.settle(timeout=30.0)
+                assert await cluster.converged()
+                for client in clients.values():
+                    await client.close()
+            finally:
+                await cluster.stop()
+
+        run(main())

@@ -1,0 +1,437 @@
+"""Gossip membership, adaptive failure detection, heartbeat jitter.
+
+Unit tests pin the SWIM-style merge semantics (incarnation versioning,
+severity tie-breaks, self-refutation) and the phi-style suspicion
+bound; integration tests boot real clusters and check that membership
+converges by gossip alone — a joined replica is discovered in both
+directions without manual wiring, and an address change after a
+restart propagates without the test re-pointing anyone.
+"""
+
+import asyncio
+import random
+import time
+
+from repro.live import LiveCluster
+from repro.live.faults import FaultPlan, LinkFaults
+from repro.live.gossip import (
+    ALIVE,
+    DEAD,
+    LEFT,
+    SUSPECT,
+    FailureDetector,
+    MembershipTable,
+    NodeRecord,
+)
+from repro.live.server import ReplicaServer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestNodeRecord:
+    def test_wire_roundtrip(self):
+        rec = NodeRecord(
+            "siteA", host="127.0.0.1", port=7001, incarnation=3,
+            status=SUSPECT, frontier=42, shard=1,
+        )
+        back = NodeRecord.from_wire(rec.wire())
+        assert back.wire() == rec.wire()
+
+    def test_shard_omitted_when_unsharded(self):
+        assert "shard" not in NodeRecord("siteA").wire()
+
+
+class TestMembershipMerge:
+    def _table(self):
+        table = MembershipTable("siteA")
+        table.update_self(host="127.0.0.1", port=7000)
+        return table
+
+    def test_unknown_record_inserts(self):
+        table = self._table()
+        changed = table.merge(
+            [NodeRecord("siteB", "127.0.0.1", 7001, incarnation=1).wire()]
+        )
+        assert changed == ["siteB"]
+        assert table.address("siteB") == ("127.0.0.1", 7001)
+
+    def test_higher_incarnation_wins(self):
+        table = self._table()
+        table.merge([NodeRecord("siteB", "h1", 1, incarnation=2,
+                                status=DEAD).wire()])
+        # The node itself re-asserts alive at a higher incarnation —
+        # the refutation out-versions the death rumor.
+        changed = table.merge(
+            [NodeRecord("siteB", "h2", 2, incarnation=3).wire()]
+        )
+        assert changed == ["siteB"]
+        rec = table.get("siteB")
+        assert (rec.status, rec.host, rec.incarnation) == (ALIVE, "h2", 3)
+
+    def test_higher_incarnation_keeps_max_frontier(self):
+        table = self._table()
+        table.merge([NodeRecord("siteB", incarnation=1,
+                                frontier=90).wire()])
+        table.merge([NodeRecord("siteB", incarnation=2,
+                                frontier=10).wire()])
+        # Frontiers only advance: the newer record wins the liveness
+        # fields but cannot roll back what we know was applied.
+        assert table.get("siteB").frontier == 90
+
+    def test_equal_incarnation_escalates_severity_only(self):
+        table = self._table()
+        table.merge([NodeRecord("siteB", incarnation=2,
+                                status=SUSPECT).wire()])
+        # alive <- suspect at the same incarnation: no de-escalation.
+        table.merge([NodeRecord("siteB", incarnation=2).wire()])
+        assert table.get("siteB").status == SUSPECT
+        table.merge([NodeRecord("siteB", incarnation=2,
+                                status=DEAD).wire()])
+        assert table.get("siteB").status == DEAD
+
+    def test_equal_incarnation_advances_frontier_and_address(self):
+        table = self._table()
+        table.merge([NodeRecord("siteB", "h1", 1, incarnation=1,
+                                frontier=5).wire()])
+        changed = table.merge(
+            [NodeRecord("siteB", "h2", 2, incarnation=1,
+                        frontier=9).wire()]
+        )
+        assert changed == ["siteB"]
+        rec = table.get("siteB")
+        assert (rec.host, rec.port, rec.frontier) == ("h2", 2, 9)
+
+    def test_lower_incarnation_is_ignored(self):
+        table = self._table()
+        table.merge([NodeRecord("siteB", "h2", 2, incarnation=3).wire()])
+        changed = table.merge(
+            [NodeRecord("siteB", "h1", 1, incarnation=2,
+                        status=DEAD).wire()]
+        )
+        assert changed == []
+        rec = table.get("siteB")
+        assert (rec.status, rec.host) == (ALIVE, "h2")
+
+    def test_self_refutation_bumps_incarnation(self):
+        table = self._table()
+        mine = table.self_record()
+        start = mine.incarnation
+        changed = table.merge(
+            [NodeRecord("siteA", incarnation=start + 4,
+                        status=DEAD).wire()]
+        )
+        assert changed == ["siteA"]
+        assert table.self_record().status == ALIVE
+        assert table.self_record().incarnation == start + 5
+
+    def test_observe_seeds_at_incarnation_zero(self):
+        table = self._table()
+        table.observe("siteB", "127.0.0.1", 7001)
+        assert table.get("siteB").incarnation == 0
+        # Any gossiped record from the node itself (incarnation >= 1)
+        # out-versions the static seed.
+        table.merge([NodeRecord("siteB", "10.0.0.9", 9001,
+                                incarnation=1).wire()])
+        assert table.address("siteB") == ("10.0.0.9", 9001)
+
+    def test_set_status_escalates_but_never_deescalates(self):
+        table = self._table()
+        table.observe("siteB")
+        assert table.set_status("siteB", SUSPECT)
+        assert table.set_status("siteB", DEAD)
+        assert not table.set_status("siteB", SUSPECT)
+        assert not table.set_status("siteB", ALIVE)
+        assert table.get("siteB").status == DEAD
+
+    def test_left_members_drop_out_of_active_views(self):
+        table = self._table()
+        table.observe("siteB")
+        table.observe("siteC")
+        table.set_status("siteC", LEFT)
+        assert table.member_names() == ["siteA", "siteB"]
+        assert table.member_names(include_left=True) == [
+            "siteA", "siteB", "siteC",
+        ]
+        assert table.active_count() == 2
+
+
+class TestMembershipPersistence:
+    def test_incarnation_bumps_every_boot(self, tmp_path):
+        path = tmp_path / "membership.json"
+        table = MembershipTable("siteA", path)
+        table.load()
+        first = table.self_record().incarnation
+        table.update_self(host="127.0.0.1", port=7000)
+
+        reborn = MembershipTable("siteA", path)
+        reborn.load()
+        # A reboot re-asserts alive at a strictly higher incarnation,
+        # so the restarted node's record out-versions any death rumor
+        # gossiped while it was down.
+        assert reborn.self_record().incarnation == first + 1
+        assert reborn.self_record().status == ALIVE
+        assert reborn.address("siteA") == ("127.0.0.1", 7000)
+
+    def test_peer_records_survive_restart(self, tmp_path):
+        path = tmp_path / "membership.json"
+        table = MembershipTable("siteA", path)
+        table.load()
+        table.merge([NodeRecord("siteB", "127.0.0.1", 7001,
+                                incarnation=2).wire()])
+        reborn = MembershipTable("siteA", path)
+        reborn.load()
+        assert reborn.address("siteB") == ("127.0.0.1", 7001)
+        assert reborn.get("siteB").incarnation == 2
+
+
+class TestFailureDetector:
+    def test_floor_applies_before_enough_samples(self):
+        det = FailureDetector(floor=0.5)
+        det.heartbeat("p", 0.0)
+        det.heartbeat("p", 0.1)
+        assert det.timeout("p") == 0.5
+        assert not det.suspect("p", 0.5)
+        assert det.suspect("p", 0.7)
+
+    def test_adaptive_bound_tracks_jittery_arrivals(self):
+        det = FailureDetector(floor=0.15, min_samples=8)
+        rng = random.Random(7)
+        now = 0.0
+        gaps = []
+        for _ in range(40):
+            gap = rng.uniform(0.05, 0.3)
+            gaps.append(gap)
+            now += gap
+            det.heartbeat("p", now)
+        bound = det.timeout("p")
+        # The bound adapted above the (flappy) fixed floor and above
+        # every gap actually observed.
+        assert bound > 0.15
+        assert bound > max(gaps)
+        assert det.dead("p", now + 3.0 * bound + 0.01)
+        assert not det.dead("p", now + 3.0 * bound - 0.01)
+
+    def test_no_flap_regression_under_high_jitter(self):
+        """The fixed-threshold detector this replaces would flap on a
+        profile whose gaps routinely exceed the floor; the adaptive
+        bound must ride it out after warm-up."""
+        det = FailureDetector(floor=0.15, min_samples=8)
+        rng = random.Random(23)
+        now = 0.0
+        det.heartbeat("p", now)
+        arrivals = []
+        for _ in range(60):
+            now += rng.uniform(0.05, 0.3)
+            arrivals.append(now)
+        flaps = 0
+        fixed_flaps = 0
+        for i, at in enumerate(arrivals):
+            if i >= 8:
+                # Just before each arrival: the peer is at its stalest.
+                if det.suspect("p", at - 1e-6):
+                    flaps += 1
+                if det.staleness("p", at - 1e-6) > 0.15:
+                    fixed_flaps += 1
+            det.heartbeat("p", at)
+        assert flaps == 0
+        # ...while a fixed 0.15s threshold would have suspected the
+        # healthy peer over and over on the same arrival sequence.
+        assert fixed_flaps > 10
+
+    def test_forget_clears_history(self):
+        det = FailureDetector(floor=0.5)
+        det.heartbeat("p", 1.0)
+        det.forget("p")
+        assert det.last_seen("p") is None
+        assert not det.suspect("p", 99.0)
+
+
+class TestHeartbeatJitter:
+    def _server(self, tmp_path, name="siteA"):
+        return ReplicaServer(
+            name, ["siteA", "siteB"], tmp_path / name,
+            heartbeat_interval=0.2,
+        )
+
+    def test_jitter_spreads_within_bounds(self, tmp_path):
+        server = self._server(tmp_path)
+        samples = [server._heartbeat_jitter() for _ in range(200)]
+        assert all(0.15 <= s <= 0.25 for s in samples)
+        # Actually jittered: the spread covers a real chunk of the
+        # +/-25% band, so replica heartbeats cannot phase-lock.
+        assert max(samples) - min(samples) > 0.05
+
+    def test_jitter_streams_differ_across_replicas(self, tmp_path):
+        one = self._server(tmp_path, "siteA")
+        two = ReplicaServer(
+            "siteB", ["siteA", "siteB"], tmp_path / "siteB",
+            heartbeat_interval=0.2,
+        )
+        a = [one._heartbeat_jitter() for _ in range(20)]
+        b = [two._heartbeat_jitter() for _ in range(20)]
+        assert a != b
+
+
+class TestLiveGossip:
+    def test_membership_converges_across_cluster(self, tmp_path):
+        async def main():
+            cluster = LiveCluster(
+                n_sites=3, data_dir=tmp_path, heartbeat_interval=0.05,
+            )
+            await cluster.start()
+            try:
+                names = set(cluster.names)
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    tables = [
+                        cluster.servers[n].membership for n in names
+                    ]
+                    if all(
+                        set(t.member_names()) == names
+                        and all(t.address(m) for m in names)
+                        for t in tables
+                    ):
+                        break
+                    await asyncio.sleep(0.05)
+                for name in names:
+                    table = cluster.servers[name].membership
+                    assert set(table.member_names()) == names
+                    for member in names:
+                        assert table.address(member) is not None
+                # Clients learn the same view from stats replies.
+                client = await cluster.client(cluster.names[0])
+                addrs = await client.refresh_membership()
+                assert len(addrs) == len(names)
+                await client.close()
+            finally:
+                await cluster.stop()
+
+        run(main())
+
+    def test_joined_replica_discovered_both_ways(self, tmp_path):
+        async def main():
+            cluster = LiveCluster(
+                n_sites=3, data_dir=tmp_path, heartbeat_interval=0.05,
+            )
+            await cluster.start()
+            try:
+                client = await cluster.client("site0")
+                for i in range(12):
+                    await client.increment("acct%d" % (i % 3), 1)
+                # One seed address; everything else travels by gossip.
+                await cluster.join("site3", seed="site0")
+                expect = set(cluster.names)
+                deadline = time.monotonic() + 15.0
+                while time.monotonic() < deadline:
+                    joined = cluster.servers["site3"].membership
+                    far = cluster.servers["site2"].membership
+                    if (
+                        set(joined.member_names()) == expect
+                        and far.address("site3") is not None
+                    ):
+                        break
+                    await asyncio.sleep(0.05)
+                # The joiner learned every member through its one seed,
+                # and a replica the joiner never dialed learned the
+                # joiner's address.
+                assert set(
+                    cluster.servers["site3"].membership.member_names()
+                ) == expect
+                assert (
+                    cluster.servers["site2"].membership.address("site3")
+                    is not None
+                )
+                # State flows to the new member without manual wiring.
+                await client.increment("acct0", 1)
+                await cluster.settle(timeout=30.0)
+                values = await cluster.site_values()
+                assert values["site3"] == values["site0"]
+                await client.close()
+            finally:
+                await cluster.stop()
+
+        run(main())
+
+    def test_restarted_address_relearned_by_gossip(self, tmp_path):
+        async def main():
+            cluster = LiveCluster(
+                n_sites=3, data_dir=tmp_path, heartbeat_interval=0.05,
+            )
+            await cluster.start()
+            try:
+                client = await cluster.client("site0")
+                for i in range(8):
+                    await client.increment("acct%d" % (i % 3), 1)
+                await cluster.settle(timeout=30.0)
+                # Restart on a fresh port *without* re-pointing the
+                # other replicas: the survivors must learn the new
+                # address from the restarted node's bumped-incarnation
+                # gossip record, not from test wiring.
+                await cluster.kill("site2")
+                await cluster.restart("site2", rewire=False)
+                deadline = time.monotonic() + 15.0
+                new_addr = cluster.addrs["site2"]
+                while time.monotonic() < deadline:
+                    learned = cluster.servers["site0"].membership.address(
+                        "site2"
+                    )
+                    if learned == new_addr:
+                        break
+                    await asyncio.sleep(0.05)
+                assert (
+                    cluster.servers["site0"].membership.address("site2")
+                    == new_addr
+                )
+                await client.increment("acct0", 1)
+                await cluster.settle(timeout=30.0)
+                assert await cluster.converged()
+                await client.close()
+            finally:
+                await cluster.stop()
+
+        run(main())
+
+    def test_no_degraded_flaps_under_wan_jitter(self, tmp_path):
+        """Regression for the fixed-threshold detector: with frame
+        delays routinely exceeding ``suspect_after``, a healthy cluster
+        must stop flapping in and out of degraded mode once the
+        adaptive bound has warmed up."""
+
+        async def main():
+            plan = FaultPlan(
+                seed=7,
+                default=LinkFaults(delay_min=0.05, delay_max=0.25),
+            )
+            cluster = LiveCluster(
+                n_sites=2,
+                data_dir=tmp_path,
+                faults=plan,
+                heartbeat_interval=0.05,
+                suspect_after=0.15,
+            )
+            await cluster.start()
+            started = time.monotonic()
+            try:
+                await asyncio.sleep(6.0)
+                warmup = started + 3.0
+                late_flips = []
+                for server in cluster.servers.values():
+                    peer = [
+                        p for p in cluster.names if p != server.name
+                    ][0]
+                    # The bound adapted above the flappy fixed floor.
+                    assert server.detector.timeout(peer) > 0.15
+                    for event in server.trace.snapshot():
+                        if (
+                            event.get("kind") == "degraded"
+                            and event.get("value") == 1
+                            and event.get("ts", 0.0) > warmup
+                        ):
+                            late_flips.append((server.name, event))
+                assert late_flips == [], late_flips
+            finally:
+                await cluster.stop()
+
+        run(main())
