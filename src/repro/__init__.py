@@ -85,12 +85,19 @@ from .sim import (
 from .workload import WorkloadGenerator, WorkloadSpec, drive
 from .metrics import RunMetrics, divergence_of, summarize
 from .harness import AuditReport, audit
-from .client import Client, ETFailed
+from .client import Client, ClientSession, ETFailed
+from .consistency import (
+    Consistency,
+    ReadOptions,
+    SessionToken,
+    resolve_read_options,
+)
 from .errors import (
     ABORTED,
     EPSILON_EXCEEDED,
     ETError,
     OVERLOADED,
+    SESSION_STALE,
     UNAVAILABLE,
 )
 
@@ -137,9 +144,11 @@ __all__ = [
     "WorkloadGenerator", "WorkloadSpec", "drive",
     "RunMetrics", "divergence_of", "summarize",
     "AuditReport", "audit",
-    "Client", "ETFailed",
+    "Client", "ClientSession", "ETFailed",
+    # typed consistency surface
+    "Consistency", "ReadOptions", "SessionToken", "resolve_read_options",
     # shared failure taxonomy (sim + live)
     "ABORTED", "EPSILON_EXCEEDED", "ETError", "OVERLOADED",
-    "UNAVAILABLE",
+    "SESSION_STALE", "UNAVAILABLE",
     "__version__",
 ]

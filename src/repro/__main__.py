@@ -447,6 +447,44 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     return asyncio.run(main())
 
 
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Open-loop zipfian load against a live deployment (or an
+    in-process cluster booted for the run)."""
+    import json as json_mod
+
+    from .workload.loadgen import LoadgenConfig, run_loadgen_sync
+
+    addrs = None
+    if args.addr:
+        addrs = []
+        for item in args.addr:
+            host, _, port = item.rpartition(":")
+            addrs.append((host or "127.0.0.1", int(port)))
+    config = LoadgenConfig(
+        users=args.users,
+        think_time=args.think_time,
+        duration=args.duration,
+        rate=args.rate,
+        keys=args.keys,
+        zipf_s=args.zipf,
+        write_fraction=args.write_fraction,
+        epsilon=args.epsilon,
+        connections=args.connections,
+        session_pool=args.sessions,
+        seed=args.seed,
+        sites=args.sites,
+        method=args.method,
+        addrs=addrs,
+    )
+    report = run_loadgen_sync(config)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json_mod.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+        print("wrote %s" % args.json)
+    return 0
+
+
 def _cmd_metrics_dump(args: argparse.Namespace) -> int:
     """Scrape one live replica's ``metrics`` verb and print it."""
     import asyncio
@@ -637,6 +675,66 @@ def main(argv: List[str] = None) -> int:
         help="persist per-site metrics (.prom, metrics.json) and the "
         "merged lifecycle trace (trace.jsonl) under DIR",
     )
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop zipfian load driver: simulate 10^5-10^6 "
+        "thinking users against a live replica group and report "
+        "p50/p95/p99 latency and throughput",
+    )
+    loadgen.add_argument(
+        "--users", type=int, default=100_000,
+        help="simulated concurrent user population (sets the offered "
+        "rate: users / think-time requests per second)",
+    )
+    loadgen.add_argument(
+        "--think-time", type=float, default=50.0,
+        help="mean seconds a user thinks between requests",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=4.0,
+        help="seconds of offered load",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=None,
+        help="override the offered rate (req/s) directly",
+    )
+    loadgen.add_argument("--keys", type=int, default=512)
+    loadgen.add_argument(
+        "--zipf", type=float, default=1.1, help="zipf skew of key access"
+    )
+    loadgen.add_argument(
+        "--write-fraction", type=float, default=0.10,
+        help="fraction of requests that are increments",
+    )
+    loadgen.add_argument(
+        "--epsilon", type=float, default=8.0,
+        help="inconsistency budget of bounded reads",
+    )
+    loadgen.add_argument(
+        "--connections", type=int, default=8,
+        help="pipelined client connections sharing the load",
+    )
+    loadgen.add_argument(
+        "--sessions", type=int, default=10_000,
+        help="sticky session-token pool bound",
+    )
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument(
+        "--sites", type=int, default=3,
+        help="in-process cluster size (ignored with --addr)",
+    )
+    loadgen.add_argument(
+        "--method", default="commu", choices=("commu", "ordup", "rowa")
+    )
+    loadgen.add_argument(
+        "--addr", action="append", default=None, metavar="HOST:PORT",
+        help="connect to an existing deployment instead of booting an "
+        "in-process cluster (repeat for failover addresses)",
+    )
+    loadgen.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the full report as JSON",
+    )
     metrics_dump = sub.add_parser(
         "metrics-dump",
         help="scrape one live replica's metrics verb and print it",
@@ -679,6 +777,8 @@ def main(argv: List[str] = None) -> int:
         return _cmd_live_demo(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "metrics-dump":
         return _cmd_metrics_dump(args)
     if args.command == "snapshot":

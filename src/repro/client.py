@@ -8,9 +8,11 @@ the client's home site and advances simulated time until the ET
 completes, returning plain values.
 
     client = Client(system, "site1")
-    client.increment("balance", 100)          # async update, committed
-    value = client.read("balance", epsilon=2) # bounded-error query
-    strict = client.read("balance", epsilon=0)  # serializable query
+    client.increment("balance", 100)                   # async update
+    value = client.read("balance", Consistency.BOUNDED(2))
+    strict = client.read("balance", Consistency.STRICT)
+
+(the old ``epsilon=`` kwargs still work but emit DeprecationWarning)
 
 Because the client *runs the simulator* while waiting, it is intended
 for single-driver scripts (examples, notebooks, tests).  Concurrent
@@ -20,8 +22,14 @@ directly, as the workload generator does.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
 
+from .consistency import (
+    Consistency,
+    ReadOptions,
+    SessionToken,
+    resolve_read_options,
+)
 from .core.operations import (
     AppendOp,
     DecrementOp,
@@ -35,13 +43,12 @@ from .core.transactions import (
     ETResult,
     ETStatus,
     QueryET,
-    UNLIMITED,
     UpdateET,
 )
 from .errors import ABORTED, EPSILON_EXCEEDED, ETError
 from .replica.base import ReplicatedSystem
 
-__all__ = ["Client", "ETFailed"]
+__all__ = ["Client", "ClientSession", "ETFailed"]
 
 
 class ETFailed(ETError):
@@ -132,38 +139,139 @@ class Client:
     def read(
         self,
         key: str,
-        epsilon: float = UNLIMITED,
-        value_epsilon: float = UNLIMITED,
+        options: Union[ReadOptions, Consistency, float, None] = None,
+        *,
+        epsilon: Optional[float] = None,
+        value_epsilon: Optional[float] = None,
     ) -> Any:
-        """Read one key with the given inconsistency budget."""
-        result = self.execute(
-            [ReadOp(key)],
-            EpsilonSpec(import_limit=epsilon, value_limit=value_epsilon),
+        """Read one key at the given consistency.
+
+        ``options`` is a :class:`~repro.consistency.ReadOptions` or
+        :class:`~repro.consistency.Consistency`; the bare ``epsilon``/
+        ``value_epsilon`` kwargs are the deprecated spelling.
+        """
+        opts = resolve_read_options(
+            options, epsilon=epsilon, value_epsilon=value_epsilon,
+            caller="read",
         )
+        result = self.execute([ReadOp(key)], opts.spec())
         return result.values[key]
 
     def read_many(
         self,
         keys: Sequence[str],
-        epsilon: float = UNLIMITED,
-        value_epsilon: float = UNLIMITED,
+        options: Union[ReadOptions, Consistency, float, None] = None,
+        *,
+        epsilon: Optional[float] = None,
+        value_epsilon: Optional[float] = None,
     ) -> Dict[str, Any]:
         """One query ET over several keys (a consistent unit of error)."""
-        result = self.execute(
-            [ReadOp(key) for key in keys],
-            EpsilonSpec(import_limit=epsilon, value_limit=value_epsilon),
+        opts = resolve_read_options(
+            options, epsilon=epsilon, value_epsilon=value_epsilon,
+            caller="read_many",
         )
+        result = self.execute([ReadOp(key) for key in keys], opts.spec())
         return dict(result.values)
 
     def query(
-        self, keys: Sequence[str], spec: Optional[EpsilonSpec] = None
+        self,
+        keys: Sequence[str],
+        spec: Union[EpsilonSpec, ReadOptions, Consistency, None] = None,
     ) -> ETResult:
         """Full-fidelity query: returns the ETResult with its error
-        accounting (inconsistency counter, overlap, waits)."""
+        accounting (inconsistency counter, overlap, waits).  ``spec``
+        accepts a raw :class:`EpsilonSpec` or the typed surface."""
+        if isinstance(spec, (ReadOptions, Consistency)):
+            spec = resolve_read_options(spec, caller="query").spec()
         return self.execute([ReadOp(key) for key in keys], spec)
+
+    def session(self, token: Optional[SessionToken] = None) -> "ClientSession":
+        """Open a session (``with client.session() as s:``).
+
+        The simulator client is site-homed and blocking — every call
+        runs the simulation to completion at one site — so
+        read-your-writes and monotonic reads hold trivially.  The
+        session still maintains a real :class:`SessionToken` (advanced
+        past every committed tid) so programs exercising cross-process
+        token handoff run unchanged against the simulator.
+        """
+        return ClientSession(self, token)
 
     # -- convenience ------------------------------------------------------------------
 
     def settle(self) -> float:
         """Drain all background propagation (returns quiescence time)."""
         return self.system.run_to_quiescence()
+
+
+class ClientSession:
+    """Session sugar over the blocking simulator client.
+
+    Mirrors the live :class:`~repro.live.client.LiveSession` surface
+    (reads, writes, ``token``) as a *synchronous* context manager, so
+    API-parity programs can drive sessions on either backend.
+    """
+
+    def __init__(
+        self, client: Client, token: Optional[SessionToken] = None
+    ) -> None:
+        self._client = client
+        self.token = token if token is not None else SessionToken()
+
+    def __enter__(self) -> "ClientSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def _observe(self, result: ETResult) -> ETResult:
+        tid = getattr(result.et, "tid", None)
+        if isinstance(tid, str):
+            self.token.observe_write(tid)
+        return result
+
+    def read(
+        self,
+        key: str,
+        options: Union[ReadOptions, Consistency, float, None] = None,
+        *,
+        epsilon: Optional[float] = None,
+        value_epsilon: Optional[float] = None,
+    ) -> Any:
+        return self._client.read(
+            key, options, epsilon=epsilon, value_epsilon=value_epsilon
+        )
+
+    def read_many(
+        self,
+        keys: Sequence[str],
+        options: Union[ReadOptions, Consistency, float, None] = None,
+        *,
+        epsilon: Optional[float] = None,
+        value_epsilon: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        return self._client.read_many(
+            keys, options, epsilon=epsilon, value_epsilon=value_epsilon
+        )
+
+    def query(
+        self,
+        keys: Sequence[str],
+        spec: Union[EpsilonSpec, ReadOptions, Consistency, None] = None,
+    ) -> ETResult:
+        return self._client.query(keys, spec)
+
+    def update(self, operations: Sequence[Operation]) -> ETResult:
+        return self._observe(self._client.update(operations))
+
+    def write(self, key: str, value: Any) -> ETResult:
+        return self._observe(self._client.write(key, value))
+
+    def increment(self, key: str, amount: float = 1) -> ETResult:
+        return self._observe(self._client.increment(key, amount))
+
+    def decrement(self, key: str, amount: float = 1) -> ETResult:
+        return self._observe(self._client.decrement(key, amount))
+
+    def append(self, key: str, item: Any) -> ETResult:
+        return self._observe(self._client.append(key, item))

@@ -1,0 +1,327 @@
+"""Typed consistency surface shared by every read path.
+
+The paper's pitch is that applications declare *how much* inconsistency
+a read may import instead of re-deriving serializability conditions.
+Historically that budget leaked through the clients as loose
+``epsilon=`` / ``value_epsilon=`` kwargs; this module makes it a typed,
+uniform surface accepted by ``read`` / ``read_many`` / ``query`` on the
+sim client, the live client, and the shard router:
+
+* :class:`Consistency` — the level of a read:
+
+  - ``Consistency.STRICT`` — one-copy serializable (``epsilon = 0``);
+    pins to the primary/sequencer and refuses honestly while degraded.
+  - ``Consistency.BOUNDED(epsilon)`` — bounded-inconsistency ESR read;
+    eligible for replica fan-out and the client read cache.
+  - ``Consistency.CACHED`` — serve from the client cache while the
+    entry is inside its TTL, regardless of the accumulated import
+    estimate; falls through to a bounded read on a miss.
+  - ``Consistency.SESSION`` — read-your-writes + monotonic-reads
+    session guarantees via a :class:`SessionToken` carrying per-site
+    applied frontiers, checked server-side (typed ``SESSION_STALE``
+    refusal, retried at a fresher replica).
+
+* :class:`ReadOptions` — everything a read may carry: the consistency
+  level, a session token, a replica preference, and a timeout.
+
+* :class:`SessionToken` — the portable frontier vector; ``encode()``
+  and :meth:`SessionToken.decode` give a JSON wire format for
+  cross-process handoff (documented in docs/LIVE.md).
+
+The old kwargs still work on every backend but emit a
+``DeprecationWarning`` (one release of grace)::
+
+    value = client.read("balance", epsilon=2)          # deprecated
+    value = client.read("balance", Consistency.BOUNDED(2))  # new
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Union
+
+from .core.transactions import EpsilonSpec, UNLIMITED
+
+__all__ = [
+    "BOUNDED",
+    "CACHED",
+    "Consistency",
+    "ReadOptions",
+    "STRICT",
+    "SESSION",
+    "SessionToken",
+    "resolve_read_options",
+]
+
+#: Consistency level names (the ``Consistency.level`` vocabulary).
+STRICT = "strict"
+BOUNDED = "bounded"
+CACHED = "cached"
+SESSION = "session"
+
+_LEVELS = frozenset({STRICT, BOUNDED, CACHED, SESSION})
+
+
+class SessionToken:
+    """A portable vector of per-site applied frontiers.
+
+    ``frontiers`` maps site name -> the highest sequence number of
+    that site's own updates this session has observed (either by
+    committing them — read-your-writes — or by reading a reply that
+    reflected them — monotonic reads).  A replica may serve a session
+    read only while its applied frontier for every site named in the
+    token is at least the token's entry; otherwise it refuses with the
+    typed ``SESSION_STALE`` code and the client retries at a fresher
+    replica.
+
+    The wire format is plain JSON (``{"v": 1, "f": {site: seq}}``) so
+    tokens survive cross-process handoff through any string channel.
+    """
+
+    __slots__ = ("frontiers",)
+
+    WIRE_VERSION = 1
+
+    def __init__(self, frontiers: Optional[Mapping[str, int]] = None) -> None:
+        self.frontiers: Dict[str, int] = {
+            str(site): int(seq) for site, seq in (frontiers or {}).items()
+        }
+
+    def merge(self, frontiers: Optional[Mapping[str, int]]) -> bool:
+        """Max-merge observed frontiers into the token; True if it advanced."""
+        if not frontiers:
+            return False
+        advanced = False
+        for site, seq in frontiers.items():
+            try:
+                seq = int(seq)
+            except (TypeError, ValueError):
+                continue
+            if seq > self.frontiers.get(str(site), 0):
+                self.frontiers[str(site)] = seq
+                advanced = True
+        return advanced
+
+    def observe_write(self, tid: str) -> bool:
+        """Advance the token past one committed update's ``site:seq`` tid."""
+        site, sep, seq = str(tid).rpartition(":")
+        if not sep or not site:
+            return False
+        try:
+            return self.merge({site: int(seq)})
+        except ValueError:
+            return False
+
+    def dominated_by(self, frontiers: Mapping[str, int]) -> bool:
+        """True when ``frontiers`` covers every entry of this token."""
+        return all(
+            int(frontiers.get(site, 0)) >= seq
+            for site, seq in self.frontiers.items()
+        )
+
+    def copy(self) -> "SessionToken":
+        return SessionToken(self.frontiers)
+
+    def encode(self) -> str:
+        """Serialize for cross-process handoff (see docs/LIVE.md)."""
+        return json.dumps(
+            {"v": self.WIRE_VERSION, "f": dict(sorted(self.frontiers.items()))},
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def decode(cls, text: str) -> "SessionToken":
+        try:
+            payload = json.loads(text)
+            if int(payload.get("v", 0)) != cls.WIRE_VERSION:
+                raise ValueError("unsupported token version %r" % payload.get("v"))
+            return cls(payload.get("f", {}))
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise ValueError("malformed session token: %s" % exc) from None
+
+    def __bool__(self) -> bool:
+        return bool(self.frontiers)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SessionToken)
+            and self.frontiers == other.frontiers
+        )
+
+    def __repr__(self) -> str:
+        return "SessionToken(%r)" % (self.frontiers,)
+
+
+class Consistency:
+    """A typed read-consistency level with its inconsistency budget.
+
+    Use the canonical constructors::
+
+        Consistency.STRICT          # epsilon = 0, primary-pinned
+        Consistency.BOUNDED(4)      # import at most 4 concurrent updates
+        Consistency.CACHED          # TTL-bound client-cache reads
+        Consistency.SESSION         # read-your-writes / monotonic reads
+    """
+
+    __slots__ = ("level", "epsilon", "value_epsilon")
+
+    # Populated after the class body (singletons need the class).
+    STRICT: "Consistency"
+    CACHED: "Consistency"
+    SESSION: "Consistency"
+
+    def __init__(
+        self,
+        level: str = BOUNDED,
+        epsilon: float = UNLIMITED,
+        value_epsilon: float = UNLIMITED,
+    ) -> None:
+        if level not in _LEVELS:
+            raise ValueError(
+                "unknown consistency level %r (expected one of %s)"
+                % (level, ", ".join(sorted(_LEVELS)))
+            )
+        if level == STRICT:
+            epsilon = 0.0
+        self.level = level
+        self.epsilon = epsilon
+        self.value_epsilon = value_epsilon
+
+    @staticmethod
+    def BOUNDED(
+        epsilon: float, value_epsilon: float = UNLIMITED
+    ) -> "Consistency":
+        """A bounded-inconsistency (ESR) read budget."""
+        return Consistency(BOUNDED, epsilon, value_epsilon)
+
+    def spec(self) -> EpsilonSpec:
+        """The epsilon spec this level submits to the engine."""
+        return EpsilonSpec(
+            import_limit=self.epsilon, value_limit=self.value_epsilon
+        )
+
+    @property
+    def is_strict(self) -> bool:
+        return self.level == STRICT or self.spec().is_strict
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Consistency)
+            and self.level == other.level
+            and self.epsilon == other.epsilon
+            and self.value_epsilon == other.value_epsilon
+        )
+
+    def __repr__(self) -> str:
+        if self.level == STRICT:
+            return "Consistency.STRICT"
+        extras = []
+        if self.epsilon != UNLIMITED:
+            extras.append("epsilon=%r" % self.epsilon)
+        if self.value_epsilon != UNLIMITED:
+            extras.append("value_epsilon=%r" % self.value_epsilon)
+        return "Consistency(%r%s)" % (
+            self.level, (", " + ", ".join(extras)) if extras else ""
+        )
+
+
+Consistency.STRICT = Consistency(STRICT, 0.0)
+Consistency.CACHED = Consistency(CACHED)
+Consistency.SESSION = Consistency(SESSION)
+
+
+@dataclass(frozen=True)
+class ReadOptions:
+    """Everything a read may carry, uniformly across backends.
+
+    ``consistency``
+        The :class:`Consistency` level (default: an unbounded ESR
+        read, matching the historical no-kwargs behaviour).
+    ``session``
+        A :class:`SessionToken` to enforce (and advance).  Implied —
+        and auto-created — inside ``client.session()`` blocks.
+    ``prefer``
+        Replica preference for the live client's fan-out:
+        ``None``/``"auto"`` follows the client policy, ``"primary"``
+        pins to the primary, ``"any"`` opts this read into
+        staleness-weighted fan-out, a site name targets that replica.
+    ``timeout``
+        Per-read deadline in seconds (falls back to the client's
+        default request timeout).
+    """
+
+    consistency: Consistency = field(default_factory=lambda: Consistency())
+    session: Optional[SessionToken] = None
+    prefer: Optional[str] = None
+    timeout: Optional[float] = None
+
+    def spec(self) -> EpsilonSpec:
+        return self.consistency.spec()
+
+
+def resolve_read_options(
+    options: Union[ReadOptions, Consistency, None] = None,
+    *,
+    epsilon: Optional[float] = None,
+    value_epsilon: Optional[float] = None,
+    timeout: Optional[float] = None,
+    caller: str = "read",
+) -> ReadOptions:
+    """Fold the new typed surface and the deprecated kwargs into one
+    :class:`ReadOptions`.
+
+    Every backend's ``read``/``read_many``/``query`` funnels through
+    here, so deprecation behaviour stays identical across sim, live,
+    and sharded clients: passing ``epsilon=``/``value_epsilon=`` still
+    works but warns; combining them with a typed ``options`` argument
+    is a hard error (ambiguous intent).
+    """
+    if isinstance(options, (int, float)) and not isinstance(options, bool):
+        # Historical positional spelling: read("k", 2) meant epsilon=2.
+        if epsilon is not None:
+            raise TypeError(
+                "%s(): epsilon passed both positionally and by keyword"
+                % caller
+            )
+        epsilon, options = options, None
+    legacy = epsilon is not None or value_epsilon is not None
+    if legacy:
+        if options is not None:
+            raise TypeError(
+                "%s(): pass either ReadOptions/Consistency or the "
+                "deprecated epsilon/value_epsilon kwargs, not both" % caller
+            )
+        warnings.warn(
+            "%s(epsilon=..., value_epsilon=...) is deprecated; pass "
+            "Consistency.BOUNDED(epsilon) or ReadOptions(...) instead"
+            % caller,
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return ReadOptions(
+            consistency=Consistency(
+                BOUNDED,
+                UNLIMITED if epsilon is None else epsilon,
+                UNLIMITED if value_epsilon is None else value_epsilon,
+            ),
+            timeout=timeout,
+        )
+    if options is None:
+        return ReadOptions(timeout=timeout)
+    if isinstance(options, Consistency):
+        return ReadOptions(consistency=options, timeout=timeout)
+    if isinstance(options, ReadOptions):
+        if timeout is not None and options.timeout is None:
+            return ReadOptions(
+                consistency=options.consistency,
+                session=options.session,
+                prefer=options.prefer,
+                timeout=timeout,
+            )
+        return options
+    raise TypeError(
+        "%s(): options must be ReadOptions or Consistency, got %r"
+        % (caller, type(options).__name__)
+    )

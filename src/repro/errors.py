@@ -26,6 +26,12 @@ Codes:
   carries the newest shard map the replica knows (``map``); refresh
   the routing table and retry at the owner.  The sharded router does
   this automatically.
+* :data:`SESSION_STALE` — the addressed replica's applied frontiers
+  lag the session token attached to a ``SESSION``-level read, so
+  serving it would violate read-your-writes / monotonic reads.  The
+  error response carries the replica's current frontier vector
+  (``frontiers``); retry at a fresher replica (the live client does
+  this automatically) or wait for propagation to catch up.
 
 Catch-all::
 
@@ -45,6 +51,7 @@ __all__ = [
     "EPSILON_EXCEEDED",
     "ETError",
     "OVERLOADED",
+    "SESSION_STALE",
     "UNAVAILABLE",
     "WRONG_SHARD",
 ]
@@ -59,6 +66,8 @@ ABORTED = "ABORTED"
 OVERLOADED = "OVERLOADED"
 #: the addressed replica group does not own the requested shard.
 WRONG_SHARD = "WRONG_SHARD"
+#: the replica's applied frontiers lag the read's session token.
+SESSION_STALE = "SESSION_STALE"
 
 
 class ETError(RuntimeError):
@@ -94,3 +103,8 @@ class ETError(RuntimeError):
     def wrong_shard(self) -> bool:
         """True when the request was routed to a non-owner group."""
         return self.code == WRONG_SHARD
+
+    @property
+    def session_stale(self) -> bool:
+        """True when the replica lagged the read's session token."""
+        return self.code == SESSION_STALE

@@ -57,7 +57,13 @@ from .chaos import (
     run_wan,
     run_wan_sync,
 )
-from .client import LiveClient, LiveETFailed, LiveETResult, RequestTimeout
+from .client import (
+    LiveClient,
+    LiveETFailed,
+    LiveETResult,
+    LiveSession,
+    RequestTimeout,
+)
 from .cluster import LiveCluster, ShardedCluster
 from .durable_queue import DurableInbox, DurableOutbox
 from .election import ElectionState
@@ -80,8 +86,15 @@ from .engine import (
     RowaLiveEngine,
     make_engine,
 )
-from .router import ShardRouter
-from .server import LOCAL_CHANNEL, Overloaded, ReplicaServer, Unavailable
+from .read_cache import CachedRead, EpsilonReadCache
+from .router import RouterSession, ShardRouter
+from .server import (
+    LOCAL_CHANNEL,
+    Overloaded,
+    ReplicaServer,
+    SessionStale,
+    Unavailable,
+)
 from .shard import ShardMap, WrongShard, key_shard, migrate_shard
 from .snapshot import (
     SnapshotError,
@@ -111,9 +124,13 @@ __all__ = [
     "LiveClient",
     "LiveETFailed",
     "LiveETResult",
+    "LiveSession",
     "RequestTimeout",
+    "CachedRead",
+    "EpsilonReadCache",
     "LiveCluster",
     "ShardedCluster",
+    "RouterSession",
     "ShardMap",
     "ShardRouter",
     "WrongShard",
@@ -142,6 +159,7 @@ __all__ = [
     "ReplicaServer",
     "Unavailable",
     "Overloaded",
+    "SessionStale",
     "LOCAL_CHANNEL",
     "SnapshotError",
     "SnapshotStore",

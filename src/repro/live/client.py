@@ -7,6 +7,33 @@ coroutines can share one :class:`LiveClient`, and responses are
 matched to requests by id, so concurrent ETs genuinely overlap on the
 wire.
 
+Reads take the typed consistency surface from
+:mod:`repro.consistency` (the old ``epsilon=``/``value_epsilon=``
+kwargs still work but emit ``DeprecationWarning``)::
+
+    client = await LiveClient.connect("127.0.0.1", 7000)
+    await client.increment("balance", 100)
+    value = await client.read("balance", Consistency.BOUNDED(2))
+    strict = await client.read("balance", Consistency.STRICT)
+    await client.close()
+
+Read scaling (see docs/LIVE.md "Read scaling & session guarantees"):
+
+* ``cache=`` installs an :class:`~repro.live.read_cache.EpsilonReadCache`
+  — non-strict reads are served client-side while their accumulated
+  inconsistency-import estimate stays under the budget; own writes
+  invalidate their keys.
+* ``fan_out=True`` spreads non-strict reads across the replicas the
+  client has learned from gossiped membership, weighted by
+  applied-frontier lag (a lagging replica gets proportionally less
+  read traffic, and is skipped entirely while its lag exceeds the
+  read's budget).  Strict (``epsilon = 0``) reads always pin to the
+  primary.  Per-read ``ReadOptions(prefer=...)`` overrides the policy.
+* ``client.session()`` opens a :class:`LiveSession` enforcing
+  read-your-writes + monotonic reads via a session token checked
+  server-side; a ``SESSION_STALE`` refusal is retried at a fresher
+  replica automatically.
+
 Robustness: requests take a per-request ``timeout``; a broken
 connection is redialed automatically with jittered exponential
 backoff, optionally failing over across a list of replica addresses.
@@ -23,12 +50,6 @@ seconds an idle moment re-probes the primary address and rehomes the
 connection when it answers, so a recovered replica wins its clients
 back without manual intervention (set the interval to 0 to disable).
 
-    client = await LiveClient.connect("127.0.0.1", 7000)
-    await client.increment("balance", 100)          # async update
-    value = await client.read("balance", epsilon=2) # bounded error
-    strict = await client.read("balance", epsilon=0)  # serializable
-    await client.close()
-
 Failover::
 
     client = await LiveClient.connect(
@@ -44,8 +65,15 @@ import asyncio
 import itertools
 import random
 from collections.abc import Mapping
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..consistency import (
+    CACHED,
+    Consistency,
+    ReadOptions,
+    SessionToken,
+    resolve_read_options,
+)
 from ..core.operations import (
     AppendOp,
     DecrementOp,
@@ -54,7 +82,8 @@ from ..core.operations import (
     WriteOp,
 )
 from ..core.transactions import EpsilonSpec, UNLIMITED
-from ..errors import ETError
+from ..errors import ETError, SESSION_STALE
+from ..obs.registry import NULL_REGISTRY, Registry
 from .protocol import (
     ProtocolError,
     encode_ops,
@@ -62,8 +91,15 @@ from .protocol import (
     read_frame,
     write_frame,
 )
+from .read_cache import EpsilonReadCache
 
-__all__ = ["LiveClient", "LiveETFailed", "LiveETResult", "RequestTimeout"]
+__all__ = [
+    "LiveClient",
+    "LiveETFailed",
+    "LiveETResult",
+    "LiveSession",
+    "RequestTimeout",
+]
 
 #: verbs that are safe to re-issue after a reconnect.
 _IDEMPOTENT_VERBS = frozenset(
@@ -72,6 +108,9 @@ _IDEMPOTENT_VERBS = frozenset(
         "metrics", "snapshot", "snapshot-fetch", "shard-info",
     }
 )
+
+#: membership statuses a fan-out read may be routed to.
+_ROUTABLE_STATUSES = frozenset({"alive"})
 
 
 class LiveETFailed(ETError):
@@ -85,8 +124,9 @@ class LiveETFailed(ETError):
 
     ``frame`` is the raw error response, kept because typed refusals
     can carry structured context past the message — a ``WRONG_SHARD``
-    refusal ships the newest shard map under ``frame["map"]``, which
-    is how the router refreshes its routing table.
+    refusal ships the newest shard map under ``frame["map"]``, and a
+    ``SESSION_STALE`` refusal ships the replica's current frontier
+    vector under ``frame["frontiers"]``.
     """
 
     def __init__(
@@ -104,11 +144,18 @@ class LiveETResult(Mapping):
 
     Attribute access mirrors the simulator's ``ETResult`` (``values``,
     ``inconsistency``, ``overlap``, ``waits``) plus the live-only
-    ``degraded`` flag; ``Mapping`` access (``result["values"]``) keeps
-    existing dict-style callers working unchanged.
+    fields: ``degraded``, ``staleness`` (the serving replica's — or
+    cache entry's — provable lag behind the group, in update counts),
+    ``served_by`` (which replica answered), and ``from_cache``.
+    ``Mapping`` access (``result["values"]``) keeps existing
+    dict-style callers working unchanged; the raw per-site applied
+    frontier vector stays available as the ``frontiers`` attribute.
     """
 
-    __slots__ = ("values", "inconsistency", "overlap", "waits", "degraded")
+    __slots__ = (
+        "values", "inconsistency", "overlap", "waits", "degraded",
+        "staleness", "served_by", "from_cache", "frontiers",
+    )
 
     def __init__(self, frame: Dict[str, Any]) -> None:
         self.values: Dict[str, Any] = dict(frame.get("values", {}))
@@ -117,6 +164,14 @@ class LiveETResult(Mapping):
         self.waits: int = frame.get("waits", 0)
         #: True when the serving replica suspected a peer at answer time.
         self.degraded: bool = bool(frame.get("degraded", False))
+        #: provable lag of the answer behind the group, update counts.
+        self.staleness: Optional[float] = frame.get("staleness")
+        #: site name of the serving replica (None when unknown).
+        self.served_by: Optional[str] = frame.get("served_by")
+        #: True when the client cache served this read.
+        self.from_cache: bool = bool(frame.get("from_cache", False))
+        #: per-site applied frontier vector at serve time.
+        self.frontiers: Dict[str, int] = dict(frame.get("frontiers", {}))
 
     def _as_dict(self) -> Dict[str, Any]:
         return {
@@ -125,6 +180,9 @@ class LiveETResult(Mapping):
             "overlap": list(self.overlap),
             "waits": self.waits,
             "degraded": self.degraded,
+            "staleness": self.staleness,
+            "served_by": self.served_by,
+            "from_cache": self.from_cache,
         }
 
     def __getitem__(self, key: str) -> Any:
@@ -134,7 +192,7 @@ class LiveETResult(Mapping):
         return iter(self._as_dict())
 
     def __len__(self) -> int:
-        return 5
+        return len(self._as_dict())
 
     def __repr__(self) -> str:
         return "LiveETResult(%r)" % (self._as_dict(),)
@@ -159,6 +217,11 @@ class LiveClient:
         retry_updates: bool = False,
         primary_retry_interval: float = 5.0,
         rng: Optional[random.Random] = None,
+        cache: Union[EpsilonReadCache, bool, None] = None,
+        fan_out: bool = False,
+        fan_out_refresh: float = 1.0,
+        session_retry_wait: float = 5.0,
+        registry: Optional[Registry] = None,
     ) -> None:
         if not addrs:
             raise ValueError("LiveClient needs at least one address")
@@ -194,6 +257,42 @@ class LiveClient:
         #: observability: failover-list refreshes from gossiped
         #: membership (stats replies carry the table).
         self.membership_refreshes = 0
+
+        # -- read scaling -----------------------------------------------------
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        if cache is True:
+            cache = EpsilonReadCache(registry=self.registry)
+        self.cache: Optional[EpsilonReadCache] = (
+            cache if isinstance(cache, EpsilonReadCache) else None
+        )
+        #: spread non-strict reads across gossip-discovered replicas.
+        self._fan_out = bool(fan_out)
+        #: seconds between membership refreshes while fanning out.
+        self._fan_out_refresh = max(0.0, fan_out_refresh)
+        #: how long SESSION_STALE refusals are retried (at fresher
+        #: replicas, then waiting out propagation) before surfacing.
+        self._session_retry_wait = max(0.0, session_retry_wait)
+        #: site name -> {"addr", "applied", "frontier", "status"},
+        #: learned from gossiped membership on stats replies.
+        self._replicas: Dict[str, Dict[str, Any]] = {}
+        self._last_replica_refresh = 0.0
+        #: per-address secondary connections used by read fan-out.
+        self._pool: Dict[Tuple[str, int], LiveClient] = {}
+        #: everything the client has *proved* exists: the max applied
+        #: frontier vector over all responses received so far (the
+        #: evidence base for cache import estimates).
+        self.known_frontiers: Dict[str, int] = {}
+        #: observability: reads that hit a SESSION_STALE refusal.
+        self.session_stale_retries = 0
+        self.m_reads_by_replica = self.registry.counter(
+            "reads_by_replica_total",
+            "query ETs issued by this client, by serving replica",
+            labels=("replica",),
+        )
+        self.m_session_stale = self.registry.counter(
+            "session_stale_total",
+            "SESSION_STALE refusals this client retried",
+        )
 
     @classmethod
     async def connect(
@@ -437,10 +536,23 @@ class LiveClient:
         timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Submit a (possibly multi-operation) update ET."""
-        fields: Dict[str, Any] = {"ops": encode_ops(list(operations))}
+        operations = list(operations)
+        fields: Dict[str, Any] = {"ops": encode_ops(operations)}
         if spec is not None:
             fields["spec"] = encode_spec(spec)
-        return await self.request("update", timeout=timeout, **fields)
+        frame = await self.request("update", timeout=timeout, **fields)
+        # A committed write is evidence its origin's frontier reached
+        # the tid's sequence — fold it into what the cache accounting
+        # knows, and drop any cached copy of the written keys so the
+        # client reads its own writes even through the cache.
+        tid = frame.get("tid")
+        if isinstance(tid, str):
+            site, sep, seq = tid.rpartition(":")
+            if sep and seq.isdigit():
+                self._merge_known({site: int(seq)})
+        if self.cache is not None:
+            self.cache.invalidate(op.key for op in operations)
+        return frame
 
     async def write(self, key: str, value: Any) -> Dict[str, Any]:
         return await self.update([WriteOp(key, value)])
@@ -459,44 +571,365 @@ class LiveClient:
     async def query(
         self,
         keys: Sequence[str],
-        spec: Optional[EpsilonSpec] = None,
+        spec: Union[EpsilonSpec, ReadOptions, Consistency, None] = None,
         timeout: Optional[float] = None,
     ) -> LiveETResult:
         """Full-fidelity query: values plus error accounting, as a
-        typed :class:`LiveETResult` (dict-style access still works)."""
-        fields: Dict[str, Any] = {"keys": list(keys)}
-        if spec is not None:
-            fields["spec"] = encode_spec(spec)
-        frame = await self.request("query", timeout=timeout, **fields)
-        return LiveETResult(frame)
+        typed :class:`LiveETResult` (dict-style access still works).
+
+        ``spec`` accepts the typed surface (:class:`ReadOptions` or a
+        :class:`Consistency` level) or a raw :class:`EpsilonSpec`.
+        """
+        espec, opts = self._query_plan(spec, timeout)
+        return await self._query(list(keys), espec, opts)
+
+    def _query_plan(
+        self,
+        spec: Union[EpsilonSpec, ReadOptions, Consistency, None],
+        timeout: Optional[float],
+    ) -> Tuple[EpsilonSpec, ReadOptions]:
+        if isinstance(spec, (ReadOptions, Consistency)):
+            opts = resolve_read_options(spec, timeout=timeout, caller="query")
+            return opts.spec(), opts
+        espec = spec if spec is not None else EpsilonSpec()
+        return espec, ReadOptions(
+            consistency=Consistency(
+                epsilon=espec.import_limit, value_epsilon=espec.value_limit
+            ),
+            timeout=timeout,
+        )
 
     async def read(
         self,
         key: str,
-        epsilon: float = UNLIMITED,
-        value_epsilon: float = UNLIMITED,
+        options: Union[ReadOptions, Consistency, float, None] = None,
+        *,
+        epsilon: Optional[float] = None,
+        value_epsilon: Optional[float] = None,
         timeout: Optional[float] = None,
     ) -> Any:
-        """Read one key with the given inconsistency budget."""
-        result = await self.query(
-            [key],
-            EpsilonSpec(import_limit=epsilon, value_limit=value_epsilon),
+        """Read one key at the given consistency.
+
+        ``options`` is a :class:`ReadOptions` or :class:`Consistency`;
+        the bare ``epsilon``/``value_epsilon`` kwargs (and a bare
+        number as ``options``) are the deprecated spelling.
+        """
+        opts = resolve_read_options(
+            options,
+            epsilon=epsilon,
+            value_epsilon=value_epsilon,
             timeout=timeout,
+            caller="read",
         )
-        return result["values"][key]
+        result = await self._query([key], opts.spec(), opts)
+        return result.values[key]
 
     async def read_many(
         self,
         keys: Sequence[str],
-        epsilon: float = UNLIMITED,
-        value_epsilon: float = UNLIMITED,
+        options: Union[ReadOptions, Consistency, float, None] = None,
+        *,
+        epsilon: Optional[float] = None,
+        value_epsilon: Optional[float] = None,
+        timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
         """One query ET over several keys (a consistent unit of error)."""
-        result = await self.query(
-            list(keys),
-            EpsilonSpec(import_limit=epsilon, value_limit=value_epsilon),
+        opts = resolve_read_options(
+            options,
+            epsilon=epsilon,
+            value_epsilon=value_epsilon,
+            timeout=timeout,
+            caller="read_many",
         )
-        return dict(result["values"])
+        result = await self._query(list(keys), opts.spec(), opts)
+        return dict(result.values)
+
+    def session(self, token: Optional[SessionToken] = None) -> "LiveSession":
+        """Open a session enforcing read-your-writes + monotonic reads.
+
+        Usable as an async context manager::
+
+            async with client.session() as s:
+                await s.increment("balance", 10)
+                value = await s.read("balance")   # sees the increment
+                handoff = s.token.encode()        # cross-process token
+        """
+        return LiveSession(self, token)
+
+    # -- read path (cache, fan-out, session) ---------------------------------
+
+    def _merge_known(self, frontiers: Optional[Mapping]) -> None:
+        if not frontiers:
+            return
+        known = self.known_frontiers
+        for site, seq in frontiers.items():
+            try:
+                seq = int(seq)
+            except (TypeError, ValueError):
+                continue
+            if seq > known.get(site, 0):
+                known[site] = seq
+
+    async def _query(
+        self,
+        keys: List[str],
+        espec: EpsilonSpec,
+        opts: ReadOptions,
+    ) -> LiveETResult:
+        token = opts.session
+        strict = espec.is_strict
+        if not strict:
+            hit = self._cache_lookup(keys, espec, opts)
+            if hit is not None:
+                return hit
+        frame = await self._issue_query(keys, espec, opts)
+        self._merge_known(frame.get("frontiers"))
+        if token is not None:
+            token.merge(frame.get("frontiers"))
+        served = frame.get("served_by")
+        self.m_reads_by_replica.labels(replica=served or "unknown").inc()
+        if self.cache is not None:
+            now = asyncio.get_event_loop().time()
+            for key in keys:
+                if key in frame.get("values", {}):
+                    self.cache.store(
+                        key,
+                        frame["values"][key],
+                        frame.get("inconsistency", 0),
+                        frame.get("frontiers"),
+                        now,
+                        served,
+                    )
+        return LiveETResult(frame)
+
+    def _cache_lookup(
+        self, keys: List[str], espec: EpsilonSpec, opts: ReadOptions
+    ) -> Optional[LiveETResult]:
+        """Serve the whole query from the cache, or None to fetch.
+
+        Multi-key queries split the budget evenly across keys, so the
+        summed per-key estimates can never exceed the query's budget.
+        """
+        if self.cache is None:
+            return None
+        ttl_only = opts.consistency.level == CACHED
+        budget = espec.import_limit
+        if budget != UNLIMITED and len(keys) > 1:
+            budget = budget / len(keys)
+        now = asyncio.get_event_loop().time()
+        values: Dict[str, Any] = {}
+        estimate = 0.0
+        served: set = set()
+        for key in keys:
+            hit = self.cache.lookup(
+                key,
+                budget=budget,
+                known_frontiers=self.known_frontiers,
+                now=now,
+                token=opts.session,
+                ttl_only=ttl_only,
+            )
+            if hit is None:
+                return None
+            values[key] = hit.value
+            estimate += hit.estimate
+            served.add(hit.served_by)
+            if opts.session is not None:
+                opts.session.merge(hit.frontiers)
+        self.m_reads_by_replica.labels(replica="cache").inc()
+        return LiveETResult(
+            {
+                "values": values,
+                "inconsistency": estimate,
+                "overlap": [],
+                "waits": 0,
+                "degraded": False,
+                "staleness": estimate,
+                "served_by": served.pop() if len(served) == 1 else None,
+                "from_cache": True,
+            }
+        )
+
+    async def _issue_query(
+        self, keys: List[str], espec: EpsilonSpec, opts: ReadOptions
+    ) -> Dict[str, Any]:
+        """Send the query to the chosen replica, retrying typed
+        ``SESSION_STALE`` refusals at fresher replicas."""
+        fields: Dict[str, Any] = {
+            "keys": keys, "spec": encode_spec(espec),
+        }
+        token = opts.session
+        if token is not None and token.frontiers:
+            fields["session"] = dict(token.frontiers)
+        timeout = opts.timeout
+        strict = espec.is_strict
+        client = await self._route(keys, espec, opts)
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + (
+            timeout if timeout is not None else self._session_retry_wait
+        )
+        tried: set = set()
+        while True:
+            try:
+                return await client.request("query", timeout=timeout, **fields)
+            except LiveETFailed as exc:
+                if exc.code != SESSION_STALE:
+                    raise
+                self.session_stale_retries += 1
+                self.m_session_stale.inc()
+                self._merge_known(exc.frame.get("frontiers"))
+                tried.add(self._client_addr(client))
+                client = await self._fresher_client(token, tried)
+                if client is None:
+                    if loop.time() >= deadline:
+                        raise
+                    # Every known replica refused: the token is ahead
+                    # of the whole group's propagation (e.g. mid
+                    # failover).  Wait it out at the primary.
+                    await asyncio.sleep(0.05)
+                    tried.clear()
+                    client = self
+            except (ConnectionError, OSError):
+                if client is self:
+                    raise
+                # A fanned-out secondary died; the read is idempotent,
+                # so fall back to the primary connection.
+                tried.add(self._client_addr(client))
+                client = self
+
+    def _client_addr(self, client: "LiveClient") -> Tuple[str, int]:
+        return client._addrs[client._active_index]
+
+    async def _fresher_client(
+        self, token: Optional[SessionToken], tried: set
+    ) -> Optional["LiveClient"]:
+        """The untried replica most likely to satisfy the token:
+        highest gossiped applied count first, primary included."""
+        candidates: List[Tuple[int, Tuple[str, int]]] = []
+        primary = self._addrs[0]
+        if primary not in tried and self._client_addr(self) != primary:
+            candidates.append((1 << 60, primary))
+        if self._client_addr(self) not in tried:
+            candidates.append((1 << 60, self._client_addr(self)))
+        for info in self._replicas.values():
+            addr = info.get("addr")
+            if not addr or addr in tried:
+                continue
+            if info.get("status") not in _ROUTABLE_STATUSES:
+                continue
+            candidates.append((int(info.get("applied", 0)), tuple(addr)))
+        candidates.sort(key=lambda item: -item[0])
+        for _, addr in candidates:
+            try:
+                return await self._pool_client(addr)
+            except (ConnectionError, OSError):
+                tried.add(addr)
+        return None
+
+    async def _route(
+        self, keys: List[str], espec: EpsilonSpec, opts: ReadOptions
+    ) -> "LiveClient":
+        """Pick the connection a read goes out on.
+
+        Strict reads and ``prefer="primary"`` pin to the main
+        connection (primary + failover).  Otherwise, with fan-out on
+        (client-wide flag, or ``prefer="any"`` per read) the read is
+        spread across the gossip-learned replicas, weighted by
+        applied-frontier lag; replicas lagging by more than the read's
+        budget are skipped while a within-budget candidate exists.  A
+        site name in ``prefer`` targets that replica directly.
+        """
+        prefer = opts.prefer
+        strict = espec.is_strict
+        if strict or prefer == "primary":
+            return self
+        if prefer not in (None, "auto", "any"):
+            info = self._replicas.get(prefer)
+            if info and info.get("addr"):
+                try:
+                    return await self._pool_client(tuple(info["addr"]))
+                except (ConnectionError, OSError):
+                    return self
+            return self
+        if not (self._fan_out or prefer == "any"):
+            return self
+        await self._refresh_replicas()
+        candidates: List[Tuple[Tuple[str, int], float]] = []
+        best_applied = 0
+        infos = [
+            info
+            for info in self._replicas.values()
+            if info.get("addr") and info.get("status") in _ROUTABLE_STATUSES
+        ]
+        for info in infos:
+            best_applied = max(best_applied, int(info.get("applied", 0)))
+        # Weight by applied-frontier lag *relative to total progress*.
+        # Gossiped applied counts are delayed estimates, so absolute
+        # lag is dominated by gossip staleness under write load; the
+        # lag fraction separates a genuinely wedged replica (fraction
+        # near 1 -> strongly derated) from one merely a gossip round
+        # behind (fraction near 0 -> full weight).  The epsilon budget
+        # itself is enforced server-side on every read regardless of
+        # where it lands.
+        for info in infos:
+            lag = best_applied - int(info.get("applied", 0))
+            fraction = lag / max(best_applied, 1)
+            candidates.append(
+                (tuple(info["addr"]), 1.0 / (1.0 + 10.0 * fraction))
+            )
+        if not candidates:
+            return self
+        addrs = [addr for addr, _ in candidates]
+        weights = [weight for _, weight in candidates]
+        choice = self._rng.choices(addrs, weights=weights, k=1)[0]
+        if choice == self._client_addr(self):
+            return self
+        try:
+            return await self._pool_client(choice)
+        except (ConnectionError, OSError):
+            return self
+
+    async def _refresh_replicas(self) -> None:
+        """Keep the fan-out view of the group reasonably fresh by
+        piggybacking on the ``stats`` verb (which carries gossiped
+        membership) at most every ``fan_out_refresh`` seconds."""
+        now = asyncio.get_event_loop().time()
+        if (
+            self._replicas
+            and now - self._last_replica_refresh < self._fan_out_refresh
+        ):
+            return
+        self._last_replica_refresh = now
+        try:
+            await self.stats()
+        except (ETError, ConnectionError, OSError):
+            pass  # keep the stale view; reads still have the primary
+
+    async def _pool_client(self, addr: Tuple[str, int]) -> "LiveClient":
+        """A dedicated (cached) connection to one fan-out replica."""
+        if addr == self._addrs[self._active_index]:
+            return self
+        client = self._pool.get(addr)
+        if client is not None and not client._closed:
+            return client
+        client = LiveClient(
+            [addr],
+            request_timeout=self._request_timeout,
+            reconnect=True,
+            max_attempts=2,
+            backoff_base=self._backoff_base,
+            backoff_max=self._backoff_max,
+            rng=self._rng,
+        )
+        await client._ensure_connected()
+        # Two reads may race to dial the same replica; keep one
+        # connection and close the loser, or its reader task leaks.
+        existing = self._pool.get(addr)
+        if existing is not None and not existing._closed:
+            await client.close()
+            return existing
+        self._pool[addr] = client
+        return client
 
     # -- convenience ---------------------------------------------------------
 
@@ -511,18 +944,28 @@ class LiveClient:
 
     # -- introspection -------------------------------------------------------
 
-    async def values(self) -> Dict[str, Any]:
+    async def values(self, timeout: Optional[float] = None) -> Dict[str, Any]:
         """Full store contents at the connected replica."""
-        return (await self.request("values"))["values"]
+        return (await self.request("values", timeout=timeout))["values"]
 
-    async def stats(self) -> Dict[str, Any]:
-        stats = (await self.request("stats"))["stats"]
+    async def stats(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        stats = (await self.request("stats", timeout=timeout))["stats"]
         self._learn_membership(stats.get("membership"))
+        self._merge_known(
+            {
+                (stats["site"] if src == "_local" else src): frontier
+                for src, frontier in stats.get("inbox_frontier", {}).items()
+            }
+            if isinstance(stats.get("inbox_frontier"), dict)
+            and stats.get("site")
+            else None
+        )
         return stats
 
     def _learn_membership(self, records: Any) -> None:
-        """Refresh the failover address list from a gossiped
-        membership block (carried on ``stats`` replies).
+        """Refresh the failover address list — and the fan-out routing
+        view — from a gossiped membership block (carried on ``stats``
+        replies).
 
         The primary and currently active addresses are preserved in
         place; every other live member address replaces the static
@@ -534,9 +977,17 @@ class LiveClient:
         for rec in records:
             if not isinstance(rec, dict):
                 continue
+            name = rec.get("name")
+            host, port = rec.get("host"), rec.get("port")
+            if name:
+                self._replicas[str(name)] = {
+                    "addr": (str(host), int(port)) if host and port else None,
+                    "applied": int(rec.get("applied", 0)),
+                    "frontier": int(rec.get("frontier", 0)),
+                    "status": rec.get("status", "alive"),
+                }
             if rec.get("status") in ("dead", "left"):
                 continue
-            host, port = rec.get("host"), rec.get("port")
             if host and port:
                 learned.append((str(host), int(port)))
         if not learned:
@@ -553,20 +1004,22 @@ class LiveClient:
             self._active_index = fresh.index(active)
             self.membership_refreshes += 1
 
-    async def refresh_membership(self) -> List[Tuple[str, int]]:
+    async def refresh_membership(
+        self, timeout: Optional[float] = None
+    ) -> List[Tuple[str, int]]:
         """Explicitly re-learn replica addresses from the server's
         gossiped membership table; returns the refreshed list."""
-        await self.stats()
+        await self.stats(timeout=timeout)
         return list(self._addrs)
 
-    async def metrics(self) -> Dict[str, Any]:
+    async def metrics(self, timeout: Optional[float] = None) -> Dict[str, Any]:
         """Scrape the replica's metrics registry.
 
         Returns a dict with ``prometheus`` (exposition text), ``metrics``
         (the same samples as JSON), and the trace buffer's
         ``trace_recorded``/``trace_dropped`` tallies.
         """
-        frame = await self.request("metrics")
+        frame = await self.request("metrics", timeout=timeout)
         return {
             "site": frame.get("site"),
             "prometheus": frame.get("prometheus", ""),
@@ -575,8 +1028,8 @@ class LiveClient:
             "trace_dropped": frame.get("trace_dropped", 0),
         }
 
-    async def ping(self) -> Dict[str, Any]:
-        return await self.request("ping")
+    async def ping(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return await self.request("ping", timeout=timeout)
 
     async def snapshot(self, timeout: float = 30.0) -> Dict[str, Any]:
         """Ask the replica to persist a snapshot and compact its logs
@@ -586,6 +1039,10 @@ class LiveClient:
 
     async def close(self) -> None:
         self._closed = True
+        pool = list(self._pool.values())
+        self._pool.clear()
+        for client in pool:
+            await client.close()
         task = self._reader_task
         self._reader_task = None
         if task is not None:
@@ -604,3 +1061,120 @@ class LiveClient:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+
+class LiveSession:
+    """Read-your-writes + monotonic-reads session over a LiveClient.
+
+    Every update advances the session token past its committed tid;
+    every read attaches the token (checked server-side) and folds the
+    reply's frontier vector back in.  The token is portable:
+    ``session.token.encode()`` hands the session off to another
+    process, which resumes it with
+    ``client.session(SessionToken.decode(text))``.
+    """
+
+    def __init__(
+        self, client: LiveClient, token: Optional[SessionToken] = None
+    ) -> None:
+        self._client = client
+        self.token = token if token is not None else SessionToken()
+
+    async def __aenter__(self) -> "LiveSession":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        return None
+
+    def _opts(
+        self,
+        options: Union[ReadOptions, Consistency, float, None],
+        epsilon: Optional[float],
+        value_epsilon: Optional[float],
+        timeout: Optional[float],
+        caller: str,
+    ) -> ReadOptions:
+        opts = resolve_read_options(
+            options,
+            epsilon=epsilon,
+            value_epsilon=value_epsilon,
+            timeout=timeout,
+            caller=caller,
+        )
+        return ReadOptions(
+            consistency=opts.consistency,
+            session=self.token,
+            prefer=opts.prefer,
+            timeout=opts.timeout,
+        )
+
+    # -- reads ---------------------------------------------------------------
+
+    async def read(
+        self,
+        key: str,
+        options: Union[ReadOptions, Consistency, float, None] = None,
+        *,
+        epsilon: Optional[float] = None,
+        value_epsilon: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        opts = self._opts(options, epsilon, value_epsilon, timeout, "read")
+        result = await self._client._query([key], opts.spec(), opts)
+        return result.values[key]
+
+    async def read_many(
+        self,
+        keys: Sequence[str],
+        options: Union[ReadOptions, Consistency, float, None] = None,
+        *,
+        epsilon: Optional[float] = None,
+        value_epsilon: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        opts = self._opts(
+            options, epsilon, value_epsilon, timeout, "read_many"
+        )
+        result = await self._client._query(list(keys), opts.spec(), opts)
+        return dict(result.values)
+
+    async def query(
+        self,
+        keys: Sequence[str],
+        spec: Union[EpsilonSpec, ReadOptions, Consistency, None] = None,
+        timeout: Optional[float] = None,
+    ) -> LiveETResult:
+        espec, opts = self._client._query_plan(spec, timeout)
+        opts = ReadOptions(
+            consistency=opts.consistency,
+            session=self.token,
+            prefer=opts.prefer,
+            timeout=opts.timeout,
+        )
+        return await self._client._query(list(keys), espec, opts)
+
+    # -- writes --------------------------------------------------------------
+
+    async def update(
+        self,
+        operations: Sequence[Operation],
+        spec: Optional[EpsilonSpec] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        frame = await self._client.update(operations, spec, timeout)
+        tid = frame.get("tid")
+        if isinstance(tid, str):
+            self.token.observe_write(tid)
+        return frame
+
+    async def write(self, key: str, value: Any) -> Dict[str, Any]:
+        return await self.update([WriteOp(key, value)])
+
+    async def increment(self, key: str, amount: float = 1) -> Dict[str, Any]:
+        return await self.update([IncrementOp(key, amount)])
+
+    async def decrement(self, key: str, amount: float = 1) -> Dict[str, Any]:
+        return await self.update([DecrementOp(key, amount)])
+
+    async def append(self, key: str, item: Any) -> Dict[str, Any]:
+        return await self.update([AppendOp(key, item)])

@@ -64,7 +64,10 @@ STATUS_SEVERITY = {ALIVE: 0, SUSPECT: 1, DEAD: 2, LEFT: 3}
 class NodeRecord:
     """One gossiped membership record, owned by the node it names."""
 
-    __slots__ = ("name", "host", "port", "incarnation", "status", "frontier", "shard")
+    __slots__ = (
+        "name", "host", "port", "incarnation", "status", "frontier",
+        "shard", "applied",
+    )
 
     def __init__(
         self,
@@ -75,6 +78,7 @@ class NodeRecord:
         status: str = ALIVE,
         frontier: int = 0,
         shard: Optional[int] = None,
+        applied: int = 0,
     ) -> None:
         self.name = name
         self.host = host
@@ -83,6 +87,11 @@ class NodeRecord:
         self.status = status
         self.frontier = int(frontier)
         self.shard = shard
+        #: total MSets the node has applied (its own plus every
+        #: peer's) — the staleness signal read fan-out balances on: a
+        #: replica whose ``applied`` trails the group's max is lagging
+        #: by that many updates.
+        self.applied = int(applied)
 
     def wire(self) -> Dict[str, Any]:
         rec: Dict[str, Any] = {
@@ -92,6 +101,7 @@ class NodeRecord:
             "incarnation": self.incarnation,
             "status": self.status,
             "frontier": self.frontier,
+            "applied": self.applied,
         }
         if self.shard is not None:
             rec["shard"] = self.shard
@@ -107,12 +117,13 @@ class NodeRecord:
             status=str(rec.get("status", ALIVE)),
             frontier=int(rec.get("frontier", 0)),
             shard=rec.get("shard"),
+            applied=int(rec.get("applied", 0)),
         )
 
     def clone(self) -> "NodeRecord":
         return NodeRecord(
             self.name, self.host, self.port, self.incarnation,
-            self.status, self.frontier, self.shard,
+            self.status, self.frontier, self.shard, self.applied,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -185,6 +196,7 @@ class MembershipTable:
         port: Optional[int] = None,
         frontier: Optional[int] = None,
         shard: Optional[int] = None,
+        applied: Optional[int] = None,
     ) -> None:
         rec = self.self_record()
         changed = False
@@ -199,6 +211,9 @@ class MembershipTable:
             changed = True
         if shard is not None and rec.shard != shard:
             rec.shard = shard
+            changed = True
+        if applied is not None and rec.applied != int(applied):
+            rec.applied = int(applied)
             changed = True
         if rec.status != ALIVE:
             rec.status = ALIVE
@@ -283,6 +298,8 @@ class MembershipTable:
                 self._records[incoming.name] = incoming
                 if incoming.frontier < current.frontier:
                     incoming.frontier = current.frontier
+                if incoming.applied < current.applied:
+                    incoming.applied = current.applied
                 changed.append(incoming.name)
             elif incoming.incarnation == current.incarnation:
                 rec_changed = False
@@ -294,6 +311,9 @@ class MembershipTable:
                     rec_changed = True
                 if incoming.frontier > current.frontier:
                     current.frontier = incoming.frontier
+                    rec_changed = True
+                if incoming.applied > current.applied:
+                    current.applied = incoming.applied
                     rec_changed = True
                 if incoming.host and (current.host, current.port) != (
                     incoming.host, incoming.port,
@@ -336,6 +356,24 @@ class MembershipTable:
     def active_count(self) -> int:
         """Members not known to have permanently left the group."""
         return sum(1 for rec in self._records.values() if rec.status != LEFT)
+
+    def frontier_lag(self, local_frontiers: Dict[str, int]) -> int:
+        """Updates gossiped to exist that ``local_frontiers`` lacks.
+
+        For every member, its record's own-update ``frontier`` is
+        compared with the local receive frontier for that member; the
+        positive gaps sum to the number of updates this node can
+        *prove* it has not yet received — the staleness estimate, in
+        the paper's update-count units, that query replies report.
+        """
+        lag = 0
+        for name, rec in self._records.items():
+            if name == self.self_name or rec.status == LEFT:
+                continue
+            gap = rec.frontier - int(local_frontiers.get(name, 0))
+            if gap > 0:
+                lag += gap
+        return lag
 
     def __len__(self) -> int:
         return len(self._records)

@@ -39,8 +39,14 @@ genuinely degraded replica still fails fast with its honest refusal.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..consistency import (
+    Consistency,
+    ReadOptions,
+    SessionToken,
+    resolve_read_options,
+)
 from ..core.operations import (
     AppendOp,
     DecrementOp,
@@ -48,12 +54,14 @@ from ..core.operations import (
     Operation,
     WriteOp,
 )
-from ..core.transactions import EpsilonSpec, UNLIMITED
+from ..core.transactions import EpsilonSpec
 from ..errors import ETError
 from .client import LiveClient, LiveETFailed, LiveETResult
 from .shard import GroupAddrs, ShardMap, group_keys_by_shard
 
-__all__ = ["ShardRouter"]
+__all__ = ["RouterSession", "ShardRouter"]
+
+Specish = Union[EpsilonSpec, ReadOptions, Consistency, None]
 
 
 class ShardRouter:
@@ -242,17 +250,24 @@ class ShardRouter:
     async def query(
         self,
         keys: Sequence[str],
-        spec: Optional[EpsilonSpec] = None,
+        spec: Specish = None,
         timeout: Optional[float] = None,
     ) -> LiveETResult:
         """One logical query ET, fanned out per owning group.
 
+        ``spec`` accepts the typed surface (:class:`ReadOptions` or a
+        :class:`Consistency` level) or a raw :class:`EpsilonSpec`.
         Each group runs a real query ET over its keys under the full
-        ``spec`` budget; the merged result reports the union of values
+        budget; the merged result reports the union of values
         and the *sum* of per-shard observed inconsistency (each
         shard's gauges bound disjoint object sets, so the sum bounds
         the merged read — and a spec satisfied per shard is therefore
         reported honestly, not re-checked against the merged total).
+        ``staleness`` merges as the worst (max) per-shard lag;
+        ``from_cache`` only when every shard answered from cache.  A
+        session token in ``spec`` is attached to every per-shard
+        query; each group checks the token sites it replicates, so the
+        per-shard checks compose to the same guarantee.
         """
         by_shard = group_keys_by_shard(list(keys), self.n_shards)
         if not by_shard:
@@ -271,42 +286,76 @@ class ShardRouter:
             "overlap": [],
             "waits": 0,
             "degraded": False,
+            "staleness": None,
+            "served_by": None,
+            "from_cache": bool(results),
+            "frontiers": {},
         }
         overlap: List[str] = []
+        served: List[str] = []
         for result in results:
             merged["values"].update(result.values)
             merged["inconsistency"] += result.inconsistency
             overlap.extend(result.overlap)
             merged["waits"] += result.waits
             merged["degraded"] = merged["degraded"] or result.degraded
+            if result.staleness is not None:
+                merged["staleness"] = max(
+                    merged["staleness"] or 0, result.staleness
+                )
+            if result.served_by:
+                served.append(result.served_by)
+            merged["from_cache"] = merged["from_cache"] and result.from_cache
+            for site, seq in result.frontiers.items():
+                if seq > merged["frontiers"].get(site, 0):
+                    merged["frontiers"][site] = seq
         merged["overlap"] = sorted(set(overlap))
+        if served:
+            merged["served_by"] = ",".join(sorted(set(served)))
         return LiveETResult(merged)
 
     async def read(
         self,
         key: str,
-        epsilon: float = UNLIMITED,
-        value_epsilon: float = UNLIMITED,
+        options: Union[ReadOptions, Consistency, float, None] = None,
+        *,
+        epsilon: Optional[float] = None,
+        value_epsilon: Optional[float] = None,
         timeout: Optional[float] = None,
     ) -> Any:
-        result = await self.query(
-            [key],
-            EpsilonSpec(import_limit=epsilon, value_limit=value_epsilon),
+        opts = resolve_read_options(
+            options,
+            epsilon=epsilon,
+            value_epsilon=value_epsilon,
             timeout=timeout,
+            caller="read",
         )
+        result = await self.query([key], opts, timeout=opts.timeout)
         return result["values"][key]
 
     async def read_many(
         self,
         keys: Sequence[str],
-        epsilon: float = UNLIMITED,
-        value_epsilon: float = UNLIMITED,
+        options: Union[ReadOptions, Consistency, float, None] = None,
+        *,
+        epsilon: Optional[float] = None,
+        value_epsilon: Optional[float] = None,
+        timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
-        result = await self.query(
-            list(keys),
-            EpsilonSpec(import_limit=epsilon, value_limit=value_epsilon),
+        opts = resolve_read_options(
+            options,
+            epsilon=epsilon,
+            value_epsilon=value_epsilon,
+            timeout=timeout,
+            caller="read_many",
         )
+        result = await self.query(list(keys), opts, timeout=opts.timeout)
         return dict(result["values"])
+
+    def session(self, token: Optional[SessionToken] = None) -> "RouterSession":
+        """Open a read-your-writes + monotonic-reads session spanning
+        shards (``async with router.session() as s:``)."""
+        return RouterSession(self, token)
 
     # -- fan-out convenience ---------------------------------------------------
 
@@ -333,31 +382,39 @@ class ShardRouter:
             "shards": replies,
         }
 
-    async def values(self) -> Dict[str, Any]:
+    async def values(self, timeout: Optional[float] = None) -> Dict[str, Any]:
         """Full store contents, unioned across shards (disjoint keys)."""
         merged: Dict[str, Any] = {}
-        for reply in (await self._fan_out("values")).values():
+        for reply in (await self._fan_out("values", timeout=timeout)).values():
             merged.update(reply)
         return merged
 
-    async def stats(self) -> Dict[int, Dict[str, Any]]:
+    async def stats(
+        self, timeout: Optional[float] = None
+    ) -> Dict[int, Dict[str, Any]]:
         """Per-shard stats from each group's primary replica."""
-        return await self._fan_out("stats")
+        return await self._fan_out("stats", timeout=timeout)
 
-    async def metrics(self) -> Dict[int, Dict[str, Any]]:
+    async def metrics(
+        self, timeout: Optional[float] = None
+    ) -> Dict[int, Dict[str, Any]]:
         """Per-shard metrics scrape (samples carry the shard label)."""
-        return await self._fan_out("metrics")
+        return await self._fan_out("metrics", timeout=timeout)
 
-    async def ping(self) -> Dict[int, Dict[str, Any]]:
-        return await self._fan_out("ping")
+    async def ping(
+        self, timeout: Optional[float] = None
+    ) -> Dict[int, Dict[str, Any]]:
+        return await self._fan_out("ping", timeout=timeout)
 
-    async def refresh_membership(self) -> Dict[int, int]:
+    async def refresh_membership(
+        self, timeout: Optional[float] = None
+    ) -> Dict[int, int]:
         """Ask each group's client to re-learn replica addresses from
         gossiped membership; returns per-shard refresh counters."""
         out: Dict[int, int] = {}
         for shard in range(self.n_shards):
             client = await self._client(shard)
-            await client.refresh_membership()
+            await client.refresh_membership(timeout=timeout)
             out[shard] = client.membership_refreshes
         return out
 
@@ -370,3 +427,125 @@ class ShardRouter:
         self._clients.clear()
         for client in clients:
             await client.close()
+
+
+class RouterSession:
+    """Read-your-writes + monotonic-reads session across shards.
+
+    One :class:`~repro.consistency.SessionToken` spans every shard:
+    per-shard updates each advance the token past their committed tid,
+    and reads attach the whole token — every group checks the token
+    sites it replicates, so the per-shard checks compose to the same
+    session guarantee the single-group :class:`LiveSession` gives.
+    """
+
+    def __init__(
+        self, router: ShardRouter, token: Optional[SessionToken] = None
+    ) -> None:
+        self._router = router
+        self.token = token if token is not None else SessionToken()
+
+    async def __aenter__(self) -> "RouterSession":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        return None
+
+    def _opts(
+        self,
+        options: Union[ReadOptions, Consistency, float, None],
+        epsilon: Optional[float],
+        value_epsilon: Optional[float],
+        timeout: Optional[float],
+        caller: str,
+    ) -> ReadOptions:
+        opts = resolve_read_options(
+            options,
+            epsilon=epsilon,
+            value_epsilon=value_epsilon,
+            timeout=timeout,
+            caller=caller,
+        )
+        return ReadOptions(
+            consistency=opts.consistency,
+            session=self.token,
+            prefer=opts.prefer,
+            timeout=opts.timeout,
+        )
+
+    async def read(
+        self,
+        key: str,
+        options: Union[ReadOptions, Consistency, float, None] = None,
+        *,
+        epsilon: Optional[float] = None,
+        value_epsilon: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        opts = self._opts(options, epsilon, value_epsilon, timeout, "read")
+        result = await self._router.query([key], opts, timeout=opts.timeout)
+        self.token.merge(result.frontiers)
+        return result.values[key]
+
+    async def read_many(
+        self,
+        keys: Sequence[str],
+        options: Union[ReadOptions, Consistency, float, None] = None,
+        *,
+        epsilon: Optional[float] = None,
+        value_epsilon: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        opts = self._opts(
+            options, epsilon, value_epsilon, timeout, "read_many"
+        )
+        result = await self._router.query(
+            list(keys), opts, timeout=opts.timeout
+        )
+        self.token.merge(result.frontiers)
+        return dict(result.values)
+
+    async def query(
+        self,
+        keys: Sequence[str],
+        spec: Specish = None,
+        timeout: Optional[float] = None,
+    ) -> LiveETResult:
+        if isinstance(spec, EpsilonSpec):
+            opts = ReadOptions(
+                consistency=Consistency(
+                    epsilon=spec.import_limit, value_epsilon=spec.value_limit
+                ),
+                session=self.token,
+                timeout=timeout,
+            )
+        else:
+            opts = self._opts(spec, None, None, timeout, "query")
+        result = await self._router.query(list(keys), opts, timeout=timeout)
+        self.token.merge(result.frontiers)
+        return result
+
+    async def update(
+        self,
+        operations: Sequence[Operation],
+        spec: Optional[EpsilonSpec] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        frame = await self._router.update(operations, spec, timeout)
+        for shard_frame in frame.get("shards", {}).values():
+            tid = shard_frame.get("tid")
+            if isinstance(tid, str):
+                self.token.observe_write(tid)
+        return frame
+
+    async def write(self, key: str, value: Any) -> Dict[str, Any]:
+        return await self.update([WriteOp(key, value)])
+
+    async def increment(self, key: str, amount: float = 1) -> Dict[str, Any]:
+        return await self.update([IncrementOp(key, amount)])
+
+    async def decrement(self, key: str, amount: float = 1) -> Dict[str, Any]:
+        return await self.update([DecrementOp(key, amount)])
+
+    async def append(self, key: str, item: Any) -> Dict[str, Any]:
+        return await self.update([AppendOp(key, item)])

@@ -119,6 +119,7 @@ __all__ = [
     "ReplicaServer",
     "Unavailable",
     "Overloaded",
+    "SessionStale",
     "WrongShard",
     "LOCAL_CHANNEL",
 ]
@@ -151,6 +152,23 @@ class Overloaded(RuntimeError):
     """
 
     code = "OVERLOADED"
+
+
+class SessionStale(RuntimeError):
+    """A session-token read was refused because this replica's applied
+    frontiers lag the token — serving it would violate the session's
+    read-your-writes / monotonic-reads guarantee.
+
+    Carried to clients as error code ``SESSION_STALE``; the response
+    ships this replica's current frontier vector (``frontiers``) so
+    the client can pick a fresher replica instead of guessing.
+    """
+
+    code = "SESSION_STALE"
+
+    def __init__(self, message: str, frontiers: Dict[str, int]) -> None:
+        super().__init__(message)
+        self.extra = {"frontiers": frontiers}
 
 
 #: bytes of snapshot data served per ``snapshot-fetch`` chunk — held
@@ -471,6 +489,10 @@ class ReplicaServer:
             "updates_rejected_total",
             "client updates refused before durability, by reason",
             labels=("reason",),
+        )
+        self.m_session_stale = reg.counter(
+            "session_stale_total",
+            "session reads refused because applied frontiers lag the token",
         )
         self.m_catchup = reg.counter(
             "catchup_total",
@@ -1472,7 +1494,8 @@ class ReplicaServer:
         """The membership + leadership digest piggybacked on every
         heartbeat and heartbeat reply."""
         self.membership.update_self(
-            frontier=self.inboxes[LOCAL_CHANNEL].frontier
+            frontier=self.inboxes[LOCAL_CHANNEL].frontier,
+            applied=self.engine.applied_count,
         )
         return {
             "nodes": self.membership.wire(),
@@ -2936,12 +2959,58 @@ class ReplicaServer:
         await self._notify_drain()
         return {"tid": tid, "values": values}
 
+    def _applied_frontiers(self) -> Dict[str, int]:
+        """Per-site applied frontier vector, with the local channel
+        published under this site's own name (the wire/session-token
+        namespace — ``_local`` is a private disk-layout detail)."""
+        return {
+            (self.name if src == LOCAL_CHANNEL else src): box.frontier
+            for src, box in self.inboxes.items()
+        }
+
+    def _check_session(self, token: Any) -> None:
+        """Refuse a session read this replica cannot serve honestly.
+
+        The token carries per-site frontiers; every site this replica
+        replicates (itself or a peer channel) must have caught up to
+        its entry.  Sites the replica does not know (another shard's
+        group, under the router) are not its partition to check and
+        are skipped — their owning group checks them.
+        """
+        if not isinstance(token, dict) or not token:
+            return
+        frontiers = self._applied_frontiers()
+        lagging: Dict[str, int] = {}
+        for site, seq in token.items():
+            try:
+                need = int(seq)
+            except (TypeError, ValueError):
+                continue
+            have = frontiers.get(str(site))
+            if have is not None and have < need:
+                lagging[str(site)] = need - have
+        if lagging:
+            self.m_session_stale.inc()
+            self.trace.event("session-stale", lagging=lagging)
+            raise SessionStale(
+                "session read refused: applied frontiers lag the token by %r"
+                % (lagging,),
+                frontiers,
+            )
+
     async def _handle_query(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         keys = frame.get("keys")
         if not keys or not all(isinstance(k, str) for k in keys):
             raise ValueError("query needs a list of string keys")
         self._check_shard(keys)
         spec = decode_spec(frame.get("spec"))
+        self._check_session(frame.get("session"))
+        self.trace.event(
+            "read",
+            keys=len(keys),
+            strict=spec.is_strict,
+            session=bool(frame.get("session")),
+        )
         if spec.is_strict and self.peer_names:
             outcome = await self._strict_query_guarded(keys, spec)
         else:
@@ -2952,12 +3021,19 @@ class ReplicaServer:
             except QueryTimeout as exc:
                 raise QueryTimeout(str(exc)) from None
         self.engine.note_query_outcome(outcome, spec)
+        frontiers = self._applied_frontiers()
         return {
             "values": outcome.values,
             "inconsistency": outcome.inconsistency,
             "overlap": list(outcome.overlap),
             "waits": outcome.waits,
             "degraded": self.degraded(),
+            "served_by": self.name,
+            "frontiers": frontiers,
+            # How far behind the group this replica can prove it is,
+            # in update counts (gossiped own-update frontiers vs what
+            # has actually been received here).
+            "staleness": self.membership.frontier_lag(frontiers),
         }
 
     async def _strict_query_guarded(self, keys, spec):

@@ -1,12 +1,17 @@
 """Synthetic workload generation."""
 
 from .generator import Submission, WorkloadGenerator, WorkloadSpec, drive
+from .loadgen import LoadgenConfig, LoadgenReport, run_loadgen, run_loadgen_sync
 from .zipf import ZipfSampler
 
 __all__ = [
+    "LoadgenConfig",
+    "LoadgenReport",
     "Submission",
     "WorkloadGenerator",
     "WorkloadSpec",
     "ZipfSampler",
     "drive",
+    "run_loadgen",
+    "run_loadgen_sync",
 ]

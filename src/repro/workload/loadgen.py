@@ -1,0 +1,347 @@
+"""Open-loop load driver simulating a large zipfian user population.
+
+``python -m repro loadgen --users 100000`` models 10^5 (up to 10^6)
+concurrent users of a live replica group, each thinking for
+``think_time`` seconds between requests — the open-loop invariant
+``rate = users / think_time`` (Schroeder et al.'s distinction: arrivals
+are *scheduled*, they do not slow down when the system does).  Request
+latency is therefore measured from the request's **scheduled arrival**,
+so server-side queueing delay is charged honestly instead of silently
+throttling the offered load.
+
+The population's reads follow the typed consistency surface in the mix
+the paper motivates (Table 1's query/update asymmetry — most reads
+tolerate bounded staleness):
+
+* ``cached`` — served from the client's epsilon-budget read cache when
+  the accumulated inconsistency-import estimate allows;
+* ``bounded`` — ESR reads with a finite epsilon, fanned out across
+  replicas weighted by applied-frontier lag;
+* ``session`` — read-your-writes / monotonic reads via sticky session
+  tokens drawn from a bounded session pool;
+* ``strict`` — epsilon = 0, pinned to the primary.
+
+Keys are zipfian (hot-spot skew); a ``write_fraction`` of requests are
+increments.  The report carries p50/p95/p99 latency overall and per
+class, achieved throughput, and cache/fan-out counters.
+
+The driver either connects to an external deployment (``--addr``) or
+boots an in-process :class:`~repro.live.cluster.LiveCluster` for the
+run.  Everything is seeded and the whole request plan is precomputed,
+so two runs with one seed issue the identical request sequence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..consistency import Consistency, ReadOptions, SessionToken
+from ..errors import ETError
+from .zipf import ZipfSampler
+
+__all__ = ["LoadgenConfig", "LoadgenReport", "run_loadgen"]
+
+#: request-class mix: cached / bounded / session / strict.
+DEFAULT_MIX = (0.50, 0.30, 0.15, 0.05)
+
+CLASSES = ("cached", "bounded", "session", "strict", "write")
+
+
+@dataclass
+class LoadgenConfig:
+    """Knobs of one load run (all seeded, all precomputable)."""
+
+    #: simulated concurrent user population (sets the offered rate).
+    users: int = 100_000
+    #: mean seconds a user thinks between requests.
+    think_time: float = 50.0
+    #: seconds of offered load (the schedule's span).
+    duration: float = 4.0
+    #: explicit offered rate in req/s (None = users / think_time).
+    rate: Optional[float] = None
+    #: key-space size and zipf skew of the access pattern.
+    keys: int = 512
+    zipf_s: float = 1.1
+    #: fraction of requests that are increments.
+    write_fraction: float = 0.10
+    #: read-class mix over (cached, bounded, session, strict).
+    mix: Tuple[float, float, float, float] = DEFAULT_MIX
+    #: epsilon budget of bounded (and cached-fallback) reads.
+    epsilon: float = 8.0
+    #: pipelined client connections sharing the offered load.
+    connections: int = 8
+    #: sticky-session pool bound (users above this share sessions).
+    session_pool: int = 10_000
+    seed: int = 7
+    #: per-request deadline; a miss counts as failed, not retried.
+    request_timeout: float = 10.0
+    #: in-process cluster shape (ignored when ``addrs`` is set).
+    sites: int = 3
+    method: str = "commu"
+    #: connect to an existing deployment instead: [(host, port), ...].
+    addrs: Optional[List[Tuple[str, int]]] = None
+
+    def offered_rate(self) -> float:
+        if self.rate is not None:
+            return float(self.rate)
+        return self.users / self.think_time
+
+
+@dataclass
+class LoadgenReport:
+    """Outcome of one run, JSON-serializable via ``as_dict()``."""
+
+    config: Dict[str, Any]
+    issued: int
+    completed: int
+    failed: int
+    elapsed: float
+    throughput: float
+    latency: Dict[str, Dict[str, float]]
+    by_class: Dict[str, int]
+    cache: Dict[str, int]
+    reads_from_cache: int
+    session_stale_retries: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.__dict__)
+
+    def render(self) -> str:
+        lines = [
+            "loadgen: %(users)d users (think %(think)ss) -> %(rate).0f req/s "
+            "offered for %(duration)ss"
+            % {
+                "users": self.config["users"],
+                "think": self.config["think_time"],
+                "rate": self.config["offered_rate"],
+                "duration": self.config["duration"],
+            },
+            "  issued %d, completed %d, failed %d in %.2fs -> %.0f req/s served"
+            % (
+                self.issued, self.completed, self.failed,
+                self.elapsed, self.throughput,
+            ),
+        ]
+        for cls in CLASSES:
+            stats = self.latency.get(cls)
+            if not stats:
+                continue
+            lines.append(
+                "  %-8s n=%-7d p50=%6.1fms  p95=%6.1fms  p99=%6.1fms  max=%6.1fms"
+                % (
+                    cls, self.by_class.get(cls, 0),
+                    stats["p50"] * 1e3, stats["p95"] * 1e3,
+                    stats["p99"] * 1e3, stats["max"] * 1e3,
+                )
+            )
+        overall = self.latency.get("overall")
+        if overall:
+            lines.append(
+                "  %-8s n=%-7d p50=%6.1fms  p95=%6.1fms  p99=%6.1fms  max=%6.1fms"
+                % (
+                    "overall", self.completed,
+                    overall["p50"] * 1e3, overall["p95"] * 1e3,
+                    overall["p99"] * 1e3, overall["max"] * 1e3,
+                )
+            )
+        lines.append(
+            "  cache: %(hits)d hits / %(misses)d misses, "
+            "%(from_cache)d reads served client-side; "
+            "%(stale)d session-stale retries"
+            % {
+                "hits": self.cache.get("hits", 0),
+                "misses": self.cache.get("misses", 0),
+                "from_cache": self.reads_from_cache,
+                "stale": self.session_stale_retries,
+            }
+        )
+        return "\n".join(lines)
+
+
+def _percentiles(samples: List[float]) -> Dict[str, float]:
+    if not samples:
+        return {}
+    ordered = sorted(samples)
+
+    def at(q: float) -> float:
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    return {
+        "p50": at(0.50),
+        "p95": at(0.95),
+        "p99": at(0.99),
+        "max": ordered[-1],
+        "mean": sum(ordered) / len(ordered),
+    }
+
+
+def _plan(config: LoadgenConfig) -> List[Tuple[float, str, int, int]]:
+    """Precompute the whole open-loop schedule: (arrival, class, key,
+    session index) per request, deterministic under the seed."""
+    rng = random.Random(config.seed)
+    sampler = ZipfSampler(config.keys, config.zipf_s)
+    rate = config.offered_rate()
+    total = max(1, int(rate * config.duration))
+    n_sessions = max(1, min(config.users, config.session_pool))
+    c_cached, c_bounded, c_session, c_strict = config.mix
+    read_classes = ("cached", "bounded", "session", "strict")
+    read_weights = (c_cached, c_bounded, c_session, c_strict)
+    plan: List[Tuple[float, str, int, int]] = []
+    for i in range(total):
+        arrival = i / rate
+        if rng.random() < config.write_fraction:
+            cls = "write"
+        else:
+            cls = rng.choices(read_classes, weights=read_weights, k=1)[0]
+        key = sampler.sample(rng)
+        session = rng.randrange(n_sessions)
+        plan.append((arrival, cls, key, session))
+    return plan
+
+
+async def _execute(
+    config: LoadgenConfig, addrs: Sequence[Tuple[str, int]]
+) -> LoadgenReport:
+    from ..live.client import LiveClient
+    from ..live.read_cache import EpsilonReadCache
+
+    plan = _plan(config)
+    n_sessions = max(1, min(config.users, config.session_pool))
+    tokens = [SessionToken() for _ in range(n_sessions)]
+    clients: List[LiveClient] = []
+    for c in range(config.connections):
+        client = LiveClient(
+            list(addrs),
+            request_timeout=config.request_timeout,
+            cache=EpsilonReadCache(max_entries=config.keys * 2, ttl=5.0),
+            fan_out=True,
+            rng=random.Random(config.seed * 1000 + c),
+        )
+        await client._ensure_connected()
+        clients.append(client)
+
+    latencies: Dict[str, List[float]] = {cls: [] for cls in CLASSES}
+    counts: Dict[str, int] = {cls: 0 for cls in CLASSES}
+    from_cache = 0
+    failed = 0
+    bounded = Consistency.BOUNDED(config.epsilon)
+    loop = asyncio.get_event_loop()
+
+    async def one(index: int, cls: str, key: int, session: int,
+                  scheduled: float) -> None:
+        nonlocal from_cache, failed
+        client = clients[index % len(clients)]
+        name = "key%03d" % key
+        try:
+            if cls == "write":
+                frame = await client.increment(name)
+                tokens[session].observe_write(frame.get("tid", ""))
+            else:
+                if cls == "cached":
+                    opts = ReadOptions(consistency=Consistency.CACHED)
+                elif cls == "bounded":
+                    opts = ReadOptions(consistency=bounded)
+                elif cls == "session":
+                    opts = ReadOptions(
+                        consistency=Consistency.SESSION,
+                        session=tokens[session],
+                    )
+                else:
+                    opts = ReadOptions(consistency=Consistency.STRICT)
+                result = await client.query([name], opts)
+                if result.from_cache:
+                    from_cache += 1
+            latencies[cls].append(loop.time() - scheduled)
+            counts[cls] += 1
+        except (ETError, ConnectionError, OSError, asyncio.TimeoutError):
+            failed += 1
+
+    start = loop.time()
+    tasks: List[asyncio.Task] = []
+    for index, (arrival, cls, key, session) in enumerate(plan):
+        delay = (start + arrival) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(
+            asyncio.ensure_future(
+                one(index, cls, key, session, start + arrival)
+            )
+        )
+    if tasks:
+        await asyncio.gather(*tasks)
+    elapsed = loop.time() - start
+
+    cache_stats: Dict[str, int] = {}
+    stale = 0
+    for client in clients:
+        stale += client.session_stale_retries
+        if client.cache is not None:
+            for stat, value in client.cache.stats().items():
+                cache_stats[stat] = cache_stats.get(stat, 0) + value
+        await client.close()
+
+    completed = sum(counts.values())
+    latency = {
+        cls: _percentiles(values)
+        for cls, values in latencies.items()
+        if values
+    }
+    latency["overall"] = _percentiles(
+        [sample for values in latencies.values() for sample in values]
+    )
+    return LoadgenReport(
+        config={
+            "users": config.users,
+            "think_time": config.think_time,
+            "offered_rate": config.offered_rate(),
+            "duration": config.duration,
+            "keys": config.keys,
+            "zipf_s": config.zipf_s,
+            "write_fraction": config.write_fraction,
+            "mix": list(config.mix),
+            "epsilon": config.epsilon,
+            "connections": config.connections,
+            "session_pool": n_sessions,
+            "seed": config.seed,
+            "sites": config.sites,
+            "method": config.method,
+        },
+        issued=len(plan),
+        completed=completed,
+        failed=failed,
+        elapsed=elapsed,
+        throughput=completed / elapsed if elapsed > 0 else 0.0,
+        latency=latency,
+        by_class=counts,
+        cache=cache_stats,
+        reads_from_cache=from_cache,
+        session_stale_retries=stale,
+    )
+
+
+async def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
+    """Run one load generation pass; boots an in-process cluster when
+    no external addresses are configured."""
+    if config.addrs:
+        return await _execute(config, config.addrs)
+    from ..live.cluster import LiveCluster
+
+    with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as tmp:
+        cluster = LiveCluster(
+            n_sites=config.sites, method=config.method, data_dir=tmp
+        )
+        await cluster.start()
+        try:
+            addrs = list(cluster.addrs.values())
+            return await _execute(config, addrs)
+        finally:
+            await cluster.stop()
+
+
+def run_loadgen_sync(config: LoadgenConfig) -> LoadgenReport:
+    return asyncio.run(run_loadgen(config))

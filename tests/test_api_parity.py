@@ -12,15 +12,18 @@ code portable between "validate on the simulator" and "run live".
 
 import asyncio
 import inspect
+import warnings
 
 import pytest
 
 from repro import (
     Client,
     CommutativeOperations,
+    Consistency,
     ETError,
     ETFailed,
     IncrementOp,
+    ReadOptions,
     ReplicatedSystem,
     SystemConfig,
     WriteOp,
@@ -55,6 +58,14 @@ class SimBackend:
     async def call(self, verb, *args, **kwargs):
         return getattr(self.client, verb)(*args, **kwargs)
 
+    async def session_call(self, fn):
+        """Run ``fn(session_call)`` inside one client session."""
+        with self.client.session() as session:
+            async def call(verb, *args, **kwargs):
+                return getattr(session, verb)(*args, **kwargs)
+
+            return await fn(call)
+
     async def close(self):
         pass
 
@@ -67,6 +78,13 @@ class LiveBackend:
 
     async def call(self, verb, *args, **kwargs):
         return await getattr(self.client, verb)(*args, **kwargs)
+
+    async def session_call(self, fn):
+        async with self.client.session() as session:
+            async def call(verb, *args, **kwargs):
+                return await getattr(session, verb)(*args, **kwargs)
+
+            return await fn(call)
 
     async def close(self):
         await self.cluster.stop()
@@ -83,6 +101,13 @@ class ShardedBackend:
 
     async def call(self, verb, *args, **kwargs):
         return await getattr(self.client, verb)(*args, **kwargs)
+
+    async def session_call(self, fn):
+        async with self.client.session() as session:
+            async def call(verb, *args, **kwargs):
+                return await getattr(session, verb)(*args, **kwargs)
+
+            return await fn(call)
 
     async def close(self):
         await self.cluster.stop()
@@ -116,12 +141,51 @@ async def _shared_program(backend):
     return out
 
 
-def _run(backend_name):
+async def _typed_program(backend):
+    """The same portability contract over the Consistency-typed read
+    surface: every backend accepts ``ReadOptions`` / ``Consistency``
+    uniformly, keeps the legacy epsilon keywords working (with a
+    deprecation warning), and offers session guarantees."""
+    out = {}
+    await backend.call("increment", "acct", 40)
+    await backend.call("increment", "acct", 2)
+    await backend.call("write", "note", "typed")
+    await backend.call("settle")
+    out["strict"] = await backend.call(
+        "read", "acct", Consistency.STRICT
+    )
+    out["bounded"] = await backend.call(
+        "read", "acct", ReadOptions(consistency=Consistency.BOUNDED(5))
+    )
+    out["many"] = await backend.call(
+        "read_many", ["acct", "note"], Consistency.BOUNDED(3)
+    )
+    result = await backend.call(
+        "query", ["acct"], ReadOptions(consistency=Consistency.BOUNDED(4))
+    )
+    out["query_acct"] = result.values["acct"]
+    out["query_inconsistency"] = result.inconsistency
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        out["legacy"] = await backend.call("read", "acct", epsilon=0)
+    out["legacy_warns"] = any(
+        issubclass(w.category, DeprecationWarning) for w in caught
+    )
+
+    async def in_session(call):
+        await call("increment", "acct", 8)
+        return await call("read", "acct", Consistency.SESSION)
+
+    out["session"] = await backend.session_call(in_session)
+    return out
+
+
+def _run(backend_name, program=_shared_program):
     async def scenario():
         backend = BACKENDS[backend_name]()
         await backend.start()
         try:
-            return await _shared_program(backend)
+            return await program(backend)
         finally:
             await backend.close()
 
@@ -147,6 +211,16 @@ class TestSharedSurface:
         assert {"epsilon", "value_epsilon"} <= sim_params
         assert {"epsilon", "value_epsilon"} <= live_params
 
+    @pytest.mark.parametrize("verb", ("read", "read_many"))
+    @pytest.mark.parametrize("cls", (Client, LiveClient, ShardRouter))
+    def test_typed_options_parameter_everywhere(self, verb, cls):
+        """Every backend's reads take the same typed ``options``."""
+        assert "options" in inspect.signature(getattr(cls, verb)).parameters
+
+    @pytest.mark.parametrize("cls", (Client, LiveClient, ShardRouter))
+    def test_session_verb_everywhere(self, cls):
+        assert callable(getattr(cls, "session"))
+
 
 class TestSameProgramSameAnswers:
     @pytest.mark.parametrize("backend", sorted(BACKENDS))
@@ -160,6 +234,24 @@ class TestSameProgramSameAnswers:
         # Settled system: a bounded query observes zero inconsistency.
         assert out["inconsistency"] == 0
         assert out["waits"] == 0
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_typed_program_outcome(self, backend):
+        out = _run(backend, _typed_program)
+        assert out["strict"] == 42
+        assert out["bounded"] == 42
+        assert out["many"] == {"acct": 42, "note": "typed"}
+        assert out["query_acct"] == 42
+        assert out["query_inconsistency"] == 0
+        assert out["legacy"] == 42
+        assert out["legacy_warns"], "legacy epsilon kwarg must deprecate"
+        # Read-your-writes inside the session, on every backend.
+        assert out["session"] == 50
+
+    def test_typed_backends_agree_exactly(self):
+        reference = _run("sim", _typed_program)
+        assert reference == _run("live", _typed_program)
+        assert reference == _run("sharded", _typed_program)
 
     def test_backends_agree_exactly(self):
         def canonical(out):

@@ -1,0 +1,99 @@
+"""Open-loop load driver: schedule determinism, a small end-to-end
+run against an in-process cluster, and the CLI surface."""
+
+import json
+
+import pytest
+
+from repro.workload.loadgen import (
+    LoadgenConfig,
+    _percentiles,
+    _plan,
+    run_loadgen_sync,
+)
+
+
+class TestPlanning:
+    def test_offered_rate_is_users_over_think_time(self):
+        config = LoadgenConfig(users=100_000, think_time=50.0)
+        assert config.offered_rate() == pytest.approx(2000.0)
+        explicit = LoadgenConfig(rate=123.0)
+        assert explicit.offered_rate() == pytest.approx(123.0)
+
+    def test_schedule_is_open_loop_and_deterministic(self):
+        config = LoadgenConfig(rate=100.0, duration=1.0, seed=11)
+        plan = _plan(config)
+        assert len(plan) == 100
+        arrivals = [req[0] for req in plan]
+        # Open loop: arrival times come from the offered rate alone,
+        # fixed before any response is seen.
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] == pytest.approx(0.0)
+        assert arrivals[-1] < 1.0
+        assert _plan(LoadgenConfig(rate=100.0, duration=1.0, seed=11)) == plan
+        assert _plan(LoadgenConfig(rate=100.0, duration=1.0, seed=12)) != plan
+
+    def test_mix_covers_all_read_classes(self):
+        plan = _plan(LoadgenConfig(rate=2000.0, duration=1.0, seed=3))
+        classes = {req[1] for req in plan}
+        assert {"write", "cached", "bounded", "session", "strict"} <= classes
+
+    def test_percentiles(self):
+        stats = _percentiles([float(i) for i in range(1, 101)])
+        assert stats["p50"] == pytest.approx(50.0, abs=1.0)
+        assert stats["p99"] == pytest.approx(99.0, abs=1.0)
+        assert stats["max"] == 100.0
+
+
+class TestEndToEnd:
+    def test_small_run_completes_and_reports(self):
+        config = LoadgenConfig(
+            users=400,
+            think_time=4.0,  # 100 req/s offered
+            duration=1.0,
+            keys=32,
+            connections=2,
+            session_pool=50,
+            seed=5,
+            sites=3,
+        )
+        report = run_loadgen_sync(config)
+        assert report.issued == 100
+        assert report.completed > 0
+        assert report.completed + report.failed == report.issued
+        # Every latency block carries the full percentile set.
+        assert "overall" in report.latency
+        for stats in report.latency.values():
+            assert {"p50", "p95", "p99", "max", "mean"} <= stats.keys()
+        assert sum(report.by_class.values()) == report.completed
+        assert report.throughput > 0
+        # The whole report survives JSON (the CLI's --json path).
+        parsed = json.loads(json.dumps(report.as_dict()))
+        assert parsed["issued"] == 100
+        rendered = report.render()
+        assert "req/s offered" in rendered and "overall" in rendered
+
+
+class TestCLI:
+    def test_loadgen_subcommand(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "loadgen.json"
+        code = main(
+            [
+                "loadgen",
+                "--users", "200",
+                "--think-time", "4",  # 50 req/s
+                "--duration", "0.5",
+                "--keys", "16",
+                "--connections", "2",
+                "--sessions", "20",
+                "--seed", "9",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        assert "req/s offered" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["issued"] == 25
+        assert payload["completed"] > 0
