@@ -106,3 +106,99 @@ def test_sr_checker_scaling(benchmark):
         else:
             history.record(tid, ReadOp(key))
     benchmark(lambda: is_serializable(history))
+
+# -- wire codec (live runtime) ------------------------------------------------
+
+
+def _wire_batch(n=64):
+    """One outbox window of encoded channel payloads: n MSets of a few
+    mixed ops each, the shape the propagation hot path actually ships."""
+    from repro.core.operations import AppendOp, WriteOp
+    from repro.live.protocol import encode_mset
+    from repro.replica.mset import MSet
+
+    payloads = []
+    for seq in range(1, n + 1):
+        mset = MSet(
+            tid="site0:%d" % seq,
+            ops=(
+                IncrementOp("balance%d" % (seq % 8), seq),
+                WriteOp("status%d" % (seq % 8), "v-%032d" % seq),
+                AppendOp("audit", {"seq": seq, "who": "site0"}),
+            ),
+            origin="site0",
+            info=(("reads", ["balance%d" % (seq % 8)]),),
+        )
+        payloads.append((seq, {"mset": encode_mset(mset)}))
+    return payloads
+
+
+def test_wire_json_batch_encode(benchmark):
+    """Baseline: build + serialize one JSON mset-batch frame."""
+    from repro.live.protocol import encode_batch_frame, encode_frame
+
+    entries = _wire_batch()
+    batch = [(seq, payload["mset"]) for seq, payload in entries]
+
+    def run():
+        return len(encode_frame(encode_batch_frame("site0", batch)))
+
+    assert benchmark(run) > 0
+
+
+def test_wire_bin_batch_relay(benchmark):
+    """Fast path: one binary frame from pre-encoded payload blobs —
+    the zero re-encode relay's per-send cost (struct pack + memcpy)."""
+    from repro.live.protocol import encode_bin_batch_frame, payload_blob
+
+    entries = _wire_batch()
+    blobs = [(seq, payload_blob(payload)) for seq, payload in entries]
+
+    def run():
+        return len(encode_bin_batch_frame("site0", blobs))
+
+    assert benchmark(run) > 0
+
+
+def test_wire_json_batch_decode(benchmark):
+    """Baseline receive: parse the JSON frame and validate the batch."""
+    import json
+
+    from repro.live.protocol import (
+        decode_batch_frame,
+        encode_batch_frame,
+        encode_frame,
+    )
+
+    entries = _wire_batch()
+    data = encode_frame(
+        encode_batch_frame(
+            "site0", [(seq, payload["mset"]) for seq, payload in entries]
+        )
+    )
+
+    def run():
+        frame = json.loads(data[4:])
+        return len(decode_batch_frame(frame))
+
+    assert benchmark(run) == 64
+
+
+def test_wire_bin_batch_decode(benchmark):
+    """Fast-path receive: split the binary envelope into (seq, blob)
+    pairs; blob JSON decode happens once, on the apply path."""
+    from repro.live.protocol import (
+        decode_bin_frame,
+        encode_bin_batch_frame,
+        payload_blob,
+    )
+
+    entries = _wire_batch()
+    data = encode_bin_batch_frame(
+        "site0", [(seq, payload_blob(payload)) for seq, payload in entries]
+    )
+
+    def run():
+        return len(decode_bin_frame(data[4:])["blobs"])
+
+    assert benchmark(run) == 64

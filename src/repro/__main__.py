@@ -237,6 +237,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     peers = _parse_peers(args.peers)
 
+    if getattr(args, "uvloop", False):
+        # uvloop is optional: fall back to the default loop when the
+        # environment doesn't ship it (never auto-installed).
+        try:
+            import uvloop
+
+            uvloop.install()
+            print("event loop: uvloop")
+        except ImportError:
+            print(
+                "warning: --uvloop requested but uvloop is not "
+                "installed; using the default event loop"
+            )
+
     async def main() -> int:
         server = ReplicaServer(
             args.name,
@@ -246,6 +260,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fsync=args.fsync,
             batch_size=args.batch_size,
             window=args.window,
+            wire=args.wire,
             fsync_interval=args.fsync_interval,
             snapshot_interval=args.snapshot_interval,
             backlog_limit=args.backlog_limit,
@@ -577,6 +592,17 @@ def main(argv: List[str] = None) -> int:
     serve.add_argument(
         "--window", type=int, default=4,
         help="max batch frames in flight per peer channel",
+    )
+    serve.add_argument(
+        "--wire", default="bin1", choices=("bin1", "json"),
+        help="preferred wire codec for peer channels; binary is "
+        "negotiated per connection, with transparent JSON fallback "
+        "for peers that don't speak it (json = never advertise)",
+    )
+    serve.add_argument(
+        "--uvloop", action="store_true",
+        help="use uvloop for the event loop when available "
+        "(falls back to the default loop with a warning)",
     )
     serve.add_argument(
         "--fsync-interval", type=float, default=0.0,

@@ -85,6 +85,8 @@ from ..core.transactions import EpsilonSpec, UNLIMITED
 from ..errors import ETError, SESSION_STALE
 from ..obs.registry import NULL_REGISTRY, Registry
 from .protocol import (
+    SUPPORTED_WIRES,
+    WIRE_JSON,
     ProtocolError,
     encode_ops,
     encode_spec,
@@ -222,9 +224,19 @@ class LiveClient:
         fan_out_refresh: float = 1.0,
         session_retry_wait: float = 5.0,
         registry: Optional[Registry] = None,
+        wire: str = "bin1",
     ) -> None:
         if not addrs:
             raise ValueError("LiveClient needs at least one address")
+        if wire != WIRE_JSON and wire not in SUPPORTED_WIRES:
+            raise ValueError("unknown wire codec %r" % wire)
+        #: advertise binary wire support on hellos (``wire="json"``
+        #: disables the advert, pinning the connection to JSON).
+        self._wire_advert = wire != WIRE_JSON
+        #: codec the server accepted for this connection; informational
+        #: for clients (request/response frames are always JSON — the
+        #: binary codec covers the replication stream).
+        self.wire = WIRE_JSON
         self._addrs: List[Tuple[str, int]] = [
             (host, int(port)) for host, port in addrs
         ]
@@ -349,7 +361,7 @@ class LiveClient:
         host, port = self._addrs[0]
         try:
             reader, writer = await asyncio.open_connection(host, port)
-            await write_frame(writer, {"type": "client-hello"})
+            await write_frame(writer, self._hello_frame())
         except (OSError, ConnectionError):
             return  # primary still down: stay failed over
         async with self._write_lock:
@@ -357,6 +369,7 @@ class LiveClient:
                 writer.close()  # a bad moment to swap; try again later
                 return
             self._teardown_connection()
+            self.wire = WIRE_JSON
             self._reader = reader
             self._writer = writer
             self._active_index = 0
@@ -381,7 +394,8 @@ class LiveClient:
                 except (OSError, ConnectionError) as exc:
                     last_error = exc
                     continue
-                await write_frame(writer, {"type": "client-hello"})
+                self.wire = WIRE_JSON
+                await write_frame(writer, self._hello_frame())
                 self._reader = reader
                 self._writer = writer
                 self._active_index = index
@@ -396,6 +410,12 @@ class LiveClient:
         raise ConnectionError(
             "could not reach any of %r: %s" % (self._addrs, last_error)
         )
+
+    def _hello_frame(self) -> Dict[str, Any]:
+        hello: Dict[str, Any] = {"type": "client-hello"}
+        if self._wire_advert:
+            hello["wire"] = list(SUPPORTED_WIRES)
+        return hello
 
     def _backoff(self, attempt: int) -> float:
         """Exponential backoff with full jitter (decorrelates a herd
@@ -427,6 +447,11 @@ class LiveClient:
                 frame = await read_frame(reader)
                 if frame is None:
                     break
+                if frame.get("type") == "hello-ack":
+                    wire = frame.get("wire")
+                    if wire in SUPPORTED_WIRES:
+                        self.wire = wire
+                    continue
                 rid = frame.get("id")
                 fut = self._waiting.pop(rid, None)
                 if fut is not None and not fut.done():

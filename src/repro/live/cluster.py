@@ -60,6 +60,7 @@ class LiveCluster:
         fsync_interval: float = 0.0,
         observability: bool = True,
         server_options: Optional[Dict[str, Any]] = None,
+        server_overrides: Optional[Dict[str, Dict[str, Any]]] = None,
         site_names: Optional[Sequence[str]] = None,
         shard: Optional[Dict[str, Any]] = None,
     ) -> None:
@@ -89,6 +90,12 @@ class LiveCluster:
         #: extra ReplicaServer keyword arguments (retry_base, ...),
         #: applied uniformly to every replica, including restarts.
         self.server_options: Dict[str, Any] = dict(server_options or {})
+        #: per-site keyword overrides layered on ``server_options``
+        #: (e.g. ``{"site2": {"wire": "json"}}`` for a mixed-codec
+        #: cluster); applied on restarts too.
+        self.server_overrides: Dict[str, Dict[str, Any]] = {
+            site: dict(opts) for site, opts in (server_overrides or {}).items()
+        }
         self._own_tmp: Optional[tempfile.TemporaryDirectory] = None
         if data_dir is None:
             self._own_tmp = tempfile.TemporaryDirectory(prefix="repro-live-")
@@ -104,6 +111,8 @@ class LiveCluster:
     # -- lifecycle -----------------------------------------------------------
 
     def _make_server(self, name: str) -> ReplicaServer:
+        options = dict(self.server_options)
+        options.update(self.server_overrides.get(name, {}))
         return ReplicaServer(
             name,
             peers=self.names,
@@ -118,7 +127,7 @@ class LiveCluster:
             fsync_interval=self.fsync_interval,
             observability=self.observability,
             shard=dict(self.shard) if self.shard is not None else None,
-            **self.server_options,
+            **options,
         )
 
     async def start(self) -> None:
@@ -193,6 +202,8 @@ class LiveCluster:
             raise RuntimeError("%s is already running" % name)
         if seed is None:
             seed = next(iter(self.servers))
+        options = dict(self.server_options)
+        options.update(self.server_overrides.get(name, {}))
         server = ReplicaServer(
             name,
             peers=[name, seed],
@@ -207,7 +218,7 @@ class LiveCluster:
             fsync_interval=self.fsync_interval,
             observability=self.observability,
             shard=dict(self.shard) if self.shard is not None else None,
-            **self.server_options,
+            **options,
         )
         port = await server.bind(self.host, 0)
         self.servers[name] = server

@@ -49,6 +49,24 @@ The application-visible contract is exactly-once FIFO per channel:
 at-least-once retries on the sender plus frontier dedup on the
 receiver.
 
+Log format vs wire format: the record format here is **always** JSON
+lines — one ``{"seq": N, "payload": {...}}`` object per line — no
+matter which codec the peer channel negotiated on the wire
+(:mod:`repro.live.protocol` may speak the ``bin1`` binary framing).
+That split is deliberate: logs stay greppable, debuggable, and
+readable by any build, while the wire is free to evolve.  The two
+formats meet at the *canonical payload blob* (the compact JSON bytes
+of one payload): when the caller already holds that blob — computed
+once when an update enters the system — ``append``/``record`` splice
+it into the log line verbatim instead of re-serializing the payload,
+producing a line byte-identical to a full ``json.dumps`` of the
+record.  The blob also rides binary wire frames unchanged, so one
+encode covers every hop and every log.  :meth:`DurableOutbox.wire_blob`
+returns (computing and caching on demand, e.g. after a restart
+reloaded pending payloads from the log) the blob for a pending
+record, which is what lets a sender re-send from its log without
+re-encoding either.
+
 Compaction: both halves support ``compact(through_seq)`` — a
 tail-verified rewrite that drops every record at or below
 ``through_seq`` once a persisted site snapshot covers them.  The
@@ -71,6 +89,18 @@ import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["DurableOutbox", "DurableInbox"]
+
+
+def _splice_line(seq: int, blob: bytes) -> str:
+    """One log line built around an already-encoded payload blob.
+
+    ``blob`` must be the canonical compact-JSON encoding of the
+    payload (``json.dumps(payload, separators=(",", ":"))``), which
+    makes the spliced line byte-identical to a full
+    ``json.dumps({"seq": seq, "payload": payload})`` — the log stays
+    plain JSONL whatever codec the wire negotiated.
+    """
+    return '{"seq":%d,"payload":%s}\n' % (seq, blob.decode("utf-8"))
 
 
 def _read_json_lines(path: pathlib.Path) -> Iterator[Dict[str, Any]]:
@@ -137,21 +167,27 @@ class _DurableLog:
     def _open_log(self) -> None:
         self._log = self.path.open("a", encoding="utf-8")
 
-    def _write_records(self, records: Sequence[Dict[str, Any]]) -> None:
+    def _write_data(self, data: str) -> None:
         """Group commit: one write + flush + at most one fsync for the
-        whole batch."""
-        if not records:
+        whole pre-rendered batch of lines."""
+        if not data:
             return
-        data = "".join(
-            json.dumps(record, separators=(",", ":")) + "\n"
-            for record in records
-        )
         self._log.write(data)
         self._log.flush()
         self.bytes_written += len(data)
         if self.fsync:
             self.dirty = True
         self._maybe_fsync()
+
+    def _write_records(self, records: Sequence[Dict[str, Any]]) -> None:
+        if not records:
+            return
+        self._write_data(
+            "".join(
+                json.dumps(record, separators=(",", ":")) + "\n"
+                for record in records
+            )
+        )
 
     def _maybe_fsync(self) -> None:
         if not self.fsync:
@@ -274,6 +310,11 @@ class DurableOutbox(_DurableLog):
                 self.frontier = 0
         #: unacknowledged payloads by sequence number, insertion-ordered.
         self._pending: Dict[int, Any] = {}
+        #: canonical wire bytes of pending payloads (the zero
+        #: re-encode relay cache); lazily filled by :meth:`wire_blob`
+        #: for records reloaded from the log, dropped as acks retire
+        #: their sequence numbers.
+        self._blobs: Dict[int, bytes] = {}
         #: acks received for sequence numbers we never assigned — a
         #: receiver durably holds records this (restarted) sender has
         #: no memory of sending, i.e. the sender lost its own log.
@@ -295,30 +336,70 @@ class DurableOutbox(_DurableLog):
                 self._pending[seq] = record["payload"]
         self._open_log()
 
-    def append(self, payload: Any) -> int:
-        """Durably enqueue ``payload``; returns its sequence number."""
-        return self.append_many([payload])[0]
+    def append(self, payload: Any, blob: Optional[bytes] = None) -> int:
+        """Durably enqueue ``payload``; returns its sequence number.
 
-    def append_many(self, payloads: Sequence[Any]) -> List[int]:
+        ``blob``, when given, is the payload's canonical wire bytes
+        (see :func:`repro.live.protocol.payload_blob`): the log line
+        is spliced around it instead of re-serializing, and it seeds
+        the :meth:`wire_blob` cache for the sender's relay path.
+        """
+        blobs = None if blob is None else [blob]
+        return self.append_many([payload], blobs=blobs)[0]
+
+    def append_many(
+        self,
+        payloads: Sequence[Any],
+        blobs: Optional[Sequence[bytes]] = None,
+    ) -> List[int]:
         """Group-commit append: one write + fsync for the whole batch.
 
         Returns the assigned sequence numbers, contiguous and in
-        payload order.
+        payload order.  ``blobs`` (parallel to ``payloads``) carries
+        pre-encoded payload bytes, spliced into the log lines and
+        cached for the wire.
         """
         seqs: List[int] = []
-        records: List[Dict[str, Any]] = []
-        for payload in payloads:
+        lines: List[str] = []
+        for index, payload in enumerate(payloads):
             self._seq += 1
-            records.append({"seq": self._seq, "payload": payload})
             self._pending[self._seq] = payload
+            if blobs is not None:
+                self._blobs[self._seq] = blobs[index]
+                lines.append(_splice_line(self._seq, blobs[index]))
+            else:
+                lines.append(
+                    json.dumps(
+                        {"seq": self._seq, "payload": payload},
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
             seqs.append(self._seq)
-        self._write_records(records)
+        self._write_data("".join(lines))
         return seqs
+
+    def wire_blob(self, seqno: int) -> bytes:
+        """Canonical wire bytes of one pending payload.
+
+        Cache hit for payloads appended with a blob; computed once and
+        cached for payloads reloaded from the log (restart, rewind) —
+        either way, every subsequent send and re-send of this record
+        forwards the same bytes with no re-encode.
+        """
+        blob = self._blobs.get(seqno)
+        if blob is None:
+            blob = json.dumps(
+                self._pending[seqno], separators=(",", ":")
+            ).encode("utf-8")
+            self._blobs[seqno] = blob
+        return blob
 
     def ack(self, seqno: int) -> None:
         """The receiver confirmed durable receipt of exactly ``seqno``."""
         if seqno in self._pending:
             del self._pending[seqno]
+            self._blobs.pop(seqno, None)
         if seqno > self.frontier and not any(
             s <= seqno for s in self._pending
         ):
@@ -343,6 +424,7 @@ class DurableOutbox(_DurableLog):
         covered = sorted(s for s in self._pending if s <= seqno)
         for s in covered:
             del self._pending[s]
+            self._blobs.pop(s, None)
         if seqno > self.frontier:
             self.frontier = seqno
             self._ack_path.write_text(str(self.frontier))
@@ -385,6 +467,7 @@ class DurableOutbox(_DurableLog):
         """
         self._rewrite([], base=seqno)
         self._pending.clear()
+        self._blobs.clear()
         self.base = seqno
         self.frontier = seqno
         self._seq = seqno
@@ -422,6 +505,30 @@ class DurableOutbox(_DurableLog):
         """Unacknowledged (seqno, payload) pairs in FIFO order."""
         return sorted(self._pending.items())
 
+    def pending_after(
+        self, seqno: int, limit: int
+    ) -> List[Tuple[int, Any]]:
+        """Up to ``limit`` pending (seqno, payload) pairs above
+        ``seqno``, in order.
+
+        The sender's scan: cumulative acks keep the pending set a
+        (nearly) dense seqno range, so a bounded walk from the floor
+        replaces sorting the whole backlog — which made every sender
+        wakeup O(backlog log backlog) and the drain of a deep backlog
+        quadratic.  Seqnos individually acked out of order (the
+        non-cumulative :meth:`ack`) leave holes the walk just skips.
+        """
+        out: List[Tuple[int, Any]] = []
+        pending = self._pending
+        s = max(seqno, self.frontier)
+        hi = self._seq
+        while len(out) < limit and s < hi:
+            s += 1
+            payload = pending.get(s)
+            if payload is not None:
+                out.append((s, payload))
+        return out
+
     def drained(self) -> bool:
         return not self._pending
 
@@ -456,44 +563,67 @@ class DurableInbox(_DurableLog):
                 self.frontier = seq
         self._open_log()
 
-    def record(self, seqno: int, payload: Any) -> bool:
+    def record(
+        self, seqno: int, payload: Any, blob: Optional[bytes] = None
+    ) -> bool:
         """Durably record one received payload.
 
         Returns True when the payload is fresh (first receipt), False
         for a duplicate.  Out-of-order receipts beyond ``frontier + 1``
         are refused (also False): the sender re-sends in order, so a
-        gap can only mean a dropped earlier frame.
+        gap can only mean a dropped earlier frame.  ``blob`` (the
+        payload's canonical wire bytes) splices the log line instead
+        of re-serializing the payload.
         """
         if seqno != self.frontier + 1:
             return False
-        self._write_records([{"seq": seqno, "payload": payload}])
+        if blob is not None:
+            self._write_data(_splice_line(seqno, blob))
+        else:
+            self._write_records([{"seq": seqno, "payload": payload}])
         self._records.append((seqno, payload))
         self.frontier = seqno
         return True
 
-    def record_many(self, items: Sequence[Tuple[int, Any]]) -> int:
+    def record_many(
+        self,
+        items: Sequence[Tuple[int, Any]],
+        blobs: Optional[Sequence[bytes]] = None,
+    ) -> int:
         """Group-commit record of a contiguous batch of receipts.
 
         ``items`` must start at ``frontier + 1`` and be gap-free; the
         caller (the batch receive path) filters duplicates and stops at
         the first gap before calling.  The whole batch lands with one
-        write + flush + fsync.  Returns the number recorded.
+        write + flush + fsync.  ``blobs`` (parallel to ``items``)
+        carries the payloads' wire bytes as received — a binary batch
+        is logged without one ``json.dumps``.  Returns the number
+        recorded.
         """
-        records: List[Dict[str, Any]] = []
+        lines: List[str] = []
         expected = self.frontier + 1
-        for seqno, payload in items:
+        for index, (seqno, payload) in enumerate(items):
             if seqno != expected:
                 raise ValueError(
                     "non-contiguous batch record: got %d, expected %d"
                     % (seqno, expected)
                 )
-            records.append({"seq": seqno, "payload": payload})
+            if blobs is not None:
+                lines.append(_splice_line(seqno, blobs[index]))
+            else:
+                lines.append(
+                    json.dumps(
+                        {"seq": seqno, "payload": payload},
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
             expected += 1
-        self._write_records(records)
+        self._write_data("".join(lines))
         for seqno, payload in items:
             self._records.append((seqno, payload))
             self.frontier = seqno
-        return len(records)
+        return len(lines)
 
     def duplicate(self, seqno: int) -> bool:
         """True when ``seqno`` was already recorded (needs re-ack only)."""

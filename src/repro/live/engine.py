@@ -292,6 +292,19 @@ class LiveEngine:
     async def fully_acked(self, tid: Any, keys: Sequence[str]) -> None:
         """Every peer durably holds this local update's MSet."""
 
+    async def fully_acked_many(
+        self, items: Sequence[Tuple[Any, Sequence[str]]]
+    ) -> None:
+        """Batch form of :meth:`fully_acked` for cumulative acks.
+
+        One peer ack can retire a whole send window of local updates;
+        methods with per-update obligations override this to release
+        them under a single lock acquisition instead of thrashing
+        blocked queries awake once per retired update.
+        """
+        for tid, keys in items:
+            await self.fully_acked(tid, keys)
+
     async def hold_counters(self, tid: Any, keys: Sequence[str]) -> None:
         """Re-assert the divergence obligation of a still-unacked local
         update whose apply is already inside a restored checkpoint (so
@@ -460,6 +473,16 @@ class CommuLiveEngine(LiveEngine):
     async def fully_acked(self, tid: Any, keys: Sequence[str]) -> None:
         async with self.cond:
             self.state.release_counters(tid, keys)
+            self.cond.notify_all()
+
+    async def fully_acked_many(
+        self, items: Sequence[Tuple[Any, Sequence[str]]]
+    ) -> None:
+        if not items:
+            return
+        async with self.cond:
+            for tid, keys in items:
+                self.state.release_counters(tid, keys)
             self.cond.notify_all()
 
     async def hold_counters(self, tid: Any, keys: Sequence[str]) -> None:

@@ -1,7 +1,7 @@
-"""Length-prefixed JSON wire protocol for the live replica runtime.
+"""Length-prefixed wire protocol for the live replica runtime.
 
-Every frame on the wire is a 4-byte big-endian length followed by a
-UTF-8 JSON object.  The payload vocabulary reuses the simulator's
+Every *JSON* frame on the wire is a 4-byte big-endian length followed
+by a UTF-8 JSON object.  The payload vocabulary reuses the simulator's
 operation algebra and MSet types: operations and epsilon specs are
 encoded structurally (class -> tag), so a live server and the
 deterministic simulator speak about the *same* transactions.
@@ -18,15 +18,44 @@ Frame kinds exchanged:
   remain fully supported so a batching sender interoperates with an
   older peer and vice versa.
 * hello frames identify the connection role
-  (``{"type": "peer-hello", "src": site}``).
+  (``{"type": "peer-hello", "src": site}``), optionally advertising
+  binary wire codecs (``"wire": ["bin1"]``).
+
+Binary fast path (the ``bin1`` codec): the high bit of the length
+word marks a *binary* frame (safe because ``MAX_FRAME`` is far below
+``2**31``, so a JSON length never has the bit set).  Binary frames
+cover exactly the propagation hot path — ``mset-batch`` and the
+cumulative ``ack`` — as struct-packed envelopes whose batch entries
+are *opaque payload blobs*: the canonical JSON bytes of one channel
+payload, computed once when an MSet enters its outbox and forwarded
+byte-for-byte from then on (zero re-encode relay).  Everything else
+(requests, responses, hellos, heartbeats, gossip) stays JSON.
+
+Negotiation rides the existing hello frames: a sender advertises
+``"wire": ["bin1"]`` on its hello; a receiver that can read binary
+replies ``{"type": "hello-ack", "wire": "bin1"}`` and may itself
+switch to binary acks immediately (advertising a codec implies the
+ability to read it).  A legacy peer ignores the unknown key and never
+replies, so the channel transparently stays JSON — both directions
+fall back per-connection with no configuration.  Frames are
+self-describing (the length-word bit), so a mid-stream switch is
+safe.
+
+Wire format vs durable-log format: the binary codec exists **only on
+the wire**.  Durable queue records (:mod:`repro.live.durable_queue`)
+stay JSON lines regardless of the negotiated codec, so channel logs
+remain greppable/debuggable; the shared piece is the canonical
+payload blob, which the queue splices into its JSON-line records
+without re-encoding.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import math
 import struct
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.operations import (
     AppendOp,
@@ -45,13 +74,22 @@ from ..replica.mset import MSet
 __all__ = [
     "MAX_FRAME",
     "MAX_BATCH_ENTRIES",
+    "WIRE_JSON",
+    "WIRE_BIN1",
+    "SUPPORTED_WIRES",
     "ProtocolError",
     "encode_frame",
     "read_frame",
     "write_frame",
     "write_frames",
+    "write_encoded",
     "encode_batch_frame",
     "decode_batch_frame",
+    "payload_blob",
+    "negotiate_wire",
+    "encode_bin_batch_frame",
+    "encode_bin_ack_frame",
+    "decode_bin_frame",
     "encode_op",
     "decode_op",
     "encode_ops",
@@ -71,7 +109,26 @@ MAX_FRAME = 16 * 1024 * 1024
 #: sender flooding a slow replica).
 MAX_BATCH_ENTRIES = 4096
 
+#: wire codec names: ``json`` is the length-prefixed JSON baseline
+#: every build speaks; ``bin1`` is the struct-packed binary fast path.
+WIRE_JSON = "json"
+WIRE_BIN1 = "bin1"
+#: binary codecs this build can read and write, best first (the hello
+#: advert, and the preference order when negotiating).
+SUPPORTED_WIRES = (WIRE_BIN1,)
+
 _LEN = struct.Struct(">I")
+
+#: high bit of the length word: set on binary frames.
+_BIN_FLAG = 0x80000000
+
+#: binary frame kind tags (first body byte).
+_BIN_BATCH = 1
+_BIN_ACK = 2
+
+_BATCH_HDR = struct.Struct(">BHI")  # kind, src length, entry count
+_ENTRY_HDR = struct.Struct(">QI")   # channel seq, payload-blob length
+_ACK_BODY = struct.Struct(">BQ")    # kind, cumulative channel seq
 
 
 class ProtocolError(RuntimeError):
@@ -90,18 +147,29 @@ def encode_frame(obj: Dict[str, Any]) -> bytes:
 
 
 async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
-    """Read one frame; ``None`` on clean EOF."""
+    """Read one frame (JSON or binary); ``None`` on clean EOF.
+
+    Binary frames are normalized into the same dict vocabulary the
+    JSON codec uses (``mset-batch`` carries its entries under
+    ``"blobs"`` as undecoded payload bytes), so every consumer
+    dispatches on ``frame["type"]`` regardless of the wire codec.
+    """
     try:
         header = await reader.readexactly(_LEN.size)
     except (asyncio.IncompleteReadError, ConnectionResetError):
         return None
     (length,) = _LEN.unpack(header)
+    binary = bool(length & _BIN_FLAG)
+    if binary:
+        length &= ~_BIN_FLAG
     if length > MAX_FRAME:
         raise ProtocolError("frame of %d bytes exceeds MAX_FRAME" % length)
     try:
         body = await reader.readexactly(length)
     except (asyncio.IncompleteReadError, ConnectionResetError):
         return None
+    if binary:
+        return decode_bin_frame(body)
     try:
         obj = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -132,6 +200,152 @@ async def write_frames(
         return
     writer.write(b"".join(encode_frame(obj) for obj in objs))
     await writer.drain()
+
+
+async def write_encoded(
+    writer: asyncio.StreamWriter, chunks: Sequence[bytes]
+) -> None:
+    """Write pre-encoded frame bytes as one buffered burst.
+
+    The binary sender path hands over complete on-wire frames (header
+    included); this is the bytes-in -> bytes-out tail of the zero
+    re-encode relay.
+    """
+    if not chunks:
+        return
+    writer.write(b"".join(chunks))
+    await writer.drain()
+
+
+# -- wire negotiation --------------------------------------------------------
+
+
+def negotiate_wire(advert: Any) -> Optional[str]:
+    """Pick the best mutually supported binary codec from a hello
+    advert (the ``wire`` value of a hello frame); ``None`` when the
+    peer advertised nothing we speak — the channel stays JSON.
+
+    Tolerant by design: an advert of the wrong type is treated as no
+    advert, never an error, so future hello extensions cannot break
+    old receivers.
+    """
+    if not isinstance(advert, (list, tuple)):
+        return None
+    for wire in SUPPORTED_WIRES:
+        if wire in advert:
+            return wire
+    return None
+
+
+# -- binary frames (the bin1 codec) ------------------------------------------
+
+
+def payload_blob(payload: Dict[str, Any]) -> bytes:
+    """Canonical bytes of one channel payload dict.
+
+    This is the unit of the zero re-encode relay: computed once when
+    an MSet enters its outbox, then forwarded verbatim inside binary
+    batch frames *and* spliced verbatim into durable-log JSON lines
+    (see :mod:`repro.live.durable_queue`).  Deliberately JSON — the
+    C-accelerated ``json`` codec beats any pure-Python packer, and it
+    keeps the durable logs debuggable — the binary framing around it
+    is what removes the per-hop re-encode and field walk.
+    """
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def encode_bin_batch_frame(
+    src: str, entries: Sequence[Tuple[int, bytes]]
+) -> bytes:
+    """One complete binary ``mset-batch`` frame (header included) from
+    (seq, payload-blob) pairs."""
+    if not entries:
+        raise ProtocolError("refusing to encode an empty mset-batch")
+    if len(entries) > MAX_BATCH_ENTRIES:
+        raise ProtocolError(
+            "mset-batch of %d entries exceeds MAX_BATCH_ENTRIES"
+            % len(entries)
+        )
+    src_bytes = src.encode("utf-8")
+    if len(src_bytes) > 0xFFFF:
+        raise ProtocolError("site name of %d bytes" % len(src_bytes))
+    parts: List[bytes] = [
+        _BATCH_HDR.pack(_BIN_BATCH, len(src_bytes), len(entries)),
+        src_bytes,
+    ]
+    size = _BATCH_HDR.size + len(src_bytes)
+    for seq, blob in entries:
+        parts.append(_ENTRY_HDR.pack(seq, len(blob)))
+        parts.append(blob)
+        size += _ENTRY_HDR.size + len(blob)
+    if size > MAX_FRAME:
+        raise ProtocolError("frame of %d bytes exceeds MAX_FRAME" % size)
+    return _LEN.pack(_BIN_FLAG | size) + b"".join(parts)
+
+
+def encode_bin_ack_frame(seq: int) -> bytes:
+    """One complete binary cumulative-ack frame (header included)."""
+    return _LEN.pack(_BIN_FLAG | _ACK_BODY.size) + _ACK_BODY.pack(
+        _BIN_ACK, seq
+    )
+
+
+def decode_bin_frame(body: bytes) -> Dict[str, Any]:
+    """Decode one binary frame body into the normalized dict form.
+
+    ``mset-batch`` entries come back as *undecoded* (seq, blob) pairs
+    under ``"blobs"`` — the receiver decodes each blob exactly once,
+    on the apply path.  Every malformation raises
+    :class:`ProtocolError`, never an untyped exception.
+    """
+    if not body:
+        raise ProtocolError("empty binary frame")
+    kind = body[0]
+    if kind == _BIN_ACK:
+        if len(body) != _ACK_BODY.size:
+            raise ProtocolError(
+                "binary ack of %d bytes (want %d)"
+                % (len(body), _ACK_BODY.size)
+            )
+        _, seq = _ACK_BODY.unpack(body)
+        return {"type": "ack", "seq": seq}
+    if kind != _BIN_BATCH:
+        raise ProtocolError("unknown binary frame kind %d" % kind)
+    try:
+        _, src_len, count = _BATCH_HDR.unpack_from(body, 0)
+    except struct.error as exc:
+        raise ProtocolError("truncated binary batch header") from exc
+    if count == 0:
+        raise ProtocolError("binary mset-batch without entries")
+    if count > MAX_BATCH_ENTRIES:
+        raise ProtocolError(
+            "mset-batch of %d entries exceeds MAX_BATCH_ENTRIES" % count
+        )
+    offset = _BATCH_HDR.size
+    if len(body) < offset + src_len:
+        raise ProtocolError("truncated binary batch src")
+    try:
+        src = body[offset:offset + src_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError("undecodable batch src: %s" % exc) from exc
+    offset += src_len
+    blobs: List[Tuple[int, bytes]] = []
+    for _ in range(count):
+        try:
+            seq, blob_len = _ENTRY_HDR.unpack_from(body, offset)
+        except struct.error as exc:
+            raise ProtocolError("truncated binary batch entry") from exc
+        offset += _ENTRY_HDR.size
+        blob = body[offset:offset + blob_len]
+        if len(blob) != blob_len:
+            raise ProtocolError("truncated batch entry blob")
+        offset += blob_len
+        blobs.append((seq, blob))
+    if offset != len(body):
+        raise ProtocolError(
+            "%d trailing bytes after binary batch" % (len(body) - offset)
+        )
+    return {"type": "mset-batch", "src": src, "blobs": tuple(blobs)}
 
 
 # -- batch frames ------------------------------------------------------------
@@ -225,7 +439,34 @@ def encode_op(op: Operation) -> Dict[str, Any]:
     return out
 
 
+def _decode_amount(data: Dict[str, Any]) -> float:
+    """Validated arithmetic amount: a real, finite number.
+
+    Rejects strings (JSON happily carries ``"NaN"`` where a number
+    belongs), booleans (``True`` is an ``int`` to ``isinstance``), and
+    non-finite floats (``json.loads`` accepts bare ``NaN``/
+    ``Infinity``) — any of which would poison the store value the
+    first time the operation applies.
+    """
+    amount = data.get("amount", 0)
+    # Exact-type checks: json.loads only ever yields exact int/float,
+    # and ``type(True) is int`` is False, so bools fall through to the
+    # rejection without an explicit isinstance(bool) test on the hot
+    # path.
+    if type(amount) is int:
+        return amount
+    if type(amount) is float:
+        if not math.isfinite(amount):
+            raise ProtocolError(
+                "non-finite operation amount %r" % (amount,)
+            )
+        return amount
+    raise ProtocolError("non-numeric operation amount %r" % (amount,))
+
+
 def decode_op(data: Dict[str, Any]) -> Operation:
+    if not isinstance(data, dict):
+        raise ProtocolError("operation must be an object: %r" % (data,))
     tag = data.get("t")
     key = data.get("key")
     if not isinstance(key, str):
@@ -235,17 +476,23 @@ def decode_op(data: Dict[str, Any]) -> Operation:
     if tag == "write":
         return WriteOp(key, data.get("value"))
     if tag == "inc":
-        return IncrementOp(key, data.get("amount", 0))
+        return IncrementOp(key, _decode_amount(data))
     if tag == "dec":
-        return DecrementOp(key, data.get("amount", 0))
+        return DecrementOp(key, _decode_amount(data))
     if tag == "mul":
-        return MultiplyOp(key, data.get("amount", 0))
+        return MultiplyOp(key, _decode_amount(data))
     if tag == "div":
-        return DivideOp(key, data.get("amount", 0))
+        return DivideOp(key, _decode_amount(data))
     if tag == "append":
         return AppendOp(key, data.get("item"))
     if tag == "tswrite":
         ts = data.get("ts", (0, 0))
+        # Thomas-rule timestamps are exactly (time, site) pairs; a
+        # wrong-arity ts would compare nonsensically forever after.
+        if not isinstance(ts, (list, tuple)) or len(ts) != 2:
+            raise ProtocolError(
+                "tswrite ts must be a [time, site] pair: %r" % (ts,)
+            )
         return TimestampedWriteOp(key, data.get("value"), tuple(ts))
     raise ProtocolError("unknown operation tag %r" % tag)
 
@@ -255,7 +502,11 @@ def encode_ops(ops: Sequence[Operation]) -> list:
 
 
 def decode_ops(data: Sequence[Dict[str, Any]]) -> Tuple[Operation, ...]:
-    return tuple(decode_op(d) for d in data)
+    if not isinstance(data, (list, tuple)):
+        raise ProtocolError("ops must be a sequence: %r" % (data,))
+    # List comprehension, not a genexpr: tuple() over a genexpr pays a
+    # generator frame per element on the receive hot path.
+    return tuple([decode_op(d) for d in data])
 
 
 # -- epsilon specs -----------------------------------------------------------
@@ -266,7 +517,12 @@ def _limit_out(value: float) -> Any:
 
 
 def _limit_in(value: Any) -> float:
-    return UNLIMITED if value is None else float(value)
+    if value is None:
+        return UNLIMITED
+    try:
+        return float(value)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError("non-numeric epsilon limit %r" % (value,)) from exc
 
 
 def encode_spec(spec: EpsilonSpec) -> Dict[str, Any]:
@@ -303,13 +559,40 @@ def encode_mset(mset: MSet) -> Dict[str, Any]:
 
 
 def decode_mset(data: Dict[str, Any]) -> MSet:
+    """Decode one encoded MSet, totally: any malformed payload raises
+    :class:`ProtocolError`, never a bare ``ValueError``/``TypeError``
+    that would escape the receive loop's protocol-error handling (and
+    kill the connection task with an unhandled exception).
+    """
+    if not isinstance(data, dict):
+        raise ProtocolError("mset must be an object: %r" % (data,))
+    kind = data.get("kind", "update")
+    if not isinstance(kind, str):
+        raise ProtocolError("mset kind must be a string: %r" % (kind,))
+    origin = data.get("origin", "")
+    if not isinstance(origin, str):
+        raise ProtocolError("mset origin must be a string: %r" % (origin,))
     order = data.get("order")
+    if order is not None:
+        if not isinstance(order, (list, tuple)):
+            raise ProtocolError(
+                "mset order must be a sequence: %r" % (order,)
+            )
+        order = tuple(order)
+    raw_info = data.get("info", ())
+    if not isinstance(raw_info, (list, tuple)):
+        raise ProtocolError("mset info must be a sequence: %r" % (raw_info,))
+    info = []
+    for pair in raw_info:
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            raise ProtocolError("malformed mset info pair: %r" % (pair,))
+        info.append((pair[0], pair[1]))
     return MSet(
         tid=data.get("tid"),
-        kind=data.get("kind", "update"),
+        kind=kind,
         ops=decode_ops(data.get("ops", ())),
-        origin=data.get("origin", ""),
-        order=tuple(order) if order is not None else None,
+        origin=origin,
+        order=order,
         txn_number=data.get("txn"),
-        info=tuple((k, v) for k, v in data.get("info", ())),
+        info=tuple(info),
     )

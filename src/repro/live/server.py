@@ -30,6 +30,20 @@ does not read the next frame from a connection until the current
 batch is durable and applied, so a fast sender fills TCP flow control
 (bounded by ``window`` batches) instead of the receiver's memory.
 
+Wire codec negotiation (``wire`` option): with the default
+``wire="bin1"`` a channel sender advertises the binary codec on its
+``peer-hello``; a receiver that speaks it replies ``hello-ack`` and
+both directions switch — batch frames become struct-packed envelopes
+carrying each MSet's canonical payload bytes exactly as they were
+encoded when the update was first accepted (zero re-encode relay:
+the outbox caches the blob, re-sends forward it verbatim, and the
+receiver splices the same bytes into its inbox log), and cumulative
+acks shrink to a 13-byte struct.  A peer that never answers the
+advert — an older build, or one running ``wire="json"`` — keeps the
+JSON framing on that connection with no configuration; the two
+codecs interoperate freely within one cluster because negotiation is
+per-connection and frames are self-describing.
+
 Failure detection and graceful degradation: channel loops double as a
 heartbeat path — any acknowledgement or heartbeat reply marks the peer
 *alive*; a peer silent for longer than ``suspect_after`` seconds is
@@ -95,16 +109,24 @@ from .faults import FaultPlan
 from .gossip import DEAD, LEFT, SUSPECT, FailureDetector, MembershipTable
 from .protocol import (
     MAX_FRAME,
+    SUPPORTED_WIRES,
+    WIRE_BIN1,
+    WIRE_JSON,
     ProtocolError,
     decode_batch_frame,
     decode_mset,
     decode_ops,
     decode_spec,
     encode_batch_frame,
+    encode_bin_ack_frame,
+    encode_bin_batch_frame,
+    encode_frame,
     encode_mset,
+    negotiate_wire,
+    payload_blob,
     read_frame,
+    write_encoded,
     write_frame,
-    write_frames,
 )
 from .shard import WrongShard, key_shard
 from .snapshot import (
@@ -176,6 +198,13 @@ class SessionStale(RuntimeError):
 #: always fits the existing framing.
 SNAPSHOT_CHUNK = 1 << 20
 
+#: seconds an advertising channel sender holds data waiting for the
+#: receiver's hello-ack verdict.  New receivers always reply (accept or
+#: explicit "json" refusal), so the deadline only bites against
+#: receivers that predate hello-ack — which then stay JSON, once per
+#: connection.
+HELLO_ACK_TIMEOUT = 0.25
+
 
 class ReplicaServer:
     """One live replica site serving ESR protocols over TCP."""
@@ -196,6 +225,7 @@ class ReplicaServer:
         ack_timeout: float = 2.0,
         batch_size: int = 32,
         window: int = 4,
+        wire: str = WIRE_BIN1,
         fsync_interval: float = 0.0,
         snapshot_interval: float = 0.0,
         backlog_limit: int = 0,
@@ -238,6 +268,14 @@ class ReplicaServer:
         self.batch_size = max(1, int(batch_size))
         #: max batch frames in flight per channel before waiting on acks.
         self.window = max(1, int(window))
+        #: best wire codec this replica negotiates on peer channels:
+        #: ``"bin1"`` (default) advertises the binary framing and
+        #: upgrades per-connection when the peer answers; ``"json"``
+        #: never advertises nor answers — the pure legacy behavior,
+        #: used for interop tests and as an escape hatch.
+        if wire not in (WIRE_BIN1, WIRE_JSON):
+            raise ValueError("unknown wire codec %r" % (wire,))
+        self.wire = wire
         #: min seconds between fsyncs on each durable log (0 = every
         #: group append) — only meaningful with ``fsync=True``.
         self.fsync_interval = fsync_interval
@@ -306,6 +344,9 @@ class ReplicaServer:
         self.peer_last_seen: Dict[str, float] = {}
         #: peer -> consecutive channel connect/send failures.
         self.channel_failures: Dict[str, int] = {}
+        #: peer -> wire codec negotiated on the current channel
+        #: session ("json" until a hello-ack upgrades it).
+        self._peer_wire: Dict[str, str] = {}
         #: peer -> rolling batch-acknowledgement latencies (seconds).
         self._ack_latencies: Dict[str, Deque[float]] = {}
         #: peer -> total MSets cumulatively acknowledged since boot.
@@ -380,6 +421,29 @@ class ReplicaServer:
         self.catchup_installs = 0
         #: peers owed a peer-reset frame by their channel sender.
         self._reset_peers: Set[str] = set()
+        #: precomputed verb dispatch — building this dict per request
+        #: was a measurable cost on the receive hot path.
+        # Precomputed verb dispatch: built once instead of a dict
+        # literal per request.  Values are attribute names (resolved
+        # with ``getattr`` at call time) so per-instance handler
+        # overrides still take effect.
+        self._verb_handlers = {
+            "update": "_handle_update",
+            "query": "_handle_query",
+            "values": "_handle_values",
+            "stats": "_handle_stats",
+            "settle": "_handle_settle",
+            "order": "_handle_order",
+            "elect": "_handle_elect",
+            "ping": "_handle_ping",
+            "metrics": "_handle_metrics",
+            "snapshot": "_handle_snapshot",
+            "snapshot-fetch": "_handle_snapshot_fetch",
+            "shard-info": "_handle_shard_info",
+            "shard-retire": "_handle_shard_retire",
+            "shard-adopt": "_handle_shard_adopt",
+            "fetch-install": "_handle_fetch_install",
+        }
 
     def _init_instruments(self) -> None:
         """Register this replica's metric families (see OBSERVABILITY.md)."""
@@ -520,6 +584,23 @@ class ReplicaServer:
         self.m_suspicions = reg.counter(
             "suspicions_total",
             "times the adaptive detector newly suspected one peer",
+            labels=("peer",),
+        )
+        self.m_wire_negotiations = reg.counter(
+            "wire_negotiations_total",
+            "hello negotiations completed on inbound connections, "
+            "by resulting codec",
+            labels=("wire_codec",),
+        )
+        self.m_propagation_frames = reg.counter(
+            "propagation_frames_total",
+            "outbound propagation batch frames written, by codec",
+            labels=("peer", "wire_codec"),
+        )
+        self.m_frames_relayed = reg.counter(
+            "frames_relayed_total",
+            "MSets forwarded as already-encoded payload bytes "
+            "(zero re-encode relay)",
             labels=("peer",),
         )
 
@@ -1250,9 +1331,15 @@ class ReplicaServer:
             writer = None
             try:
                 reader, writer = await asyncio.open_connection(*addr)
-                await write_frame(
-                    writer, {"type": "peer-hello", "src": self.name}
-                )
+                hello: Dict[str, Any] = {
+                    "type": "peer-hello", "src": self.name,
+                }
+                if self.wire != WIRE_JSON:
+                    # Advertise the binary codecs we can read and
+                    # write; an old (or wire="json") peer ignores the
+                    # key and never replies — the channel stays JSON.
+                    hello["wire"] = list(SUPPORTED_WIRES)
+                await write_frame(writer, hello)
                 backoff = self.retry_base
                 await self._channel_session(peer, reader, writer)
             except (
@@ -1286,12 +1373,17 @@ class ReplicaServer:
 
         ``state`` is shared between the two halves: ``sent_hi`` is the
         highest channel seq handed to this connection, ``inflight`` the
-        (last_seq, sent_at, n_msets) record of each un-retired batch.
+        (last_seq, sent_at, n_msets) record of each un-retired batch,
+        ``wire`` the codec negotiated for this connection (JSON until
+        the peer's hello-ack upgrades it).
         """
         state = {
             "sent_hi": self.outboxes[peer].frontier,
             "inflight": deque(),
+            "wire": WIRE_JSON,
+            "hello_done": asyncio.Event(),
         }
+        self._peer_wire[peer] = WIRE_JSON
         sender = asyncio.ensure_future(
             self._channel_sender(peer, writer, state)
         )
@@ -1343,6 +1435,20 @@ class ReplicaServer:
         outbox = self.outboxes[peer]
         event = self._outbox_events[peer]
         inflight: Deque[Tuple[int, float, int]] = state["inflight"]
+        if self.wire != WIRE_JSON:
+            # We advertised codecs on the hello: hold data until the
+            # receiver's verdict (new receivers always reply, even to
+            # refuse) or a short deadline covering receivers that
+            # predate hello-ack.  Without this gate the first send
+            # window after every (re)connect — which after a partition
+            # heal is the entire drain — streams JSON on a channel
+            # that is about to negotiate bin1.
+            try:
+                await asyncio.wait_for(
+                    state["hello_done"].wait(), timeout=HELLO_ACK_TIMEOUT
+                )
+            except asyncio.TimeoutError:
+                pass  # legacy receiver: stay on JSON
         while self._running:
             if self._link_severed(peer):
                 raise ConnectionResetError(
@@ -1381,13 +1487,15 @@ class ReplicaServer:
                 state["hb_next"] = (
                     self.engine.clock() + self._heartbeat_jitter()
                 )
-            fresh = [
-                (seq, payload)
-                for seq, payload in outbox.pending()
-                if seq > state["sent_hi"]
-            ]
             room = self.window - len(inflight)
-            if fresh and room > 0:
+            # Bounded fetch: one send round can use at most a full
+            # window of full batches, so never scan (or plan) more —
+            # a deep backlog otherwise costs O(backlog) per wakeup,
+            # making its drain quadratic.
+            fresh = outbox.pending_after(
+                state["sent_hi"], room * self.batch_size
+            ) if room > 0 else []
+            if fresh:
                 await self._send_batches(peer, writer, state, fresh, room)
                 continue
             timeout = max(0.01, state["hb_next"] - self.engine.clock())
@@ -1415,63 +1523,93 @@ class ReplicaServer:
         room: int,
     ) -> None:
         """Chunk ``entries`` into at most ``room`` batch frames and
-        write them as one buffered burst."""
+        write them as one buffered burst of pre-encoded bytes.
+
+        On a negotiated binary channel each MSet's payload bytes are
+        forwarded exactly as cached when the update entered the outbox
+        — the zero re-encode relay; re-sends from the log reuse the
+        same cache.  On a JSON channel the frames are built as before
+        (including the legacy single-``mset`` form an older peer
+        understands).
+        """
         if self.faults is not None:
             entries = self.faults.reorder_batch(self.name, peer, entries)
+        outbox = self.outboxes[peer]
+        use_bin = state.get("wire") == WIRE_BIN1
+        wire_codec = WIRE_BIN1 if use_bin else WIRE_JSON
         now = self.engine.clock()
-        frames: List[Dict[str, Any]] = []
-        for batch in self._plan_batches(entries)[:room]:
+        chunks: List[bytes] = []
+        for batch in self._plan_batches(outbox, entries)[:room]:
             last_seq = max(seq for seq, _ in batch)
             state["sent_hi"] = max(state["sent_hi"], last_seq)
             state["inflight"].append((last_seq, now, len(batch)))
             self.m_batch_msets.observe(len(batch))
-            if len(batch) == 1:
+            if use_bin:
+                data = encode_bin_batch_frame(
+                    self.name,
+                    [(seq, outbox.wire_blob(seq)) for seq, _ in batch],
+                )
+                self.m_frames_relayed.labels(peer=peer).inc(len(batch))
+            elif len(batch) == 1:
                 # Single-MSet batches ride the legacy frame so an
                 # older peer interoperates without knowing mset-batch.
                 seq, payload = batch[0]
-                frame = {
-                    "type": "mset",
-                    "src": self.name,
-                    "seq": seq,
-                    "mset": payload["mset"],
-                }
-            else:
-                frame = encode_batch_frame(
-                    self.name,
-                    [(seq, payload["mset"]) for seq, payload in batch],
+                data = encode_frame(
+                    {
+                        "type": "mset",
+                        "src": self.name,
+                        "seq": seq,
+                        "mset": payload["mset"],
+                    }
                 )
+            else:
+                data = encode_frame(
+                    encode_batch_frame(
+                        self.name,
+                        [
+                            (seq, payload["mset"])
+                            for seq, payload in batch
+                        ],
+                    )
+                )
+            self.m_propagation_frames.labels(
+                peer=peer, wire_codec=wire_codec
+            ).inc()
             copies = 1
             if self.faults is not None:
                 nbytes = 0
                 if self.faults.models_bandwidth:
-                    nbytes = len(
-                        json.dumps(frame, separators=(",", ":"))
-                    )
+                    nbytes = len(data) - 4  # body bytes, sans header
                 fate = self.faults.frame_fate(self.name, peer, nbytes)
                 if fate.delay:
                     # A link delay holds up everything behind it too:
                     # flush what is already queued, then stall.
-                    await write_frames(writer, frames)
-                    frames = []
+                    await write_encoded(writer, chunks)
+                    chunks = []
                     await asyncio.sleep(fate.delay)
                 if fate.drop:
                     continue  # stays inflight; the stall path re-sends
                 if fate.duplicate:
                     copies = 2
-            frames.extend([frame] * copies)
-        await write_frames(writer, frames)
+            chunks.extend([data] * copies)
+        await write_encoded(writer, chunks)
 
     def _plan_batches(
-        self, entries: List[Tuple[int, Any]]
+        self, outbox: DurableOutbox, entries: List[Tuple[int, Any]]
     ) -> List[List[Tuple[int, Any]]]:
         """Split pending entries into frames of at most ``batch_size``
-        MSets, cutting early when a frame approaches MAX_FRAME."""
+        MSets, cutting early when a frame approaches MAX_FRAME.
+
+        Sizes come from the outbox's cached payload bytes, so planning
+        costs a length lookup per entry instead of a ``json.dumps``
+        per entry per send attempt.
+        """
         batches: List[List[Tuple[int, Any]]] = []
         current: List[Tuple[int, Any]] = []
         current_bytes = 0
         budget = MAX_FRAME // 2
         for seq, payload in entries:
-            size = len(json.dumps(payload, separators=(",", ":")))
+            size = len(outbox.wire_blob(seq))
             if current and (
                 len(current) >= self.batch_size
                 or current_bytes + size > budget
@@ -1553,6 +1691,19 @@ class ReplicaServer:
                     self._reconcile_ack(peer, int(frame["seq"]), state)
                 if "gossip" in frame:
                     await self._merge_gossip(peer, frame["gossip"])
+            elif kind == "hello-ack":
+                # The receiver's negotiation verdict for the codecs we
+                # advertised on the hello frame ("json" is an explicit
+                # refusal).  Every frame after this point may use the
+                # accepted codec; waking ``hello_done`` releases the
+                # sender, which holds data until the verdict so the
+                # first window after a (re)connect cannot race past
+                # the upgrade and stream JSON on a bin1 channel.
+                wire = frame.get("wire")
+                if self.wire != WIRE_JSON and wire in SUPPORTED_WIRES:
+                    state["wire"] = wire
+                    self._peer_wire[peer] = wire
+                state["hello_done"].set()
 
     def _reconcile_ack(
         self, peer: str, seq: int, state: Dict[str, Any]
@@ -1628,6 +1779,7 @@ class ReplicaServer:
         """A peer durably holds every channel message ``<= seq``
         (cumulative acknowledgement)."""
         covered = self.outboxes[peer].ack_through(seq)
+        released = []
         for acked_seq in covered:
             tid = self._seq_tid.pop((peer, acked_seq), None)
             if tid is None:
@@ -1638,8 +1790,13 @@ class ReplicaServer:
             waiting.discard(peer)
             if not waiting:
                 del self._unacked[tid]
-                keys = self._local_keys.pop(tid, ())
-                await self.engine.fully_acked(tid, keys)
+                released.append((tid, self._local_keys.pop(tid, ())))
+        if released:
+            # One cumulative ack can retire a whole send window of
+            # local updates: release their obligations under a single
+            # engine-lock acquisition instead of once per update.
+            await self.engine.fully_acked_many(released)
+            for tid, _ in released:
                 self.trace.event("update-ack", tid=tid)
                 fut = self._full_ack_futures.pop(tid, None)
                 if fut is not None and not fut.done():
@@ -1656,24 +1813,41 @@ class ReplicaServer:
         if task is not None:
             self._conn_tasks.add(task)
         write_lock = asyncio.Lock()
+        # Per-connection negotiated codec for frames *we* send back on
+        # this socket (acks).  Flips to binary when the peer's hello
+        # advertises a codec we also speak.
+        conn_wire = {"codec": WIRE_JSON}
 
         async def send(obj: Dict[str, Any]) -> None:
             async with write_lock:
                 await write_frame(writer, obj)
+
+        async def send_raw(data: bytes) -> None:
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
 
         try:
             while self._running:
                 try:
                     frame = await read_frame(reader)
                 except ProtocolError:
+                    self.m_frames_dropped.labels(
+                        reason="protocol_error"
+                    ).inc()
                     break
                 if frame is None:
                     break
                 kind = frame.get("type")
                 if kind in ("mset", "mset-batch"):
                     try:
-                        await self._on_mset_batch_frame(frame, send)
+                        await self._on_mset_batch_frame(
+                            frame, send, send_raw, conn_wire
+                        )
                     except ProtocolError:
+                        self.m_frames_dropped.labels(
+                            reason="malformed_mset"
+                        ).inc()
                         break
                 elif kind == "request":
                     # Requests may block on divergence control or
@@ -1716,6 +1890,34 @@ class ReplicaServer:
                     src = frame.get("src")
                     if src:
                         self._note_peer_alive(str(src))
+                    advert = frame.get("wire")
+                    choice = None
+                    if self.wire != WIRE_JSON:
+                        choice = negotiate_wire(advert)
+                    if choice is not None:
+                        conn_wire["codec"] = choice
+                    if advert is not None:
+                        # The advert itself proves this sender speaks
+                        # hello-ack, so ALWAYS answer it — with the
+                        # chosen codec or an explicit "json" verdict.
+                        # An advertising sender holds data until the
+                        # reply lands; a silent receiver here would
+                        # stall it for the whole handshake deadline
+                        # and (worse) let the first send window after
+                        # every reconnect race past the upgrade as
+                        # JSON.  Advertising also implies the sender
+                        # can already read the codec, so acks may
+                        # switch as soon as this reply is queued.
+                        await send(
+                            {
+                                "type": "hello-ack",
+                                "src": self.name,
+                                "wire": choice or WIRE_JSON,
+                            }
+                        )
+                    self.m_wire_negotiations.labels(
+                        wire_codec=choice or WIRE_JSON
+                    ).inc()
                     continue
                 else:
                     await send(
@@ -1728,8 +1930,15 @@ class ReplicaServer:
                 self._conn_tasks.discard(task)
             writer.close()
 
-    async def _on_mset_batch_frame(self, frame: Dict[str, Any], send) -> None:
-        """Receive one ``mset`` or ``mset-batch`` frame from a peer.
+    async def _on_mset_batch_frame(
+        self,
+        frame: Dict[str, Any],
+        send,
+        send_raw=None,
+        conn_wire: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Receive one ``mset``/``mset-batch`` frame (JSON or binary)
+        from a peer.
 
         The contiguous fresh prefix of the batch is durably recorded
         with one group-commit append and applied under one engine-lock
@@ -1739,6 +1948,15 @@ class ReplicaServer:
         is processed inline (the connection reads no further frames
         until this one is durable and applied), a fast sender fills
         TCP flow control rather than the receiver's memory.
+
+        Every entry is fully decoded *before* anything is durably
+        recorded: a malformed MSet must raise ``ProtocolError`` here
+        (dropping the connection) rather than poison the inbox log,
+        where it would crash recovery replay on every restart.
+
+        Binary frames arrive with pre-encoded payload ``blobs``; those
+        exact bytes are spliced into the inbox log so the durable
+        record stays the same JSON line either way.
         """
         src = frame.get("src", "")
         inbox = self.inboxes.get(src)
@@ -1751,25 +1969,52 @@ class ReplicaServer:
             )
             return
         self._note_peer_alive(src)
-        entries = decode_batch_frame(frame)
+        blobs = frame.get("blobs")
         fresh: List[Tuple[int, Any]] = []
+        fresh_blobs: Optional[List[bytes]] = None
         expected = inbox.frontier + 1
-        for seq, encoded in entries:
-            if seq < expected:
-                continue  # duplicate: the cumulative ack re-covers it
-            if seq > expected:
-                break  # gap (reordered/dropped frame): ack the frontier
-            fresh.append((seq, {"mset": encoded}))
-            expected += 1
+        if blobs is not None:
+            fresh_blobs = []
+            for seq, blob in blobs:
+                if seq < expected:
+                    continue  # duplicate: the cumulative ack re-covers it
+                if seq > expected:
+                    break  # gap (reordered/dropped frame): ack frontier
+                try:
+                    payload = json.loads(blob)
+                except ValueError as exc:
+                    raise ProtocolError(
+                        "binary entry %d is not valid JSON: %s"
+                        % (seq, exc)
+                    ) from exc
+                if not isinstance(payload, dict) or not isinstance(
+                    payload.get("mset"), dict
+                ):
+                    raise ProtocolError(
+                        "binary entry %d is not an mset payload" % seq
+                    )
+                fresh.append((seq, payload))
+                fresh_blobs.append(blob)
+                expected += 1
+        else:
+            entries = decode_batch_frame(frame)
+            for seq, encoded in entries:
+                if seq < expected:
+                    continue  # duplicate: the cumulative ack re-covers it
+                if seq > expected:
+                    break  # gap (reordered/dropped frame): ack frontier
+                fresh.append((seq, {"mset": encoded}))
+                expected += 1
         if fresh:
-            # Record + apply under the apply lock: a snapshot captured
-            # between the two would claim this inbox frontier without
-            # holding the batch's engine effects.
+            # Decode first (see docstring), then record + apply under
+            # the apply lock: a snapshot captured between the two
+            # would claim this inbox frontier without holding the
+            # batch's engine effects.
+            msets = [
+                decode_mset(payload["mset"]) for _, payload in fresh
+            ]
             async with self._apply_lock:
-                inbox.record_many(fresh)
-                msets = [
-                    decode_mset(payload["mset"]) for _, payload in fresh
-                ]
+                inbox.record_many(fresh, blobs=fresh_blobs)
                 applied = await self.engine.accept_batch(msets, local=False)
                 self._resolve_applied(applied)
             await self._notify_drain()
@@ -1779,7 +2024,14 @@ class ReplicaServer:
         # fsynced before that claim leaves this process, or a crash
         # here would lose them from both ends of the channel.
         inbox.sync()
-        await send({"type": "ack", "seq": inbox.frontier})
+        if (
+            send_raw is not None
+            and conn_wire is not None
+            and conn_wire.get("codec") == WIRE_BIN1
+        ):
+            await send_raw(encode_bin_ack_frame(inbox.frontier))
+        else:
+            await send({"type": "ack", "seq": inbox.frontier})
 
     def _resolve_applied(self, applied: List[MSet]) -> None:
         """Applying remote MSets can release held-back local ones."""
@@ -2296,23 +2548,8 @@ class ReplicaServer:
         rid = frame.get("id")
         verb = frame.get("verb")
         try:
-            handler = {
-                "update": self._handle_update,
-                "query": self._handle_query,
-                "values": self._handle_values,
-                "stats": self._handle_stats,
-                "settle": self._handle_settle,
-                "order": self._handle_order,
-                "elect": self._handle_elect,
-                "ping": self._handle_ping,
-                "metrics": self._handle_metrics,
-                "snapshot": self._handle_snapshot,
-                "snapshot-fetch": self._handle_snapshot_fetch,
-                "shard-info": self._handle_shard_info,
-                "shard-retire": self._handle_shard_retire,
-                "shard-adopt": self._handle_shard_adopt,
-                "fetch-install": self._handle_fetch_install,
-            }.get(verb)
+            attr = self._verb_handlers.get(verb)
+            handler = getattr(self, attr) if attr is not None else None
             if handler is None:
                 raise ValueError("unknown verb %r" % verb)
             body = await handler(frame)
@@ -2618,10 +2855,12 @@ class ReplicaServer:
                     if lats
                     else None
                 ),
+                "wire": self._peer_wire.get(peer, WIRE_JSON),
             }
         stats = self.engine.stats()
         stats.update(
             site=self.name,
+            wire=self.wire,
             peers=peers,
             degraded=self.degraded(),
             outbound_backlog={
@@ -2908,6 +3147,10 @@ class ReplicaServer:
                 info=info,
             )
             payload = {"mset": encode_mset(mset)}
+            # Encode the payload exactly once; the same bytes become
+            # the local log line, every outbox log line, and (on a
+            # binary channel) the relayed wire bytes.
+            blob = payload_blob(payload)
             self.trace.event(
                 "update-submit", tid=tid, keys=list(mset.keys)
             )
@@ -2917,12 +3160,12 @@ class ReplicaServer:
             # "in the stable queues" in the paper's sense.  ``sync()``
             # closes the ``fsync_interval`` window — nothing below may
             # be reported committed while its record is still unsynced.
-            self.inboxes[LOCAL_CHANNEL].record(tid_seq, payload)
+            self.inboxes[LOCAL_CHANNEL].record(tid_seq, payload, blob=blob)
             self._local_keys[tid] = mset.keys
             if self.peer_names:
                 self._unacked[tid] = set(self.peer_names)
                 for peer in self.peer_names:
-                    seq = self.outboxes[peer].append(payload)
+                    seq = self.outboxes[peer].append(payload, blob=blob)
                     self._seq_tid[(peer, seq)] = tid
             self.inboxes[LOCAL_CHANNEL].sync()
             for peer in self.peer_names:

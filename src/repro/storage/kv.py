@@ -91,7 +91,11 @@ class KeyValueStore:
         version is ignored').  Missing keys are materialized with
         ``default`` so commutative arithmetic has an identity to act on.
         """
-        cell = self._cells.setdefault(key := op.key, _Cell())
+        cell = self._cells.get(key := op.key)
+        if cell is None:
+            # Not setdefault: that would construct (and usually throw
+            # away) a _Cell per applied operation on the hot path.
+            cell = self._cells[key] = _Cell()
         if not cell.present:
             cell.value = copy.copy(op.initial_value(default))
             cell.present = True

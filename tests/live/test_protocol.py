@@ -1,6 +1,8 @@
 """Wire protocol tests: framing and payload codecs."""
 
 import asyncio
+import json
+import random
 import struct
 
 import pytest
@@ -19,18 +21,25 @@ from repro.core.transactions import EpsilonSpec, UNLIMITED
 from repro.live.protocol import (
     MAX_BATCH_ENTRIES,
     MAX_FRAME,
+    SUPPORTED_WIRES,
+    WIRE_BIN1,
     ProtocolError,
     decode_batch_frame,
+    decode_bin_frame,
     decode_mset,
     decode_op,
     decode_ops,
     decode_spec,
     encode_batch_frame,
+    encode_bin_ack_frame,
+    encode_bin_batch_frame,
     encode_frame,
     encode_mset,
     encode_op,
     encode_ops,
     encode_spec,
+    negotiate_wire,
+    payload_blob,
     read_frame,
     write_frames,
 )
@@ -289,3 +298,359 @@ class TestBatchFrames:
 
         got = asyncio.run(scenario())
         assert got == frames + [None]
+
+class TestBinaryFraming:
+    """The bin1 codec: struct envelopes around opaque payload blobs."""
+
+    def _blob(self, n):
+        return payload_blob(
+            {
+                "mset": encode_mset(
+                    MSet(
+                        tid="site0:%d" % n,
+                        ops=(IncrementOp("x", n),),
+                        origin="site0",
+                    )
+                )
+            }
+        )
+
+    def test_batch_roundtrip_over_the_wire(self):
+        entries = [(seq, self._blob(seq)) for seq in (4, 5, 6)]
+        data = encode_bin_batch_frame("site0", entries)
+
+        async def scenario():
+            return await read_frame(_feed(data))
+
+        frame = asyncio.run(scenario())
+        assert frame["type"] == "mset-batch"
+        assert frame["src"] == "site0"
+        assert list(frame["blobs"]) == entries
+        # The relayed blob is bit-identical JSON: decoding it yields
+        # exactly the payload the sender encoded.
+        payload = json.loads(frame["blobs"][0][1])
+        assert decode_mset(payload["mset"]).ops[0].amount == 4
+
+    def test_ack_roundtrip_over_the_wire(self):
+        async def scenario():
+            return await read_frame(_feed(encode_bin_ack_frame(712)))
+
+        assert asyncio.run(scenario()) == {"type": "ack", "seq": 712}
+
+    def test_binary_and_json_frames_interleave(self):
+        """Frames are self-describing: a reader handles a mid-stream
+        codec switch with no negotiation state."""
+        stream = (
+            encode_frame({"type": "ping"})
+            + encode_bin_ack_frame(3)
+            + encode_frame({"type": "hb", "src": "s"})
+            + encode_bin_batch_frame("s", [(1, self._blob(1))])
+        )
+
+        async def scenario():
+            reader = _feed(stream)
+            return [await read_frame(reader) for _ in range(5)]
+
+        got = asyncio.run(scenario())
+        assert [f and f.get("type") for f in got] == [
+            "ping", "ack", "hb", "mset-batch", None,
+        ]
+
+    def test_empty_batch_rejected_on_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_bin_batch_frame("site0", [])
+
+    def test_oversize_batch_rejected_both_ways(self):
+        blob = b"{}"
+        entries = [(i, blob) for i in range(1, MAX_BATCH_ENTRIES + 2)]
+        with pytest.raises(ProtocolError):
+            encode_bin_batch_frame("site0", entries)
+
+    def test_oversize_frame_rejected_on_encode(self):
+        big = b"x" * (MAX_FRAME // 2)
+        with pytest.raises(ProtocolError):
+            encode_bin_batch_frame("site0", [(1, big), (2, big), (3, big)])
+
+    def test_oversized_binary_length_rejected(self):
+        header = struct.pack(">I", 0x80000000 | (MAX_FRAME + 1))
+
+        async def scenario():
+            return await read_frame(_feed(header))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(scenario())
+
+    def test_eof_mid_binary_body_is_none(self):
+        data = encode_bin_batch_frame("site0", [(1, self._blob(1))])
+
+        async def scenario():
+            return await read_frame(_feed(data[: len(data) - 3]))
+
+        assert asyncio.run(scenario()) is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_bin_frame(b"\x7fjunk")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_bin_frame(b"")
+
+    def test_truncated_ack_rejected(self):
+        body = encode_bin_ack_frame(9)[4:]
+        with pytest.raises(ProtocolError):
+            decode_bin_frame(body[:-2])
+
+    def test_truncations_rejected(self):
+        data = encode_bin_batch_frame(
+            "site0", [(1, self._blob(1)), (2, self._blob(2))]
+        )
+        body = data[4:]
+        # Every strict prefix of the body is either a truncated header,
+        # src, entry header, or blob — all must raise, never crash.
+        for cut in range(len(body)):
+            with pytest.raises(ProtocolError):
+                decode_bin_frame(body[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        data = encode_bin_batch_frame("site0", [(1, self._blob(1))])
+        with pytest.raises(ProtocolError):
+            decode_bin_frame(data[4:] + b"!")
+
+    def test_zero_entry_count_rejected(self):
+        body = struct.pack(">BHI", 1, 1, 0) + b"s"
+        with pytest.raises(ProtocolError):
+            decode_bin_frame(body)
+
+    def test_huge_entry_count_rejected(self):
+        body = struct.pack(">BHI", 1, 1, MAX_BATCH_ENTRIES + 1) + b"s"
+        with pytest.raises(ProtocolError):
+            decode_bin_frame(body)
+
+
+class TestWireNegotiation:
+    def test_picks_supported_codec(self):
+        assert negotiate_wire(["bin1"]) == WIRE_BIN1
+        assert negotiate_wire(["future9", "bin1"]) == WIRE_BIN1
+        assert negotiate_wire(list(SUPPORTED_WIRES)) == WIRE_BIN1
+
+    def test_no_overlap_stays_json(self):
+        assert negotiate_wire(["future9"]) is None
+        assert negotiate_wire([]) is None
+
+    def test_malformed_advert_is_tolerated(self):
+        # Old peers / future extensions must never turn the hello into
+        # an error: wrong types mean "no advert", not a protocol fault.
+        for advert in (None, "bin1", 7, {"bin1": True}, True):
+            assert negotiate_wire(advert) is None
+
+
+class TestDecoderHardening:
+    """Regression pins for the decoder bugfix sweep: malformed peer
+    payloads must raise ProtocolError, never slip through as corrupt
+    values or escape as untyped exceptions."""
+
+    def test_string_amount_rejected(self):
+        # Previously IncrementOp(amount='NaN') decoded "successfully"
+        # and poisoned the store value on first apply.
+        with pytest.raises(ProtocolError):
+            decode_op({"t": "inc", "key": "k", "amount": "NaN"})
+
+    def test_bool_amount_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_op({"t": "inc", "key": "k", "amount": True})
+
+    def test_non_finite_amount_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ProtocolError):
+                decode_op({"t": "dec", "key": "k", "amount": bad})
+
+    @pytest.mark.parametrize("tag", ["inc", "dec", "mul", "div"])
+    def test_all_arithmetic_tags_validate_amount(self, tag):
+        with pytest.raises(ProtocolError):
+            decode_op({"t": tag, "key": "k", "amount": [1]})
+
+    def test_missing_amount_defaults_to_zero(self):
+        assert decode_op({"t": "inc", "key": "k"}).amount == 0
+
+    def test_wrong_arity_ts_rejected(self):
+        # Previously ts=[1] decoded to timestamp=(1,), which compares
+        # nonsensically against every well-formed (time, site) pair.
+        for bad in ([1], [1, 2, 3], [], "12", 7):
+            with pytest.raises(ProtocolError):
+                decode_op(
+                    {"t": "tswrite", "key": "k", "value": 1, "ts": bad}
+                )
+
+    def test_non_dict_op_rejected(self):
+        for bad in (["t", "inc"], "inc", 3, None):
+            with pytest.raises(ProtocolError):
+                decode_op(bad)
+
+    def test_non_sequence_ops_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_ops({"t": "inc"})
+
+    def test_malformed_info_pair_rejected(self):
+        # Previously raised a bare ValueError (dict() on a 1-tuple),
+        # escaping the receive loop's ProtocolError handling.
+        data = encode_mset(
+            MSet(tid="t", ops=(WriteOp("k", 1),), origin="s")
+        )
+        data["info"] = [["a"]]
+        with pytest.raises(ProtocolError):
+            decode_mset(data)
+
+    def test_malformed_mset_fields_rejected(self):
+        base = encode_mset(
+            MSet(tid="t", ops=(WriteOp("k", 1),), origin="s")
+        )
+        for field, bad in (
+            ("ops", {"not": "a list"}),
+            ("ops", [["not-a-dict"]]),
+            ("order", "abc-not-a-seq-wait-it-is"),
+            ("order", 7),
+            ("info", 3),
+            ("info", [["a", "b", "c"]]),
+            ("kind", 7),
+            ("origin", ["s"]),
+        ):
+            data = dict(base)
+            data[field] = bad
+            if field == "order" and isinstance(bad, str):
+                # strings are sequences; the typed check must still
+                # refuse them explicitly
+                with pytest.raises(ProtocolError):
+                    decode_mset(data)
+                continue
+            with pytest.raises(ProtocolError):
+                decode_mset(data)
+
+    def test_non_dict_mset_rejected(self):
+        for bad in (None, [], "mset", 9):
+            with pytest.raises(ProtocolError):
+                decode_mset(bad)
+
+    def test_non_numeric_epsilon_limit_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_spec({"import": "lots"})
+        with pytest.raises(ProtocolError):
+            decode_spec({"value": [1]})
+
+
+class TestCodecProperties:
+    """Seeded-random roundtrip properties and byte-mutation fuzz."""
+
+    def _random_op(self, rng):
+        key = "k%d" % rng.randrange(20)
+        choice = rng.randrange(7)
+        if choice == 0:
+            return ReadOp(key)
+        if choice == 1:
+            return WriteOp(key, rng.choice([None, 1, "v", [1, 2], {"a": 1}]))
+        if choice == 2:
+            return IncrementOp(key, rng.randrange(-100, 100))
+        if choice == 3:
+            return DecrementOp(key, rng.random() * 50)
+        if choice == 4:
+            return MultiplyOp(key, rng.randrange(1, 5))
+        if choice == 5:
+            return AppendOp(key, {"n": rng.randrange(10)})
+        return TimestampedWriteOp(
+            key, rng.randrange(100), (rng.randrange(50), "s%d" % rng.randrange(4))
+        )
+
+    def _random_mset(self, rng, n):
+        ops = tuple(self._random_op(rng) for _ in range(rng.randrange(1, 6)))
+        return MSet(
+            tid="s%d:%d" % (rng.randrange(4), n),
+            kind=rng.choice(["update", "commit"]),
+            ops=ops,
+            origin="s%d" % rng.randrange(4),
+            order=rng.choice([None, (rng.randrange(100),)]),
+            txn_number=rng.choice([None, n]),
+            info=rng.choice([(), (("reads", ["x"]),)]),
+        )
+
+    def test_op_roundtrip_property(self):
+        rng = random.Random(0xC0DEC)
+        for _ in range(300):
+            op = self._random_op(rng)
+            back = decode_op(encode_op(op))
+            assert type(back) is type(op)
+            assert back.key == op.key
+            assert encode_op(back) == encode_op(op)
+
+    def test_mset_roundtrip_property(self):
+        rng = random.Random(0xC0DEC + 1)
+        for n in range(100):
+            mset = self._random_mset(rng, n)
+            back = decode_mset(encode_mset(mset))
+            assert encode_mset(back) == encode_mset(mset)
+
+    def test_spec_roundtrip_property(self):
+        rng = random.Random(0xC0DEC + 2)
+        for _ in range(100):
+            spec = EpsilonSpec(
+                import_limit=rng.choice([UNLIMITED, 0, 1, 2.5, 100]),
+                export_limit=rng.choice([UNLIMITED, 0, 3]),
+                value_limit=rng.choice([UNLIMITED, 0.5, 7]),
+            )
+            back = decode_spec(encode_spec(spec))
+            assert encode_spec(back) == encode_spec(spec)
+
+    def test_batch_frame_roundtrip_property_both_codecs(self):
+        rng = random.Random(0xC0DEC + 3)
+        for _ in range(30):
+            entries = [
+                (seq, encode_mset(self._random_mset(rng, seq)))
+                for seq in range(1, rng.randrange(2, 12))
+            ]
+            # JSON form
+            back = decode_batch_frame(encode_batch_frame("s0", entries))
+            assert list(back) == entries
+            # binary form relays canonical payload bytes bit-for-bit
+            blobs = [
+                (seq, payload_blob({"mset": mset})) for seq, mset in entries
+            ]
+            frame = decode_bin_frame(
+                encode_bin_batch_frame("s0", blobs)[4:]
+            )
+            assert list(frame["blobs"]) == blobs
+            decoded = [
+                (seq, json.loads(blob)["mset"])
+                for seq, blob in frame["blobs"]
+            ]
+            assert decoded == entries
+
+    def test_byte_mutation_fuzz_never_crashes_untyped(self):
+        """Flipping arbitrary bytes in valid frames must only ever
+        produce a frame, None (EOF), or ProtocolError — anything else
+        would kill a connection task with an unhandled exception."""
+        rng = random.Random(0xF022)
+        mset = encode_mset(
+            MSet(tid="s0:1", ops=(IncrementOp("x", 1),), origin="s0")
+        )
+        seeds = [
+            encode_frame({"type": "ack", "seq": 7}),
+            encode_frame(
+                encode_batch_frame("s0", [(1, mset), (2, mset)])
+            ),
+            encode_bin_ack_frame(7),
+            encode_bin_batch_frame(
+                "s0", [(1, payload_blob({"mset": mset}))]
+            ),
+        ]
+
+        async def poke(data):
+            return await read_frame(_feed(data))
+
+        for _ in range(400):
+            data = bytearray(rng.choice(seeds))
+            for _ in range(rng.randrange(1, 4)):
+                data[rng.randrange(len(data))] = rng.randrange(256)
+            try:
+                frame = asyncio.run(poke(bytes(data)))
+            except ProtocolError:
+                continue
+            assert frame is None or isinstance(frame, dict)
