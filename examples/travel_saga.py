@@ -11,7 +11,14 @@ queries get: while a saga is open, its steps keep their
 potential-compensation charge raised, so a concurrent availability
 query knows exactly how much of what it read might still be undone.
 
+``--live`` runs the same story against a real 3-replica TCP cluster
+(method ``compe``): saga steps are ``update(..., saga=...)`` calls,
+the abort is a ``decide("abort", saga=...)`` whose reply names every
+compensated step tid, and a booking that fails at submission time
+(``abort=True``) surfaces as a typed ``COMPENSATED`` failure.
+
 Run:  python examples/travel_saga.py
+      python examples/travel_saga.py --live
 """
 
 from repro import (
@@ -107,5 +114,96 @@ def main() -> None:
     print("all replicas restored — backward replica control worked")
 
 
+def main_live() -> None:
+    """The same travel saga on a real TCP cluster (COMPE engine)."""
+    import asyncio
+
+    from repro.live import LiveCluster, LiveETFailed
+
+    async def run() -> None:
+        cluster = LiveCluster(n_sites=3, method="compe")
+        await cluster.start()
+        try:
+            booking = await cluster.client(cluster.names[0])
+            audit = await cluster.client(cluster.names[1])
+            for key, stock in INVENTORY:
+                await booking.increment(key, stock)
+            await cluster.settle()
+
+            print("== Successful booking saga (live) ==")
+            for key, _ in INVENTORY:
+                reply = await booking.update(
+                    [DecrementOp(key, 1)], saga="trip-1"
+                )
+                print("  booked %s (tid %s)" % (key, reply["tid"]))
+            # A concurrent availability query at another replica: the
+            # open saga's steps are potentially-compensatable, so a
+            # bounded read must budget for importing them.
+            result = await audit.query(
+                [key for key, _ in INVENTORY],
+                spec=EpsilonSpec(import_limit=3),
+            )
+            print(
+                "  availability query saw %s with %d potentially-"
+                "compensatable updates imported"
+                % (result.values, result.inconsistency)
+            )
+            reply = await booking.decide("commit", saga="trip-1")
+            print("  committed saga steps: %s" % (reply["decided"],))
+            await cluster.settle()
+            values = (await cluster.site_values())[cluster.names[2]]
+            assert values == {
+                "flight_seats": 9, "hotel_rooms": 4, "rental_cars": 2,
+            }, values
+            print("  final inventory everywhere: %s" % values)
+
+            print()
+            print("== Saga whose last step fails (live) ==")
+            for key in ("flight_seats", "hotel_rooms"):
+                await booking.update([DecrementOp(key, 1)], saga="trip-2")
+            try:
+                # No rental cars: the last step aborts at submission.
+                # It applies optimistically, is undone by backward
+                # recovery, and fails with the typed COMPENSATED code.
+                await booking.update(
+                    [DecrementOp("rental_cars", 1)],
+                    saga="trip-2",
+                    abort=True,
+                )
+            except LiveETFailed as exc:
+                assert exc.code == "COMPENSATED", exc.code
+                print(
+                    "  car rental failed: %s (undone tids: %s)"
+                    % (exc.code, ", ".join(exc.compensated_tids))
+                )
+            reply = await booking.decide("abort", saga="trip-2")
+            print(
+                "  aborted the saga; compensated steps: %s"
+                % (reply["compensated"],)
+            )
+            await cluster.settle()
+            converged = await cluster.converged()
+            values = (await cluster.site_values())[cluster.names[0]]
+            assert converged and values == {
+                "flight_seats": 9, "hotel_rooms": 4, "rental_cars": 2,
+            }, (converged, values)
+            print("  final inventory everywhere: %s" % values)
+            print(
+                "all replicas restored over TCP — backward replica "
+                "control worked"
+            )
+            await booking.close()
+            await audit.close()
+        finally:
+            await cluster.stop()
+
+    asyncio.run(run())
+
+
 if __name__ == "__main__":
-    main()
+    import sys
+
+    if "--live" in sys.argv[1:]:
+        main_live()
+    else:
+        main()

@@ -94,6 +94,7 @@ from .consistency import (
 )
 from .errors import (
     ABORTED,
+    COMPENSATED,
     EPSILON_EXCEEDED,
     ETError,
     OVERLOADED,
@@ -148,7 +149,7 @@ __all__ = [
     # typed consistency surface
     "Consistency", "ReadOptions", "SessionToken", "resolve_read_options",
     # shared failure taxonomy (sim + live)
-    "ABORTED", "EPSILON_EXCEEDED", "ETError", "OVERLOADED",
+    "ABORTED", "COMPENSATED", "EPSILON_EXCEEDED", "ETError", "OVERLOADED",
     "SESSION_STALE", "UNAVAILABLE",
     "__version__",
 ]

@@ -21,6 +21,7 @@ Usage::
     python -m repro chaos --scenario migrate --seed 7  # live shard move
     python -m repro chaos --scenario elect --seed 7    # sequencer failover
     python -m repro chaos --scenario wan --seed 7      # region partition
+    python -m repro chaos --scenario saga --seed 7     # COMPE saga storm
     python -m repro migrate --admin-port 7100 --shard 1  # move shard 1
     python -m repro metrics-dump --port 7000         # scrape one replica
     python -m repro snapshot --port 7000             # checkpoint + compact
@@ -312,12 +313,16 @@ def _cmd_live_demo(args: argparse.Namespace) -> int:
             )
         )
         clients = [await cluster.client(name) for name in cluster.names]
+        # RITU admits only read-independent (blind) writes; every other
+        # method gets the commutative increment workload.
+        if args.method in ("ritu", "ritu-mv"):
+            submit = lambda c, i: c.write("account%d" % (i % 4), i)
+        else:
+            submit = lambda c, i: c.increment("account%d" % (i % 4), 1)
         t0 = time.monotonic()
         await asyncio.gather(
             *(
-                clients[i % len(clients)].increment(
-                    "account%d" % (i % 4), 1
-                )
+                submit(clients[i % len(clients)], i)
                 for i in range(args.updates)
             )
         )
@@ -385,6 +390,22 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
         print(wan_report.render())
         return 0 if wan_report.ok else 1
+    if args.scenario == "saga":
+        from .live.chaos import SagaConfig, run_saga_sync
+
+        saga_config = SagaConfig(
+            seed=args.seed,
+            n_sites=args.sites,
+            n_sagas=args.sagas,
+            steps_per_saga=args.saga_steps,
+            crash=not args.no_crash,
+            wipe=not args.no_wipe,
+        )
+        saga_report = run_saga_sync(
+            saga_config, artifacts_dir=artifacts_dir
+        )
+        print(saga_report.render())
+        return 0 if saga_report.ok else 1
     if args.scenario == "rejoin":
         from .live.chaos import RejoinConfig, run_rejoin_sync
 
@@ -579,7 +600,7 @@ def main(argv: List[str] = None) -> int:
         help="admin endpoint port in sharded mode (0 = ephemeral)",
     )
     serve.add_argument(
-        "--method", default="commu", choices=("commu", "ordup", "rowa")
+        "--method", default="commu", choices=("commu", "ordup", "rowa", "ritu", "ritu-mv", "compe")
     )
     serve.add_argument(
         "--fsync", action="store_true",
@@ -645,7 +666,7 @@ def main(argv: List[str] = None) -> int:
     )
     demo.add_argument("--sites", type=int, default=3)
     demo.add_argument(
-        "--method", default="commu", choices=("commu", "ordup", "rowa")
+        "--method", default="commu", choices=("commu", "ordup", "rowa", "ritu", "ritu-mv", "compe")
     )
     demo.add_argument("--updates", type=int, default=200)
     chaos = sub.add_parser(
@@ -656,7 +677,7 @@ def main(argv: List[str] = None) -> int:
     chaos.add_argument("--sites", type=int, default=3)
     chaos.add_argument(
         "--scenario", default="faults",
-        choices=("faults", "rejoin", "migrate", "elect", "wan"),
+        choices=("faults", "rejoin", "migrate", "elect", "wan", "saga"),
         help="'faults' = drops/partition/crash (default); 'rejoin' = "
         "snapshot + compaction + disk-wipe anti-entropy rejoin; "
         "'migrate' = live shard cutover under routed write load "
@@ -664,7 +685,16 @@ def main(argv: List[str] = None) -> int:
         "ORDUP sequencer, measure the failover blackout, fence the "
         "resurrected stale leader; 'wan' = two modeled WAN regions, "
         "full region partition, epsilon-bounded availability on both "
-        "sides",
+        "sides; 'saga' = COMPE compensation storm with a disk-wipe "
+        "crash of one replica mid-storm (exact-convergence check)",
+    )
+    chaos.add_argument(
+        "--sagas", type=int, default=10,
+        help="saga scenario only: number of sagas submitted",
+    )
+    chaos.add_argument(
+        "--saga-steps", type=int, default=3,
+        help="saga scenario only: update steps per saga",
     )
     chaos.add_argument(
         "--shards", type=int, default=3,
@@ -672,11 +702,11 @@ def main(argv: List[str] = None) -> int:
     )
     chaos.add_argument(
         "--no-wipe", action="store_true",
-        help="rejoin scenario only: keep the victim's disk (long "
+        help="rejoin/saga scenarios: keep the victim's disk (long "
         "downtime instead of disk loss)",
     )
     chaos.add_argument(
-        "--method", default="commu", choices=("commu", "ordup", "rowa")
+        "--method", default="commu", choices=("commu", "ordup", "rowa", "ritu", "ritu-mv", "compe")
     )
     chaos.add_argument("--updates", type=int, default=120)
     chaos.add_argument("--queries", type=int, default=36)
@@ -750,7 +780,7 @@ def main(argv: List[str] = None) -> int:
         help="in-process cluster size (ignored with --addr)",
     )
     loadgen.add_argument(
-        "--method", default="commu", choices=("commu", "ordup", "rowa")
+        "--method", default="commu", choices=("commu", "ordup", "rowa", "ritu", "ritu-mv", "compe")
     )
     loadgen.add_argument(
         "--addr", action="append", default=None, metavar="HOST:PORT",

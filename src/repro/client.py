@@ -45,7 +45,7 @@ from .core.transactions import (
     QueryET,
     UpdateET,
 )
-from .errors import ABORTED, EPSILON_EXCEEDED, ETError
+from .errors import ABORTED, COMPENSATED, EPSILON_EXCEEDED, ETError
 from .replica.base import ReplicatedSystem
 
 __all__ = ["Client", "ClientSession", "ETFailed"]
@@ -61,7 +61,12 @@ class ETFailed(ETError):
     """
 
     def __init__(self, result: ETResult) -> None:
-        if result.status in (ETStatus.ABORTED, ETStatus.COMPENSATED):
+        if result.status is ETStatus.COMPENSATED:
+            # COMPE backward recovery: the update's effects were
+            # visible and then undone — distinct from a plain abort,
+            # and matched by the live runtime's COMPENSATED code.
+            code = COMPENSATED
+        elif result.status is ETStatus.ABORTED:
             code = ABORTED
         elif not result.within_epsilon:
             code = EPSILON_EXCEEDED

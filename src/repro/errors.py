@@ -32,6 +32,13 @@ Codes:
   error response carries the replica's current frontier vector
   (``frontiers``); retry at a fresher replica (the live client does
   this automatically) or wait for propagation to catch up.
+* :data:`COMPENSATED` — the update was optimistically applied and then
+  undone by COMPE's backward recovery (the paper's compensation
+  method; at live scale, a saga step whose saga aborted).  The error
+  response carries the tids that were undone (``compensated``).  This
+  is *not* a silent failure: the update's effects were durably removed
+  by compensating operations, and the caller must treat it like an
+  abort that briefly became visible.
 
 Catch-all::
 
@@ -48,6 +55,7 @@ from __future__ import annotations
 
 __all__ = [
     "ABORTED",
+    "COMPENSATED",
     "EPSILON_EXCEEDED",
     "ETError",
     "OVERLOADED",
@@ -68,6 +76,9 @@ OVERLOADED = "OVERLOADED"
 WRONG_SHARD = "WRONG_SHARD"
 #: the replica's applied frontiers lag the read's session token.
 SESSION_STALE = "SESSION_STALE"
+#: the update was applied optimistically and then undone by COMPE's
+#: backward recovery (saga abort / validation failure).
+COMPENSATED = "COMPENSATED"
 
 
 class ETError(RuntimeError):
@@ -108,3 +119,8 @@ class ETError(RuntimeError):
     def session_stale(self) -> bool:
         """True when the replica lagged the read's session token."""
         return self.code == SESSION_STALE
+
+    @property
+    def compensated(self) -> bool:
+        """True when the update was undone by backward recovery."""
+        return self.code == COMPENSATED

@@ -12,8 +12,12 @@ Layers:
   reusing the operation algebra.
 * :mod:`repro.live.durable_queue` — at-least-once, FIFO-per-channel
   durable queues that survive process restarts.
-* :mod:`repro.live.engine` — transport-agnostic COMMU / ORDUP engines
-  plus the synchronous write-all (ROWA) baseline.
+* :mod:`repro.live.engine` — transport-agnostic COMMU / ORDUP engines,
+  the synchronous write-all (ROWA) baseline, the timestamped RITU /
+  RITU-MV engines, and the COMPE saga/compensation engine.
+* :mod:`repro.live.compensation` — append-only durable compensation
+  log (undo records + decisions) backing COMPE's backward recovery
+  across crashes.
 * :mod:`repro.live.server` — a per-replica asyncio TCP server with
   adaptive heartbeat failure detection, gossip-driven membership, and
   degraded-mode query handling.
@@ -45,6 +49,8 @@ from .chaos import (
     ElectReport,
     RejoinConfig,
     RejoinReport,
+    SagaConfig,
+    SagaReport,
     WanConfig,
     WanReport,
     persist_cluster_artifacts,
@@ -54,9 +60,12 @@ from .chaos import (
     run_elect_sync,
     run_rejoin,
     run_rejoin_sync,
+    run_saga,
+    run_saga_sync,
     run_wan,
     run_wan_sync,
 )
+from .compensation import CompensationLog
 from .client import (
     LiveClient,
     LiveETFailed,
@@ -78,17 +87,21 @@ from .faults import (
 from .gossip import FailureDetector, MembershipTable, NodeRecord
 from .engine import (
     CommuLiveEngine,
+    CompeLiveEngine,
     ENGINES,
     LiveEngine,
     OrdupLiveEngine,
     QueryOutcome,
     QueryTimeout,
+    RituLiveEngine,
+    RituMvLiveEngine,
     RowaLiveEngine,
     make_engine,
 )
 from .read_cache import CachedRead, EpsilonReadCache
 from .router import RouterSession, ShardRouter
 from .server import (
+    Compensated,
     LOCAL_CHANNEL,
     Overloaded,
     ReplicaServer,
@@ -110,6 +123,8 @@ __all__ = [
     "ElectReport",
     "RejoinConfig",
     "RejoinReport",
+    "SagaConfig",
+    "SagaReport",
     "WanConfig",
     "WanReport",
     "run_rejoin",
@@ -119,8 +134,11 @@ __all__ = [
     "run_chaos_sync",
     "run_elect",
     "run_elect_sync",
+    "run_saga",
+    "run_saga_sync",
     "run_wan",
     "run_wan_sync",
+    "CompensationLog",
     "LiveClient",
     "LiveETFailed",
     "LiveETResult",
@@ -149,13 +167,17 @@ __all__ = [
     "MembershipTable",
     "NodeRecord",
     "CommuLiveEngine",
+    "CompeLiveEngine",
     "ENGINES",
     "LiveEngine",
     "OrdupLiveEngine",
     "QueryOutcome",
     "QueryTimeout",
+    "RituLiveEngine",
+    "RituMvLiveEngine",
     "RowaLiveEngine",
     "make_engine",
+    "Compensated",
     "ReplicaServer",
     "Unavailable",
     "Overloaded",

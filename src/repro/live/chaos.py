@@ -67,6 +67,21 @@ asynchronous writes keep acking region-locally — while ``epsilon = 0``
 reads refuse fast with the typed ``UNAVAILABLE`` code; after the heal
 the regions must reconverge to one-copy state.
 
+A sixth scenario, :func:`run_saga`, targets COMPE's crash-safe
+backward recovery: a cluster of COMPE replicas takes auto-committed
+updates plus multi-step sagas, half the sagas are aborted — a
+*compensation storm* — and one replica is crashed (optionally
+disk-wiped) in the middle of it, rejoining while decisions are still
+landing.  The asserts are exact: every key converges to precisely the
+sum of committed effects (no acked-update loss, no lost compensation,
+no double-applied compensation), re-issuing every abort decision after
+the heal changes nothing (idempotent compensation-log replay — the
+``decided`` lists must come back empty and per-replica compensation
+counters must not move), an ``abort=True`` update is reported with the
+typed ``COMPENSATED`` code carrying its undone tid, and the run must
+count a nonzero number of compensations — a silent-zero run fails
+loudly instead of passing vacuously.
+
 Reproducible from the CLI::
 
     python -m repro chaos --seed 7
@@ -75,6 +90,7 @@ Reproducible from the CLI::
     python -m repro chaos --scenario migrate --seed 7
     python -m repro chaos --scenario elect --seed 7
     python -m repro chaos --scenario wan --seed 7
+    python -m repro chaos --scenario saga --seed 7
 """
 
 from __future__ import annotations
@@ -87,6 +103,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..core.operations import IncrementOp
 from ..core.transactions import EpsilonSpec
 from ..obs.trace import dump_events_jsonl, merge_traces
 from .client import LiveClient, LiveETFailed, RequestTimeout
@@ -103,6 +120,8 @@ __all__ = [
     "MigrateReport",
     "RejoinConfig",
     "RejoinReport",
+    "SagaConfig",
+    "SagaReport",
     "WanConfig",
     "WanReport",
     "persist_cluster_artifacts",
@@ -114,6 +133,8 @@ __all__ = [
     "run_migrate_sync",
     "run_rejoin",
     "run_rejoin_sync",
+    "run_saga",
+    "run_saga_sync",
     "run_wan",
     "run_wan_sync",
 ]
@@ -1858,3 +1879,435 @@ def run_wan_sync(
 ) -> WanReport:
     """Blocking wrapper for CLI / benchmark use."""
     return asyncio.run(run_wan(config, data_dir, artifacts_dir))
+
+
+# -- COMPE saga / compensation-storm scenario ----------------------------------
+
+
+@dataclass(frozen=True)
+class SagaConfig:
+    """One reproducible COMPE saga scenario.
+
+    The victim is the last site; it is crashed (``wipe=True``
+    destroys its disk — including its compensation log — forcing a
+    snapshot-install rejoin whose COMPE tables come entirely from the
+    donor's engine checkpoint) in the middle of the abort storm, while
+    a survivor keeps deciding sagas.  The network is clean on purpose:
+    every submitted update must ack, so the final store is predicted
+    *exactly* and any lost or double-applied compensation shows up as
+    an off-by-amount, not a tolerance miss.
+    """
+
+    seed: int = 0
+    n_sites: int = 3
+    method: str = "compe"
+    #: plain (auto-commit) COMPE updates before the sagas.
+    n_background: int = 24
+    #: sagas submitted, each ``steps_per_saga`` increments.
+    n_sagas: int = 10
+    steps_per_saga: int = 3
+    #: fraction of sagas aborted (the compensation storm).
+    abort_fraction: float = 0.5
+    keys: Tuple[str, ...] = ("acct0", "acct1", "acct2", "acct3")
+    #: crash the victim mid-storm; ``wipe`` also destroys its disk.
+    crash: bool = True
+    wipe: bool = True
+    fsync: bool = False
+    heartbeat_interval: float = 0.15
+    suspect_after: float = 0.6
+    request_timeout: float = 20.0
+    settle_timeout: float = 60.0
+    rejoin_timeout: float = 30.0
+
+
+@dataclass
+class SagaReport:
+    """What one saga run observed, and whether the invariants held."""
+
+    config: SagaConfig
+    #: exact predicted converged value per key (committed effects only).
+    expected: Dict[str, int] = field(default_factory=dict)
+    final: Dict[str, Any] = field(default_factory=dict)
+    attempted: Dict[str, int] = field(default_factory=dict)
+    update_failures: int = 0
+    sagas_committed: int = 0
+    sagas_aborted: int = 0
+    #: saga step tids reported compensated by abort decides.
+    steps_compensated: int = 0
+    #: per-replica compensations applied (engine counters), summed.
+    compensations_total: int = 0
+    #: per-replica compensation-log lifetime appends, summed.
+    compensation_log_records_total: int = 0
+    #: tids the abort-decide re-issue decided *again* (must be zero).
+    reissue_decided: int = 0
+    #: per-replica compensation-counter movement across the re-issue
+    #: (must be zero everywhere — replay is idempotent).
+    reissue_compensation_delta: int = 0
+    #: the abort=True probe: (error code, tids reported compensated).
+    honest_probe: Optional[Tuple[str, Tuple[str, ...]]] = None
+    #: anomalies caught while driving (mismatched decide replies).
+    anomalies: List[str] = field(default_factory=list)
+    #: snapshot installs the wiped victim performed while rejoining.
+    catchup_installs: int = 0
+    converged: bool = False
+    wall_seconds: float = 0.0
+    artifacts: Dict[str, str] = field(default_factory=dict)
+
+    def violations(self) -> List[str]:
+        out: List[str] = list(self.anomalies)
+        for key in sorted(set(self.expected) | set(self.final)):
+            want = self.expected.get(key, 0)
+            got = self.final.get(key, 0)
+            if got != want:
+                out.append(
+                    "store mismatch: %s converged to %s, exact "
+                    "prediction from committed effects is %s (lost or "
+                    "double-applied update/compensation)"
+                    % (key, got, want)
+                )
+        if self.update_failures:
+            out.append(
+                "%d updates failed on a clean network (every submitted "
+                "update must ack)" % self.update_failures
+            )
+        if self.sagas_aborted and self.compensations_total == 0:
+            out.append(
+                "silent zero: %d sagas aborted but no replica counted "
+                "a single compensation" % self.sagas_aborted
+            )
+        if self.sagas_aborted and self.steps_compensated == 0:
+            out.append(
+                "abort decides reported no compensated step tids"
+            )
+        if self.reissue_decided:
+            out.append(
+                "re-issued abort decides decided %d tid(s) again — "
+                "decisions are not idempotent" % self.reissue_decided
+            )
+        if self.reissue_compensation_delta:
+            out.append(
+                "compensation counters moved by %d across the decide "
+                "re-issue — a compensation was applied twice"
+                % self.reissue_compensation_delta
+            )
+        if self.honest_probe is None:
+            out.append("abort=True probe never ran")
+        else:
+            code, tids = self.honest_probe
+            if code != "COMPENSATED":
+                out.append(
+                    "abort=True update failed with %r, not the typed "
+                    "COMPENSATED code" % code
+                )
+            if not tids:
+                out.append(
+                    "COMPENSATED failure did not name the undone tid(s)"
+                )
+        if self.config.crash and self.config.wipe and (
+            self.catchup_installs < 1
+        ):
+            out.append(
+                "wiped replica rejoined without a snapshot install"
+            )
+        if not self.converged:
+            out.append(
+                "replicas did not converge after the compensation storm"
+            )
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations()
+
+    def render(self) -> str:
+        cfg = self.config
+        lines = [
+            "Saga run: seed=%d sites=%d (%d background updates, %d "
+            "sagas x %d steps%s)"
+            % (
+                cfg.seed,
+                cfg.n_sites,
+                cfg.n_background,
+                cfg.n_sagas,
+                cfg.steps_per_saga,
+                ", %s mid-storm"
+                % ("disk-wipe crash" if cfg.wipe else "crash/restart")
+                if cfg.crash
+                else "",
+            ),
+            "",
+            "sagas: %d committed, %d aborted (%d step tids compensated)"
+            % (
+                self.sagas_committed,
+                self.sagas_aborted,
+                self.steps_compensated,
+            ),
+            "compensations applied across replicas: %d "
+            "(%d compensation-log records)"
+            % (
+                self.compensations_total,
+                self.compensation_log_records_total,
+            ),
+            "idempotence re-issue: %d re-decided, counter delta %d"
+            % (self.reissue_decided, self.reissue_compensation_delta),
+        ]
+        if self.honest_probe is not None:
+            code, tids = self.honest_probe
+            lines.append(
+                "abort=True probe: %s (undone: %s)"
+                % (code or "(committed?)", ", ".join(tids) or "none")
+            )
+        if self.config.crash:
+            lines.append(
+                "victim rejoin: %d snapshot install(s)"
+                % self.catchup_installs
+            )
+        lines.append(
+            "converged to exact prediction: %s"
+            % ("yes" if self.converged and not self.violations() else "NO")
+        )
+        if self.artifacts:
+            lines.append("artifacts: %s" % self.artifacts.get("dir", ""))
+        lines.append("")
+        problems = self.violations()
+        if problems:
+            lines.append("INVARIANT VIOLATIONS (%d):" % len(problems))
+            lines.extend("  - " + p for p in problems)
+        else:
+            lines.append(
+                "all invariants held: exact convergence through the "
+                "mid-storm crash, idempotent compensation replay, "
+                "honest COMPENSATED reporting (%.1fs wall)"
+                % self.wall_seconds
+            )
+        return "\n".join(lines)
+
+
+async def run_saga(
+    config: SagaConfig,
+    data_dir: Optional[pathlib.Path] = None,
+    artifacts_dir: Optional[pathlib.Path] = None,
+) -> SagaReport:
+    """Execute one seeded saga scenario; never raises on invariant
+    failure — inspect :meth:`SagaReport.violations`."""
+    started = time.monotonic()
+    cluster = LiveCluster(
+        n_sites=config.n_sites,
+        method=config.method,
+        data_dir=data_dir,
+        fsync=config.fsync,
+        suspect_after=config.suspect_after,
+        heartbeat_interval=config.heartbeat_interval,
+    )
+    report = SagaReport(config=config)
+    rng = random.Random(config.seed)
+    expected: Dict[str, int] = {key: 0 for key in config.keys}
+    await cluster.start()
+    try:
+        names = list(cluster.names)
+        victim = names[-1]
+        survivors = [n for n in names if n != victim]
+        clients: Dict[str, LiveClient] = {}
+        for name in names:
+            clients[name] = await cluster.client(
+                name, request_timeout=config.request_timeout
+            )
+
+        async def one_update(site, key, amount, saga=None):
+            report.attempted[key] = report.attempted.get(key, 0) + 1
+            try:
+                frame = await clients[site].update(
+                    [IncrementOp(key, amount)], saga=saga
+                )
+            except (
+                LiveETFailed,
+                ConnectionError,
+                OSError,
+                asyncio.TimeoutError,
+                RequestTimeout,
+            ):
+                report.update_failures += 1
+                return None
+            return frame.get("tid")
+
+        # Phase 1: background auto-committed COMPE updates everywhere.
+        for _ in range(config.n_background):
+            site = rng.choice(names)
+            key = rng.choice(config.keys)
+            amount = rng.randint(1, 5)
+            if await one_update(site, key, amount) is not None:
+                expected[key] += amount
+
+        # Phase 2: the sagas.  Every step is tagged with its saga id
+        # and stays undecided; effects land optimistically everywhere.
+        sagas: Dict[str, List[Tuple[str, str, int]]] = {}
+        outcomes: Dict[str, str] = {}
+        for i in range(config.n_sagas):
+            saga_id = "saga-%d" % i
+            outcomes[saga_id] = (
+                "abort"
+                if rng.random() < config.abort_fraction
+                else "commit"
+            )
+            members: List[Tuple[str, str, int]] = []
+            for _ in range(config.steps_per_saga):
+                site = rng.choice(names)
+                key = rng.choice(config.keys)
+                amount = rng.randint(1, 5)
+                tid = await one_update(site, key, amount, saga=saga_id)
+                if tid is not None:
+                    members.append((tid, key, amount))
+            sagas[saga_id] = members
+        # Committed sagas' effects are the only saga effects that may
+        # survive to the converged store.
+        for saga_id, members in sagas.items():
+            if outcomes[saga_id] == "commit":
+                for _, key, amount in members:
+                    expected[key] += amount
+        # Every step must be visible at every site before deciding —
+        # decisions consult the decider's own saga-membership table.
+        await cluster.settle(timeout=config.settle_timeout)
+
+        def check_decide_reply(saga_id, reply, want_outcome):
+            members = {tid for tid, _, _ in sagas[saga_id]}
+            decided = set(reply.get("decided", ()))
+            if decided != members:
+                report.anomalies.append(
+                    "decide(%s, %s) decided %s, expected exactly the "
+                    "member tids %s"
+                    % (
+                        saga_id,
+                        want_outcome,
+                        sorted(decided),
+                        sorted(members),
+                    )
+                )
+            if want_outcome == "abort":
+                compensated = set(reply.get("compensated", ()))
+                if compensated != members:
+                    report.anomalies.append(
+                        "abort of %s compensated %s, expected %s"
+                        % (saga_id, sorted(compensated), sorted(members))
+                    )
+                report.steps_compensated += len(compensated)
+
+        # Phase 3: decide roughly half the sagas, crash the victim in
+        # the middle of the storm, keep deciding at a survivor.
+        order = sorted(sagas)
+        rng.shuffle(order)
+        midpoint = len(order) // 2
+        for saga_id in order[:midpoint]:
+            outcome = outcomes[saga_id]
+            reply = await clients[survivors[0]].decide(
+                outcome, saga=saga_id
+            )
+            check_decide_reply(saga_id, reply, outcome)
+        if config.crash:
+            if config.wipe:
+                await cluster.wipe(victim)
+            else:
+                await cluster.kill(victim)
+        for saga_id in order[midpoint:]:
+            outcome = outcomes[saga_id]
+            reply = await clients[survivors[0]].decide(
+                outcome, saga=saga_id
+            )
+            check_decide_reply(saga_id, reply, outcome)
+        report.sagas_aborted = sum(
+            1 for o in outcomes.values() if o == "abort"
+        )
+        report.sagas_committed = len(outcomes) - report.sagas_aborted
+
+        # Phase 4: heal.  A wiped victim must rejoin by snapshot
+        # install (its compensation log is gone — the donor's engine
+        # checkpoint is the only source of its COMPE tables); a merely
+        # crashed one replays decisions from its durable channels.
+        if config.crash:
+            await cluster.restart(victim)
+            if config.wipe:
+                await cluster.wait_caught_up(
+                    victim, timeout=config.rejoin_timeout
+                )
+            await clients[victim].close()
+            clients[victim] = await cluster.client(
+                victim, request_timeout=config.request_timeout
+            )
+        await cluster.settle(timeout=config.settle_timeout)
+        if config.crash:
+            report.catchup_installs = cluster.servers[
+                victim
+            ].catchup_installs
+
+        # Phase 5: idempotence probe.  Re-issue every abort decide —
+        # at a survivor AND at the healed victim — and require that
+        # nothing is decided again and no compensation counter moves.
+        before = {
+            name: server.engine.compensation_count
+            for name, server in cluster.servers.items()
+        }
+        for saga_id in sorted(sagas):
+            if outcomes[saga_id] != "abort":
+                continue
+            for site in (survivors[0], victim if config.crash else names[0]):
+                reply = await clients[site].decide(
+                    "abort", saga=saga_id
+                )
+                report.reissue_decided += len(reply.get("decided", ()))
+        await cluster.settle(timeout=config.settle_timeout)
+        report.reissue_compensation_delta = sum(
+            abs(server.engine.compensation_count - before[name])
+            for name, server in cluster.servers.items()
+        )
+
+        # Phase 6: honest typed reporting — an abort=True update must
+        # surface COMPENSATED naming the undone tid (net effect zero,
+        # so ``expected`` is untouched).
+        probe_key = config.keys[0]
+        report.attempted[probe_key] = (
+            report.attempted.get(probe_key, 0) + 1
+        )
+        try:
+            await clients[survivors[0]].update(
+                [IncrementOp(probe_key, 7)], abort=True
+            )
+        except LiveETFailed as exc:
+            report.honest_probe = (exc.code, exc.compensated_tids)
+        else:
+            report.honest_probe = ("", ())
+
+        # Phase 7: exact convergence.
+        await cluster.settle(timeout=config.settle_timeout)
+        report.converged = await cluster.converged()
+        values = await cluster.site_values()
+        if values:
+            any_site = next(iter(values.values()))
+            report.final = {
+                key: any_site.get(key, 0) for key in config.keys
+            }
+        report.expected = dict(expected)
+        report.compensations_total = sum(
+            server.engine.compensation_count
+            for server in cluster.servers.values()
+        )
+        report.compensation_log_records_total = sum(
+            server.engine.compensation_log.records_total
+            for server in cluster.servers.values()
+            if getattr(server.engine, "compensation_log", None) is not None
+        )
+        if artifacts_dir is not None:
+            report.artifacts = await persist_cluster_artifacts(
+                cluster, pathlib.Path(artifacts_dir)
+            )
+    finally:
+        report.wall_seconds = time.monotonic() - started
+        await cluster.stop()
+    return report
+
+
+def run_saga_sync(
+    config: SagaConfig,
+    data_dir: Optional[pathlib.Path] = None,
+    artifacts_dir: Optional[pathlib.Path] = None,
+) -> SagaReport:
+    """Blocking wrapper for CLI / benchmark use."""
+    return asyncio.run(run_saga(config, data_dir, artifacts_dir))

@@ -108,6 +108,9 @@ _IDEMPOTENT_VERBS = frozenset(
     {
         "query", "values", "stats", "ping", "order", "settle",
         "metrics", "snapshot", "snapshot-fetch", "shard-info",
+        # ``decide`` is safe to re-issue: the first decision a tid sees
+        # is final, so a replayed decide skips already-decided tids.
+        "decide",
     }
 )
 
@@ -126,9 +129,12 @@ class LiveETFailed(ETError):
 
     ``frame`` is the raw error response, kept because typed refusals
     can carry structured context past the message — a ``WRONG_SHARD``
-    refusal ships the newest shard map under ``frame["map"]``, and a
+    refusal ships the newest shard map under ``frame["map"]``, a
     ``SESSION_STALE`` refusal ships the replica's current frontier
-    vector under ``frame["frontiers"]``.
+    vector under ``frame["frontiers"]``, and a ``COMPENSATED`` failure
+    ships the tids COMPE's backward recovery undid under
+    ``frame["compensated"]`` (also available as
+    :attr:`compensated_tids`).
     """
 
     def __init__(
@@ -140,6 +146,11 @@ class LiveETFailed(ETError):
         super().__init__(message, code)
         self.frame: Dict[str, Any] = frame or {}
 
+    @property
+    def compensated_tids(self) -> Tuple[str, ...]:
+        """Tids undone by backward recovery (COMPENSATED failures)."""
+        return tuple(self.frame.get("compensated", ()))
+
 
 class LiveETResult(Mapping):
     """Typed outcome of a live query ET.
@@ -148,7 +159,9 @@ class LiveETResult(Mapping):
     ``inconsistency``, ``overlap``, ``waits``) plus the live-only
     fields: ``degraded``, ``staleness`` (the serving replica's — or
     cache entry's — provable lag behind the group, in update counts),
-    ``served_by`` (which replica answered), and ``from_cache``.
+    ``served_by`` (which replica answered), ``from_cache``, and
+    ``compensated`` (tids of COMPE updates whose effects were undone by
+    backward recovery, when the serving backend reports them).
     ``Mapping`` access (``result["values"]``) keeps existing
     dict-style callers working unchanged; the raw per-site applied
     frontier vector stays available as the ``frontiers`` attribute.
@@ -157,6 +170,7 @@ class LiveETResult(Mapping):
     __slots__ = (
         "values", "inconsistency", "overlap", "waits", "degraded",
         "staleness", "served_by", "from_cache", "frontiers",
+        "compensated",
     )
 
     def __init__(self, frame: Dict[str, Any]) -> None:
@@ -174,6 +188,10 @@ class LiveETResult(Mapping):
         self.from_cache: bool = bool(frame.get("from_cache", False))
         #: per-site applied frontier vector at serve time.
         self.frontiers: Dict[str, int] = dict(frame.get("frontiers", {}))
+        #: tids undone by COMPE backward recovery (usually empty).
+        self.compensated: Tuple[str, ...] = tuple(
+            frame.get("compensated", ())
+        )
 
     def _as_dict(self) -> Dict[str, Any]:
         return {
@@ -185,6 +203,7 @@ class LiveETResult(Mapping):
             "staleness": self.staleness,
             "served_by": self.served_by,
             "from_cache": self.from_cache,
+            "compensated": list(self.compensated),
         }
 
     def __getitem__(self, key: str) -> Any:
@@ -559,12 +578,26 @@ class LiveClient:
         operations: Sequence[Operation],
         spec: Optional[EpsilonSpec] = None,
         timeout: Optional[float] = None,
+        saga: Optional[str] = None,
+        abort: bool = False,
     ) -> Dict[str, Any]:
-        """Submit a (possibly multi-operation) update ET."""
+        """Submit a (possibly multi-operation) update ET.
+
+        COMPE only: ``saga`` tags the update as a step of a named saga
+        — it applies optimistically but stays *undecided* until
+        :meth:`decide` commits or aborts the saga.  ``abort=True``
+        applies the update and immediately compensates it (the
+        validation-failure path), raising a ``COMPENSATED``
+        :class:`LiveETFailed`.
+        """
         operations = list(operations)
         fields: Dict[str, Any] = {"ops": encode_ops(operations)}
         if spec is not None:
             fields["spec"] = encode_spec(spec)
+        if saga is not None:
+            fields["saga"] = saga
+        if abort:
+            fields["abort"] = True
         frame = await self.request("update", timeout=timeout, **fields)
         # A committed write is evidence its origin's frontier reached
         # the tid's sequence — fold it into what the cache accounting
@@ -590,6 +623,34 @@ class LiveClient:
 
     async def append(self, key: str, item: Any) -> Dict[str, Any]:
         return await self.update([AppendOp(key, item)])
+
+    async def decide(
+        self,
+        outcome: str,
+        saga: Optional[str] = None,
+        tids: Optional[Sequence[str]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Decide a COMPE saga (or explicit tids) ``"commit"``/``"abort"``.
+
+        Aborting runs backward recovery: the named steps' durable
+        compensations apply in reverse submission order.  The reply
+        carries ``decided`` (tids decided now), ``skipped`` (tids
+        already decided — retries are idempotent) and, on abort,
+        ``compensated``.
+        """
+        fields: Dict[str, Any] = {"outcome": outcome}
+        if saga is not None:
+            fields["saga"] = saga
+        if tids is not None:
+            fields["tids"] = list(tids)
+        frame = await self.request("decide", timeout=timeout, **fields)
+        if self.cache is not None and frame.get("compensated"):
+            # Compensated writes changed the store again; cached copies
+            # of any key are suspect only for the undone keys, which
+            # the reply does not enumerate — drop conservatively.
+            self.cache.clear()
+        return frame
 
     # -- queries -------------------------------------------------------------
 
@@ -1185,8 +1246,12 @@ class LiveSession:
         operations: Sequence[Operation],
         spec: Optional[EpsilonSpec] = None,
         timeout: Optional[float] = None,
+        saga: Optional[str] = None,
+        abort: bool = False,
     ) -> Dict[str, Any]:
-        frame = await self._client.update(operations, spec, timeout)
+        frame = await self._client.update(
+            operations, spec, timeout, saga=saga, abort=abort
+        )
         tid = frame.get("tid")
         if isinstance(tid, str):
             self.token.observe_write(tid)

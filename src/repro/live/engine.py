@@ -20,11 +20,12 @@ control, exactly like the simulator's ``QueryRunner`` retry loop.
 from __future__ import annotations
 
 import asyncio
+import pathlib
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..core.operations import Operation
+from ..core.operations import Operation, TimestampedWriteOp
 from ..core.transactions import EpsilonSpec, UNLIMITED, make_et
 from ..obs.registry import (
     DEFAULT_COUNT_BUCKETS,
@@ -36,14 +37,20 @@ from ..obs.trace import TraceRecorder
 from ..replica.base import LockCounterSiteState, OrderedApplyBuffer
 from ..replica.commu import CommutativeOperations, NonCommutativeError
 from ..replica.mset import MSet, MSetKind
+from ..replica.ritu import ReadIndependentUpdates
 from ..storage.kv import KeyValueStore, StoreSnapshot
-from .protocol import decode_mset, encode_mset
+from ..storage.mvstore import MultiVersionStore, NoVisibleVersion
+from .compensation import CompensationLog
+from .protocol import decode_mset, decode_ops, encode_mset, encode_ops
 
 __all__ = [
     "LiveEngine",
     "CommuLiveEngine",
     "OrdupLiveEngine",
     "RowaLiveEngine",
+    "RituLiveEngine",
+    "RituMvLiveEngine",
+    "CompeLiveEngine",
     "QueryOutcome",
     "QueryTimeout",
     "make_engine",
@@ -218,10 +225,41 @@ class LiveEngine:
         tid: Any,
         ops: Sequence[Operation],
         order: Optional[Tuple[int, int]] = None,
+        info: Tuple[Tuple[str, Any], ...] = (),
     ) -> MSet:
+        """Build the update MSet for a locally accepted ET.
+
+        The method hook of the update path: RITU stamps the writes with
+        the origin's Lamport clock here, and the multiversion variant
+        additionally turns the order token into the global transaction
+        number.  The server always routes local update construction
+        through this method so the MSet that enters the durable queues
+        is already in method form.
+        """
         return MSet(
-            tid, MSetKind.UPDATE, tuple(ops), origin=self.site, order=order
+            tid,
+            MSetKind.UPDATE,
+            tuple(ops),
+            origin=self.site,
+            order=order,
+            info=info,
         )
+
+    def attach_storage(
+        self,
+        data_dir: pathlib.Path,
+        fsync: bool = False,
+        fsync_interval: float = 0.0,
+    ) -> None:
+        """Open method-owned durable state under the site's data dir.
+
+        Called by the hosting server in ``bind()`` *before* recovery,
+        so a method that keeps its own log (COMPE's compensation log)
+        has it loaded when replay starts.  No-op for stateless methods.
+        """
+
+    def close(self) -> None:
+        """Release method-owned resources (durable log handles)."""
 
     async def accept(self, mset: MSet, local: bool = False) -> List[MSet]:
         """Process one delivered MSet; returns the MSets applied now.
@@ -489,6 +527,15 @@ class CommuLiveEngine(LiveEngine):
         async with self.cond:
             self.state.raise_counters(tid, keys)
 
+    def _query_sources(self, key: str, start: float) -> Set[Any]:
+        """Inconsistency sources for one key read: in-flight updates
+        holding the key's counter plus updates applied since the query
+        began (mixed observations).  COMPE extends this with
+        potentially-compensated (undecided) updates."""
+        return self.state.holders_of(key) | self.state.applied_since(
+            key, start
+        )
+
     async def query(
         self,
         keys: Sequence[str],
@@ -505,12 +552,7 @@ class CommuLiveEngine(LiveEngine):
             advanced = False
             async with self.cond:
                 key = ordered_keys[index]
-                # Inconsistency sources: in-flight updates holding the
-                # key's counter plus updates applied since the query
-                # began (mixed observations).
-                sources = self.state.holders_of(
-                    key
-                ) | self.state.applied_since(key, start)
+                sources = self._query_sources(key, start)
                 if budget.try_charge(sources, self._drift.get):
                     outcome.values[key] = self.store.get(key, 0)
                     index += 1
@@ -769,10 +811,585 @@ class RowaLiveEngine(CommuLiveEngine):
         pass
 
 
+class RituLiveEngine(CommuLiveEngine):
+    """RITU over real sockets: timestamped single-version updates.
+
+    Updates must be *read-independent* (blind writes); the origin
+    stamps every write with its Lamport clock and the store applies
+    them under the **Thomas write rule** (an older stamp never
+    overwrites a newer version), so any arrival order converges.
+    Divergence bounding reuses the COMMU lock-counter accounting:
+    an in-flight stamped write holds its keys' counters at the origin
+    until every peer durably acked it.
+
+    Crash-safety: the Lamport counter is part of the method
+    checkpoint.  Recovery replays the log tail through
+    :meth:`_accept_locked`, which re-observes every stamp it sees, so
+    a replica restored from a *compacted* log (where replay cannot
+    re-derive the counter) still never re-issues a stale stamp — a
+    stale stamp would be silently dropped by the Thomas rule
+    everywhere, losing an acked update.
+    """
+
+    method_name = "RITU"
+
+    def __init__(self, site, peers, clock=time.monotonic) -> None:
+        super().__init__(site, peers, clock)
+        #: origin Lamport clock; ties broken by the site's index in
+        #: the sorted membership, so stamps totally order.
+        self._lamport = 0
+        self._site_index = sorted((site, *peers)).index(site)
+        self._stamped_keys: Set[str] = set()
+
+    def bind_observability(
+        self, registry: Registry, trace: TraceRecorder
+    ) -> None:
+        super().bind_observability(registry, trace)
+        self._versions_gauge = registry.gauge(
+            "ritu_versions_gauge",
+            "object versions held by the RITU store "
+            "(one per key single-version; all versions multiversion)",
+        )
+
+    def validate_update(self, ops: Sequence[Operation]) -> None:
+        # The simulator's validator is the single source of truth for
+        # the RITU restriction (no reads, read-independent writes).
+        ReadIndependentUpdates.check_read_independent(make_et(list(ops)))
+
+    def make_mset(
+        self,
+        tid: Any,
+        ops: Sequence[Operation],
+        order: Optional[Tuple[int, int]] = None,
+        info: Tuple[Tuple[str, Any], ...] = (),
+    ) -> MSet:
+        self._lamport += 1
+        stamp = (self._lamport, self._site_index)
+        stamped = tuple(
+            TimestampedWriteOp(op.key, op.value, stamp) for op in ops
+        )
+        return MSet(
+            tid,
+            MSetKind.UPDATE,
+            stamped,
+            origin=self.site,
+            order=order,
+            info=info,
+        )
+
+    def _observe_stamps(self, mset: MSet) -> None:
+        """Advance the Lamport clock past every observed stamp (local
+        and remote, live delivery and recovery replay alike)."""
+        for op in mset.ops:
+            if (
+                isinstance(op, TimestampedWriteOp)
+                and op.timestamp[0] > self._lamport
+            ):
+                self._lamport = int(op.timestamp[0])
+
+    def _accept_locked(self, mset: MSet, local: bool) -> List[MSet]:
+        self._observe_stamps(mset)
+        applied = super()._accept_locked(mset, local)
+        self._stamped_keys.update(mset.keys)
+        self._versions_gauge.set(len(self._stamped_keys))
+        return applied
+
+    def _method_checkpoint(self) -> Dict[str, Any]:
+        return {"ritu": {"lamport": self._lamport}}
+
+    def _method_restore(self, state: Dict[str, Any]) -> None:
+        super()._method_restore(state)
+        self._lamport = int(state.get("ritu", {}).get("lamport", 0))
+        self._stamped_keys = set(state.get("store", {}).get("values", {}))
+        self._versions_gauge.set(len(self._stamped_keys))
+
+    def stats(self) -> Dict[str, Any]:
+        out = super().stats()
+        out["lamport"] = self._lamport
+        return out
+
+
+class RituMvLiveEngine(RituLiveEngine):
+    """RITU's multiversion variant: versioned store + VTNC frontier.
+
+    The paper's Modular Synchronization Method: every update carries a
+    *global transaction number* — live, the token from the cluster's
+    order server, the same machinery ORDUP's sequencer and failover
+    use — and installs immutable versions at that number.  The VTNC
+    (visible transaction number counter) advances along the contiguous
+    prefix of applied numbers; versions at or below it are stable and
+    read for free, newer (unstable) versions charge the query's
+    counter one unit per writer, and an exhausted budget degrades the
+    read to the newest *stable* version instead of blocking.
+
+    Unlike ORDUP there is **no holdback**: version installation
+    commutes, so MSets apply on arrival whatever their number, and
+    only *visibility* waits for the contiguous frontier.
+    """
+
+    method_name = "RITU-MV"
+    needs_order = True
+
+    def __init__(self, site, peers, clock=time.monotonic) -> None:
+        super().__init__(site, peers, clock)
+        self.mvstore = MultiVersionStore()
+        #: transaction numbers applied here, above the VTNC.
+        self._applied_numbers: Set[int] = set()
+        self._version_count = 0
+        #: reads served from a stable version because the budget was
+        #: exhausted (the degrade-instead-of-block path).
+        self.degraded_reads = 0
+
+    @property
+    def vtnc(self) -> int:
+        return self.mvstore.vtnc
+
+    def make_mset(
+        self,
+        tid: Any,
+        ops: Sequence[Operation],
+        order: Optional[Tuple[int, int]] = None,
+        info: Tuple[Tuple[str, Any], ...] = (),
+    ) -> MSet:
+        if order is None:
+            raise ValueError("RITU-MV updates need a global order token")
+        mset = super().make_mset(tid, ops, order=order, info=info)
+        # The order token's sequence *is* the global transaction number.
+        return MSet(
+            mset.tid,
+            mset.kind,
+            mset.ops,
+            origin=mset.origin,
+            order=mset.order,
+            txn_number=int(order[0]),
+            info=mset.info,
+        )
+
+    def _note_number(self, txn: int) -> None:
+        """Advance the VTNC along the contiguous applied prefix."""
+        if txn <= self.mvstore.vtnc:
+            return
+        self._applied_numbers.add(txn)
+        frontier = self.mvstore.vtnc
+        while frontier + 1 in self._applied_numbers:
+            frontier += 1
+            self._applied_numbers.discard(frontier)
+        self.mvstore.advance_vtnc(frontier)
+
+    def _accept_locked(self, mset: MSet, local: bool) -> List[MSet]:
+        assert mset.txn_number is not None, (
+            "RITU-MV MSets carry a transaction number"
+        )
+        txn = int(mset.txn_number)
+        self._observe_stamps(mset)
+        for op in mset.ops:
+            self.mvstore.install(op.key, op.value, txn, writer=mset.tid)
+            self._version_count += 1
+        # Mirror into the flat store (Thomas rule) so convergence
+        # checks, snapshots and the `values` verb keep working
+        # unchanged alongside the version history.
+        self._note_drift(mset)
+        self._apply_ops(mset)
+        self._note_number(txn)
+        self._versions_gauge.set(self._version_count)
+        return [mset]
+
+    async def query(
+        self,
+        keys: Sequence[str],
+        spec: EpsilonSpec,
+        timeout: float = 30.0,
+    ) -> QueryOutcome:
+        outcome = QueryOutcome()
+        budget = _QueryBudget(spec)
+        for key in list(keys):
+            async with self.cond:
+                try:
+                    latest = self.mvstore.read_latest(key)
+                except NoVisibleVersion:
+                    outcome.values[key] = self.store.get(key, 0)
+                    continue
+                if latest.txn_number <= self.mvstore.vtnc:
+                    # Stable (VTNC-visible): serializable for free.
+                    outcome.values[key] = latest.value
+                elif budget.try_charge({latest.writer}, self._drift.get):
+                    outcome.values[key] = latest.value
+                else:
+                    # Budget exhausted: degrade to the newest *stable*
+                    # version instead of blocking (RITU queries never
+                    # wait — stability only moves forward).
+                    self.degraded_reads += 1
+                    try:
+                        outcome.values[key] = (
+                            self.mvstore.read_visible(key).value
+                        )
+                    except NoVisibleVersion:
+                        outcome.values[key] = 0
+            await asyncio.sleep(0)  # let applies interleave
+        outcome.inconsistency = len(budget.imported)
+        outcome.overlap = tuple(sorted(budget.imported))
+        return outcome
+
+    def max_order_seen(self) -> int:
+        """Highest transaction number known here (failover resume)."""
+        seen = self.mvstore.vtnc
+        if self._applied_numbers:
+            seen = max(seen, max(self._applied_numbers))
+        return seen
+
+    def _method_checkpoint(self) -> Dict[str, Any]:
+        state = super()._method_checkpoint()
+        state["ritu_mv"] = {
+            "mv": self.mvstore.to_state(),
+            "applied_numbers": sorted(self._applied_numbers),
+            "version_count": self._version_count,
+        }
+        return state
+
+    def _method_restore(self, state: Dict[str, Any]) -> None:
+        super()._method_restore(state)
+        mv = state.get("ritu_mv", {})
+        self.mvstore = MultiVersionStore.from_state(mv.get("mv", {}))
+        self._applied_numbers = {
+            int(n) for n in mv.get("applied_numbers", ())
+        }
+        self._version_count = int(mv.get("version_count", 0))
+        self._versions_gauge.set(self._version_count)
+
+    def stats(self) -> Dict[str, Any]:
+        out = super().stats()
+        out["vtnc"] = self.mvstore.vtnc
+        out["versions"] = self._version_count
+        out["degraded_reads"] = self.degraded_reads
+        return out
+
+
+class CompeLiveEngine(CommuLiveEngine):
+    """COMPE over real sockets: optimistic apply + backward recovery.
+
+    Every update applies (and propagates) *before* its global
+    decision.  A COMMIT decision merely retires the obligation; an
+    ABORT decision runs **backward recovery** — the inverse operations
+    durably recorded in the compensation log apply as a compensating
+    step, and the update is reported ``COMPENSATED`` to its client.
+    At live scale this is the saga pattern: a saga's steps are
+    decision-deferred updates, and aborting the saga compensates its
+    committed steps in reverse submission order.
+
+    Operation restriction (stricter than the simulator's, by design):
+    admitted operations must commute *and* have prior-value-
+    independent inverses (increment/decrement, multiply/divide,
+    append).  That combination makes direct compensation exact in any
+    interleaving at every replica — the rollback-and-replay path the
+    simulator keeps for the general case is never needed — and makes
+    compensation-log replay order-free.
+
+    Queries charge one unit per *undecided* update observed (its
+    effects may yet be compensated away), on top of the COMMU
+    in-flight accounting.
+    """
+
+    method_name = "COMPE"
+
+    def __init__(self, site, peers, clock=time.monotonic) -> None:
+        super().__init__(site, peers, clock)
+        self._clog: Optional[CompensationLog] = None
+        #: tid -> encoded inverse ops (reverse op order), until decided.
+        self._undo: Dict[Any, List[Any]] = {}
+        #: tid -> written keys, until decided.
+        self._undo_keys: Dict[Any, Tuple[str, ...]] = {}
+        #: optimistically applied updates awaiting their decision.
+        self._undecided: Dict[Any, Tuple[str, ...]] = {}
+        self._undecided_by_key: Dict[str, Set[Any]] = {}
+        #: tid -> "commit" | "abort"; the first decision is final.
+        self._decided: Dict[Any, str] = {}
+        #: tids undone by backward recovery (COMPENSATED reporting).
+        self._compensated: Set[Any] = set()
+        #: saga bookkeeping: member tid -> saga id, saga id -> members
+        #: in submission order (compensated in reverse).
+        self._saga_members: Dict[Any, str] = {}
+        self._sagas: Dict[str, List[Any]] = {}
+        self.compensation_count = 0
+        self.operations_undone = 0
+
+    def bind_observability(
+        self, registry: Registry, trace: TraceRecorder
+    ) -> None:
+        super().bind_observability(registry, trace)
+        self._compensations_counter = registry.counter(
+            "compensations_total",
+            "updates undone by COMPE backward recovery",
+        )
+        self._clog_records_counter = registry.counter(
+            "compensation_log_records_total",
+            "records appended to the durable compensation log",
+        )
+        self._undecided_gauge = registry.gauge(
+            "compe_undecided_updates",
+            "optimistically applied updates awaiting a decision",
+        )
+
+    def attach_storage(
+        self,
+        data_dir: pathlib.Path,
+        fsync: bool = False,
+        fsync_interval: float = 0.0,
+    ) -> None:
+        self._clog = CompensationLog(
+            pathlib.Path(data_dir) / "compensation.log",
+            fsync=fsync,
+            fsync_interval=fsync_interval,
+        )
+
+    def close(self) -> None:
+        if self._clog is not None:
+            self._clog.close()
+
+    @property
+    def compensation_log(self) -> Optional[CompensationLog]:
+        return self._clog
+
+    def validate_update(self, ops: Sequence[Operation]) -> None:
+        super().validate_update(ops)  # COMMU commutativity restriction
+        for op in ops:
+            if op.is_read_op:
+                raise ValueError(
+                    "COMPE updates cannot read: observations cannot be "
+                    "compensated — use ORDUP for read-modify-write"
+                )
+            # Probe with two different priors: an inverse that depends
+            # on the overwritten value (WriteOp, multiply-by-zero)
+            # would compensate to *different* values at different
+            # replicas, so direct compensation would diverge.
+            if (
+                op.inverse(prior_value=None) is None
+                or op.inverse(prior_value=0) != op.inverse(prior_value=1)
+            ):
+                raise ValueError(
+                    "operation %r has no replica-independent "
+                    "compensation; COMPE over TCP admits only "
+                    "prior-value-independent inverses" % (op,)
+                )
+
+    def saga_members(self, saga: str) -> List[Any]:
+        """Member tids of one saga, in submission order."""
+        return list(self._sagas.get(saga, ()))
+
+    def decision_of(self, tid: Any) -> Optional[str]:
+        return self._decided.get(tid)
+
+    def compensated_tids(self) -> List[Any]:
+        return sorted(self._compensated)
+
+    def undo_keys(self, tid: Any) -> Tuple[str, ...]:
+        return tuple(self._undo_keys.get(tid, ()))
+
+    def _log_records(self) -> int:
+        return 0 if self._clog is None else self._clog.live_records
+
+    def _accept_locked(self, mset: MSet, local: bool) -> List[MSet]:
+        if mset.kind == MSetKind.UPDATE:
+            return self._accept_update_locked(mset, local)
+        if mset.kind in (MSetKind.COMMIT, MSetKind.ABORT):
+            return self._accept_decision_locked(mset, local)
+        return super()._accept_locked(mset, local)
+
+    def _accept_update_locked(self, mset: MSet, local: bool) -> List[MSet]:
+        applied = super()._accept_locked(mset, local)
+        tid = mset.tid
+        saga = mset.get_info("saga")
+        # Record the undo step BEFORE any decision can arrive: inverse
+        # ops in reverse op order, durably logged.  Inverses of the
+        # admitted algebra are prior-value-independent, so re-deriving
+        # them during recovery replay is deterministic — the log append
+        # is gated on the tid (idempotent), never the state change.
+        inverses = [
+            op.inverse(prior_value=None) for op in reversed(mset.ops)
+        ]
+        encoded = encode_ops([op for op in inverses if op is not None])
+        self._undo[tid] = encoded
+        self._undo_keys[tid] = mset.keys
+        if self._clog is not None and self._clog.log_undo(
+            tid, encoded, mset.keys, saga
+        ):
+            self._clog_records_counter.inc()
+        if saga is not None:
+            self._saga_members[tid] = saga
+            members = self._sagas.setdefault(saga, [])
+            if tid not in members:
+                members.append(tid)
+        if tid not in self._decided:
+            self._undecided[tid] = mset.keys
+            for key in mset.keys:
+                self._undecided_by_key.setdefault(key, set()).add(tid)
+        elif (
+            self._decided[tid] == "abort"
+            and tid not in self._compensated
+        ):
+            # The ABORT decision outran this update: decisions are
+            # emitted by whichever site decides the saga, so a third
+            # replica can hear the verdict (on the decider's channel)
+            # before the update itself (on its origin's channel).
+            # Compensate on delivery — the net effect is zero and the
+            # tables end exactly as if the update had arrived first.
+            undone = 0
+            for op in decode_ops(encoded):
+                self.store.apply(op, default=0)
+                undone += 1
+            self._compensated.add(tid)
+            self.compensation_count += 1
+            self.operations_undone += undone
+            self._compensations_counter.inc()
+            self.trace.event(
+                "compensate", tid=tid, ops=undone, late=True
+            )
+            self._undo.pop(tid, None)
+            self._undo_keys.pop(tid, None)
+        self._undecided_gauge.set(len(self._undecided))
+        return applied
+
+    def _accept_decision_locked(
+        self, mset: MSet, local: bool
+    ) -> List[MSet]:
+        target = mset.get_info("decides", mset.tid)
+        outcome = "abort" if mset.kind == MSetKind.ABORT else "commit"
+        if target in self._decided:
+            # Duplicate (recovery replay, or a second decider): the
+            # first decision a tid sees is final everywhere, so state
+            # is untouched — replaying decisions is idempotent.
+            return []
+        self._decided[target] = outcome
+        if self._clog is not None and self._clog.log_decision(
+            target, outcome
+        ):
+            self._clog_records_counter.inc()
+        keys = self._undecided.pop(target, ())
+        for key in keys:
+            holders = self._undecided_by_key.get(key)
+            if holders is not None:
+                holders.discard(target)
+                if not holders:
+                    del self._undecided_by_key[key]
+        if outcome == "abort":
+            encoded = self._undo.get(target)
+            if encoded is None and self._clog is not None:
+                encoded = self._clog.undo_ops(target)
+            if encoded is None:
+                # The decision outran its update (they may travel on
+                # different channels when a third site decided the
+                # saga).  Only the verdict is recorded here; the
+                # update's own delivery sees it and compensates then.
+                self.trace.event("compensate-pending", tid=target)
+            else:
+                undone = 0
+                for op in decode_ops(encoded):
+                    self.store.apply(op, default=0)
+                    undone += 1
+                self._compensated.add(target)
+                self.compensation_count += 1
+                self.operations_undone += undone
+                self._compensations_counter.inc()
+                # The compensation is itself a state change queries
+                # may observe mid-flight: charge it like any applied
+                # update.
+                self.state.note_applied(self.clock(), mset.tid, keys)
+                self.trace.event("compensate", tid=target, ops=undone)
+        # Decided tids never need their undo step again (duplicates
+        # are dropped above), so the tables stay bounded.
+        self._undo.pop(target, None)
+        self._undo_keys.pop(target, None)
+        self.applied_count += 1
+        self.last_applied_at = self.clock()
+        self._undecided_gauge.set(len(self._undecided))
+        if self._clog is not None:
+            self._clog.maybe_compact()
+        return [mset]
+
+    async def accept(self, mset: MSet, local: bool = False) -> List[MSet]:
+        applied = await super().accept(mset, local)
+        # Durability claim follows (channel ack / client commit ack):
+        # force a covering fsync of anything the accept logged.
+        if self._clog is not None:
+            self._clog.sync()
+        return applied
+
+    async def accept_batch(
+        self, msets: Sequence[MSet], local: bool = False
+    ) -> List[MSet]:
+        applied = await super().accept_batch(msets, local)
+        if self._clog is not None:
+            self._clog.sync()
+        return applied
+
+    def _query_sources(self, key: str, start: float) -> Set[Any]:
+        sources = super()._query_sources(key, start)
+        undecided = self._undecided_by_key.get(key)
+        if undecided:
+            sources = sources | undecided
+        return sources
+
+    def _method_checkpoint(self) -> Dict[str, Any]:
+        return {
+            "compe": {
+                "undo": {
+                    tid: [ops, list(self._undo_keys.get(tid, ()))]
+                    for tid, ops in self._undo.items()
+                },
+                "undecided": {
+                    tid: list(keys)
+                    for tid, keys in self._undecided.items()
+                },
+                "decided": dict(self._decided),
+                "compensated": sorted(self._compensated),
+                "sagas": {s: list(t) for s, t in self._sagas.items()},
+                "members": dict(self._saga_members),
+                "compensations": self.compensation_count,
+                "operations_undone": self.operations_undone,
+            }
+        }
+
+    def _method_restore(self, state: Dict[str, Any]) -> None:
+        super()._method_restore(state)
+        compe = state.get("compe", {})
+        self._undo = {}
+        self._undo_keys = {}
+        for tid, entry in dict(compe.get("undo", {})).items():
+            self._undo[tid] = list(entry[0])
+            self._undo_keys[tid] = tuple(entry[1])
+        self._undecided = {
+            tid: tuple(keys)
+            for tid, keys in dict(compe.get("undecided", {})).items()
+        }
+        self._undecided_by_key = {}
+        for tid, keys in self._undecided.items():
+            for key in keys:
+                self._undecided_by_key.setdefault(key, set()).add(tid)
+        self._decided = dict(compe.get("decided", {}))
+        self._compensated = set(compe.get("compensated", ()))
+        self._sagas = {
+            s: list(t) for s, t in dict(compe.get("sagas", {})).items()
+        }
+        self._saga_members = dict(compe.get("members", {}))
+        self.compensation_count = int(compe.get("compensations", 0))
+        self.operations_undone = int(compe.get("operations_undone", 0))
+        self._undecided_gauge.set(len(self._undecided))
+
+    def stats(self) -> Dict[str, Any]:
+        out = super().stats()
+        out["undecided"] = len(self._undecided)
+        out["compensations"] = self.compensation_count
+        out["operations_undone"] = self.operations_undone
+        out["compensation_log_records"] = self._log_records()
+        return out
+
+
 ENGINES = {
     "commu": CommuLiveEngine,
     "ordup": OrdupLiveEngine,
     "rowa": RowaLiveEngine,
+    "ritu": RituLiveEngine,
+    "ritu-mv": RituMvLiveEngine,
+    "compe": CompeLiveEngine,
 }
 
 

@@ -205,12 +205,16 @@ class ShardRouter:
         operations: Sequence[Operation],
         spec: Optional[EpsilonSpec] = None,
         timeout: Optional[float] = None,
+        saga: Optional[str] = None,
+        abort: bool = False,
     ) -> Dict[str, Any]:
         """Submit an update ET, split per owning group.
 
         Single-shard updates keep full per-group semantics; an update
         spanning shards is submitted to each group concurrently
         (independent per-shard MSets, no cross-group atomicity).
+        COMPE saga steps carry the saga id to every touched group, so
+        a later :meth:`decide` can reach each group's members.
         """
         ops = list(operations)
         by_shard: Dict[int, List[Operation]] = {}
@@ -221,10 +225,31 @@ class ShardRouter:
 
         async def one(shard: int, shard_ops: List[Operation]) -> Any:
             return await self._call(
-                shard, "update", shard_ops, spec, timeout
+                shard, "update", shard_ops, spec, timeout,
+                saga=saga, abort=abort,
             )
 
         shards = sorted(by_shard)
+        if abort:
+            # Every touched group compensates its split independently
+            # and raises COMPENSATED; collect them all and re-raise one
+            # failure carrying the union of undone tids.
+            outcomes = await asyncio.gather(
+                *(one(shard, by_shard[shard]) for shard in shards),
+                return_exceptions=True,
+            )
+            compensated: List[str] = []
+            for outcome in outcomes:
+                if isinstance(outcome, LiveETFailed) and outcome.compensated:
+                    compensated.extend(outcome.compensated_tids)
+                elif isinstance(outcome, BaseException):
+                    raise outcome
+            raise LiveETFailed(
+                "update applied optimistically and undone by backward "
+                "recovery on %d shard(s)" % len(shards),
+                "COMPENSATED",
+                {"compensated": compensated},
+            )
         frames = await asyncio.gather(
             *(one(shard, by_shard[shard]) for shard in shards)
         )
@@ -244,6 +269,63 @@ class ShardRouter:
 
     async def append(self, key: str, item: Any) -> Dict[str, Any]:
         return await self.update([AppendOp(key, item)])
+
+    async def decide(
+        self,
+        outcome: str,
+        saga: Optional[str] = None,
+        tids: Optional[Sequence[str]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Decide a COMPE saga commit/abort across every shard group.
+
+        A saga's steps may be spread over several groups (each step
+        landed at the group owning its keys), so the decide fans out to
+        all shards; groups with no recorded steps for the saga answer
+        "unknown saga" and are skipped.  The merged reply unions
+        ``decided``/``skipped``/``compensated`` across groups.
+        """
+
+        async def one(shard: int) -> Any:
+            try:
+                return await self._call(
+                    shard, "decide", outcome,
+                    saga=saga, tids=tids, timeout=timeout,
+                )
+            except LiveETFailed as exc:
+                if saga is not None and "unknown saga" in str(exc):
+                    return None  # this group held no steps of the saga
+                raise
+
+        shards = list(range(self.n_shards))
+        replies = await asyncio.gather(*(one(shard) for shard in shards))
+        merged: Dict[str, Any] = {
+            "outcome": outcome,
+            "decided": [],
+            "skipped": [],
+            "shards": {},
+        }
+        if outcome == "abort":
+            merged["compensated"] = []
+        if saga is not None:
+            merged["saga"] = saga
+        hits = 0
+        for shard, reply in zip(shards, replies):
+            if reply is None:
+                continue
+            hits += 1
+            merged["shards"][shard] = reply
+            merged["decided"].extend(reply.get("decided", ()))
+            merged["skipped"].extend(reply.get("skipped", ()))
+            if outcome == "abort":
+                merged["compensated"].extend(reply.get("compensated", ()))
+        if saga is not None and not hits:
+            raise LiveETFailed(
+                "unknown saga %r (no group recorded any step)" % (saga,),
+                "ValueError",
+                {},
+            )
+        return merged
 
     # -- queries ---------------------------------------------------------------
 
@@ -530,8 +612,12 @@ class RouterSession:
         operations: Sequence[Operation],
         spec: Optional[EpsilonSpec] = None,
         timeout: Optional[float] = None,
+        saga: Optional[str] = None,
+        abort: bool = False,
     ) -> Dict[str, Any]:
-        frame = await self._router.update(operations, spec, timeout)
+        frame = await self._router.update(
+            operations, spec, timeout, saga=saga, abort=abort
+        )
         for shard_frame in frame.get("shards", {}).values():
             tid = shard_frame.get("tid")
             if isinstance(tid, str):

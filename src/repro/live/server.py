@@ -142,6 +142,7 @@ __all__ = [
     "Unavailable",
     "Overloaded",
     "SessionStale",
+    "Compensated",
     "WrongShard",
     "LOCAL_CHANNEL",
 ]
@@ -191,6 +192,23 @@ class SessionStale(RuntimeError):
     def __init__(self, message: str, frontiers: Dict[str, int]) -> None:
         super().__init__(message)
         self.extra = {"frontiers": frontiers}
+
+
+class Compensated(RuntimeError):
+    """An optimistically applied update was undone by COMPE's backward
+    recovery (an ABORT decision compensated its effects).
+
+    Carried to clients as error code ``COMPENSATED``; the response
+    ships the undone tids (``compensated``) so the caller knows
+    exactly which updates were reverted — an honest "briefly visible,
+    then removed", never a silent drop.
+    """
+
+    code = "COMPENSATED"
+
+    def __init__(self, message: str, compensated: Sequence[Any]) -> None:
+        super().__init__(message)
+        self.extra = {"compensated": list(compensated)}
 
 
 #: bytes of snapshot data served per ``snapshot-fetch`` chunk — held
@@ -429,6 +447,7 @@ class ReplicaServer:
         # overrides still take effect.
         self._verb_handlers = {
             "update": "_handle_update",
+            "decide": "_handle_decide",
             "query": "_handle_query",
             "values": "_handle_values",
             "stats": "_handle_stats",
@@ -642,6 +661,11 @@ class ReplicaServer:
         if self.election.epoch > 0 and hasattr(self.engine, "adopt_epoch"):
             self.engine.adopt_epoch(self.election.epoch, self.election.base)
         self.m_leader_epoch.set(self.election.epoch)
+        # Method-owned durable state (COMPE's compensation log) opens
+        # before recovery so replay finds its dedup maps loaded.
+        self.engine.attach_storage(
+            self.data_dir, self.fsync, self.fsync_interval
+        )
         await self._recover()
         self._running = True
         self._server = await asyncio.start_server(
@@ -853,6 +877,7 @@ class ReplicaServer:
             self._order_conn = None
         for box in list(self.outboxes.values()) + list(self.inboxes.values()):
             box.close()
+        self.engine.close()
         for fut in list(self._apply_futures.values()) + list(
             self._full_ack_futures.values()
         ):
@@ -3116,6 +3141,17 @@ class ReplicaServer:
         writes = tuple(op for op in ops if is_write(op))
         read_keys = [op.key for op in ops if op.is_read_op]
 
+        saga = frame.get("saga")
+        abort = bool(frame.get("abort"))
+        is_compe = hasattr(self.engine, "decision_of")
+        if (saga is not None or abort) and not is_compe:
+            raise ValueError(
+                "saga/abort updates need the COMPE method (got %s)"
+                % self.engine.method_name
+            )
+        if saga is not None and (not isinstance(saga, str) or not saga):
+            raise ValueError("saga id must be a non-empty string")
+
         order = None
         if self.engine.needs_order:
             order = await self._acquire_order()
@@ -3137,15 +3173,16 @@ class ReplicaServer:
                     )
             tid_seq = self.inboxes[LOCAL_CHANNEL].frontier + 1
             tid = "%s:%d" % (self.name, tid_seq)
-            info = (("reads", read_keys),) if read_keys else ()
-            mset = MSet(
-                tid,
-                MSetKind.UPDATE,
-                writes,
-                origin=self.name,
-                order=order,
-                info=info,
-            )
+            info_items = []
+            if read_keys:
+                info_items.append(("reads", read_keys))
+            if saga is not None:
+                info_items.append(("saga", saga))
+            info = tuple(info_items)
+            # The engine owns local MSet construction: RITU stamps the
+            # writes with its Lamport clock here, RITU-MV additionally
+            # turns the order token into the global transaction number.
+            mset = self.engine.make_mset(tid, writes, order=order, info=info)
             payload = {"mset": encode_mset(mset)}
             # Encode the payload exactly once; the same bytes become
             # the local log line, every outbox log line, and (on a
@@ -3198,9 +3235,129 @@ class ReplicaServer:
             fut = self._full_ack_futures.get(tid)
             if fut is not None:
                 await asyncio.wait_for(fut, timeout=self.commit_timeout)
+        decided: Optional[str] = None
+        if is_compe:
+            # COMPE commits optimistically; the *decision* is a separate
+            # durable MSet.  Outside a saga the origin decides COMMIT
+            # immediately; a saga step stays undecided until the saga's
+            # ``decide`` verb; ``abort`` exercises backward recovery on
+            # the spot (the validation-failure path of the paper).
+            if abort:
+                await self._emit_decision(tid, "abort")
+                self.m_updates_rejected.labels(reason="compensated").inc()
+                raise Compensated(
+                    "update %s applied optimistically and undone by "
+                    "backward recovery (abort requested)" % tid,
+                    [tid],
+                )
+            if saga is None:
+                await self._emit_decision(tid, "commit")
+                decided = "commit"
         values = self.engine.pop_read_results(tid)
         await self._notify_drain()
-        return {"tid": tid, "values": values}
+        body = {"tid": tid, "values": values}
+        if decided is not None:
+            body["decided"] = decided
+        if saga is not None:
+            body["saga"] = saga
+        return body
+
+    async def _emit_decision(self, target: str, outcome: str) -> str:
+        """Originate a durable decision MSet for ``target``.
+
+        Decisions travel the same durable path as updates — local inbox
+        record first, then every outbound channel log — but under a
+        *fresh* tid with ``info=(("decides", target),)``: reusing the
+        update's tid would corrupt the ack bookkeeping
+        (``_seq_tid``/``_unacked``) that still tracks the update itself.
+        The origin emits both the update and its decision on the same
+        channels, so every replica sees update-before-decision and a
+        decision can never arrive for an update it has not logged.
+        """
+        kind = MSetKind.ABORT if outcome == "abort" else MSetKind.COMMIT
+        async with self._apply_lock:
+            tid_seq = self.inboxes[LOCAL_CHANNEL].frontier + 1
+            tid = "%s:%d" % (self.name, tid_seq)
+            mset = MSet(
+                tid,
+                kind,
+                (),
+                origin=self.name,
+                info=(("decides", target),),
+            )
+            payload = {"mset": encode_mset(mset)}
+            blob = payload_blob(payload)
+            self.trace.event(
+                "decision-submit", tid=tid, decides=target, outcome=outcome
+            )
+            self.inboxes[LOCAL_CHANNEL].record(tid_seq, payload, blob=blob)
+            self._local_keys[tid] = mset.keys
+            if self.peer_names:
+                self._unacked[tid] = set(self.peer_names)
+                for peer in self.peer_names:
+                    seq = self.outboxes[peer].append(payload, blob=blob)
+                    self._seq_tid[(peer, seq)] = tid
+            self.inboxes[LOCAL_CHANNEL].sync()
+            for peer in self.peer_names:
+                self.outboxes[peer].sync()
+            applied = await self.engine.accept(mset, local=True)
+            self._resolve_applied(applied)
+        self._kick_channels()
+        if not self.peer_names:
+            await self.engine.fully_acked(tid, self._local_keys.pop(tid, ()))
+        await self._notify_drain()
+        return tid
+
+    async def _handle_decide(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Decide a saga (or an explicit tid list) commit or abort.
+
+        ``{"saga": S}`` resolves to the saga's member tids in submission
+        order; an abort decides them in *reverse* submission order — the
+        saga pattern's backward recovery.  Already-decided tids are
+        skipped (the first decision is final), which makes retrying a
+        partially delivered decide idempotent.
+        """
+        if not hasattr(self.engine, "decision_of"):
+            raise ValueError(
+                "decide needs the COMPE method (got %s)"
+                % self.engine.method_name
+            )
+        outcome = frame.get("outcome")
+        if outcome not in ("commit", "abort"):
+            raise ValueError("decide outcome must be 'commit' or 'abort'")
+        saga = frame.get("saga")
+        tids = frame.get("tids")
+        if saga is not None:
+            targets = self.engine.saga_members(saga)
+            if not targets:
+                raise ValueError(
+                    "unknown saga %r (no recorded steps here)" % (saga,)
+                )
+        elif tids:
+            targets = [str(t) for t in tids]
+        else:
+            raise ValueError("decide needs a 'saga' id or a 'tids' list")
+        if outcome == "abort":
+            targets = list(reversed(targets))
+        decided: List[str] = []
+        skipped: List[Dict[str, Any]] = []
+        for target in targets:
+            prior = self.engine.decision_of(target)
+            if prior is not None:
+                skipped.append({"tid": target, "outcome": prior})
+                continue
+            await self._emit_decision(target, outcome)
+            decided.append(target)
+        body: Dict[str, Any] = {
+            "outcome": outcome,
+            "decided": decided,
+            "skipped": skipped,
+        }
+        if outcome == "abort":
+            body["compensated"] = list(decided)
+        if saga is not None:
+            body["saga"] = saga
+        return body
 
     def _applied_frontiers(self) -> Dict[str, int]:
         """Per-site applied frontier vector, with the local channel

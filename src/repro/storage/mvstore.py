@@ -159,3 +159,38 @@ class MultiVersionStore:
     def latest_values(self) -> Dict[str, Any]:
         """key -> newest value (for convergence comparison)."""
         return {key: self.read_latest(key).value for key in self.keys()}
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_state(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of every version plus the VTNC.
+
+        The live runtime's snapshot/checkpoint machinery persists this
+        verbatim; :meth:`from_state` rebuilds an equivalent store
+        (including the sequence counter, so compensations installed
+        after a restore keep shadowing correctly).
+        """
+        return {
+            "vtnc": self._vtnc,
+            "sequence": self._sequence,
+            "versions": {
+                key: [
+                    [v.txn_number, v.value, v.writer, v.sequence]
+                    for v in versions
+                ]
+                for key, versions in self._versions.items()
+                if versions
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "MultiVersionStore":
+        store = cls()
+        store._vtnc = int(state.get("vtnc", 0))
+        store._sequence = int(state.get("sequence", 0))
+        for key, versions in dict(state.get("versions", {})).items():
+            store._versions[key] = [
+                Version(int(t), value, writer, int(seq))
+                for t, value, writer, seq in versions
+            ]
+        return store

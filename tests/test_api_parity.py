@@ -19,10 +19,13 @@ import pytest
 from repro import (
     Client,
     CommutativeOperations,
+    CompensationBased,
     Consistency,
+    DecrementOp,
     ETError,
     ETFailed,
     IncrementOp,
+    ReadIndependentUpdates,
     ReadOptions,
     ReplicatedSystem,
     SystemConfig,
@@ -46,12 +49,23 @@ SHARED_VERBS = (
 )
 
 
+SIM_METHODS = {
+    "commu": CommutativeOperations,
+    "ritu": ReadIndependentUpdates,
+    # Short decision delay so run_to_quiescence covers the commit.
+    "compe": lambda: CompensationBased(decision_delay=1.0),
+}
+
+
 class SimBackend:
     """Adapts the synchronous sim client to the async driver."""
 
+    def __init__(self, method="commu"):
+        self.method = method
+
     async def start(self):
         system = ReplicatedSystem(
-            CommutativeOperations(), SystemConfig(n_sites=3, seed=11)
+            SIM_METHODS[self.method](), SystemConfig(n_sites=3, seed=11)
         )
         self.client = Client(system, "site0")
 
@@ -71,8 +85,11 @@ class SimBackend:
 
 
 class LiveBackend:
+    def __init__(self, method="commu"):
+        self.method = method
+
     async def start(self):
-        self.cluster = LiveCluster(n_sites=3, method="commu")
+        self.cluster = LiveCluster(n_sites=3, method=self.method)
         await self.cluster.start()
         self.client = await self.cluster.client("site0")
 
@@ -94,8 +111,13 @@ class ShardedBackend:
     """The same program again, with the keyspace split across two
     replica groups behind the client-side shard router."""
 
+    def __init__(self, method="commu"):
+        self.method = method
+
     async def start(self):
-        self.cluster = ShardedCluster(n_shards=2, replicas=2)
+        self.cluster = ShardedCluster(
+            n_shards=2, replicas=2, method=self.method
+        )
         await self.cluster.start()
         self.client = self.cluster.router()
 
@@ -180,9 +202,49 @@ async def _typed_program(backend):
     return out
 
 
-def _run(backend_name, program=_shared_program):
+async def _ritu_program(backend):
+    """Blind timestamped writes: RITU's whole verb surface is the
+    portable one — last writer wins, reads sort at query time."""
+    out = {}
+    await backend.call("write", "city", "akron")
+    await backend.call("write", "city", "boston")
+    await backend.call("write", "temp", 21)
+    await backend.call("settle")
+    out["city"] = await backend.call("read", "city")
+    out["strict_city"] = await backend.call("read", "city", epsilon=0)
+    out["many"] = await backend.call("read_many", ["city", "temp"])
+    result = await backend.call(
+        "query", ["city", "temp"], EpsilonSpec(import_limit=4)
+    )
+    out["query_values"] = dict(result.values)
+    out["inconsistency"] = result.inconsistency
+    return out
+
+
+async def _compe_program(backend):
+    """Commutative, invertible updates under compensation-based
+    control: plain updates auto-commit, reads settle to the same
+    answers on every backend."""
+    out = {}
+    await backend.call("increment", "bal", 100)
+    await backend.call("decrement", "bal", 30)
+    await backend.call("update", [IncrementOp("bal", 5)])
+    await backend.call("increment", "pts", 7)
+    await backend.call("settle")
+    out["bal"] = await backend.call("read", "bal")
+    out["many"] = await backend.call("read_many", ["bal", "pts"])
+    result = await backend.call(
+        "query", ["bal"], EpsilonSpec(import_limit=5)
+    )
+    out["query_bal"] = result.values["bal"]
+    out["inconsistency"] = result.inconsistency
+    return out
+
+
+def _run(backend_name, program=_shared_program, method=None):
     async def scenario():
-        backend = BACKENDS[backend_name]()
+        cls = BACKENDS[backend_name]
+        backend = cls() if method is None else cls(method)
         await backend.start()
         try:
             return await program(backend)
@@ -273,17 +335,129 @@ class TestSameProgramSameAnswers:
         assert reference == canonical(_run("sharded"))
 
 
+class TestMethodParity:
+    """RITU and COMPE serve the same portable programs on every
+    backend — simulator, one live replica group, and the sharded
+    router — with the same answers and the same typed results."""
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_ritu_program(self, backend):
+        out = _run(backend, _ritu_program, method="ritu")
+        assert out["city"] == "boston"
+        assert out["strict_city"] == "boston"
+        assert out["many"] == {"city": "boston", "temp": 21}
+        assert out["query_values"] == {"city": "boston", "temp": 21}
+        assert out["inconsistency"] == 0
+
+    def test_ritu_backends_agree_exactly(self):
+        reference = _run("sim", _ritu_program, method="ritu")
+        assert reference == _run("live", _ritu_program, method="ritu")
+        assert reference == _run("sharded", _ritu_program, method="ritu")
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_compe_program(self, backend):
+        out = _run(backend, _compe_program, method="compe")
+        assert out["bal"] == 75
+        assert out["many"] == {"bal": 75, "pts": 7}
+        assert out["query_bal"] == 75
+        assert out["inconsistency"] == 0
+
+    def test_compe_backends_agree_exactly(self):
+        reference = _run("sim", _compe_program, method="compe")
+        assert reference == _run("live", _compe_program, method="compe")
+        assert reference == _run(
+            "sharded", _compe_program, method="compe"
+        )
+
+    @pytest.mark.parametrize("backend", ("live", "sharded"))
+    def test_saga_surface_parity(self, backend):
+        """The saga verbs behave identically through one replica group
+        and through the shard router: abort decides every step, names
+        the compensated tids, and ``abort=True`` fails with the typed
+        COMPENSATED code — and the stores end where they started."""
+
+        async def scenario():
+            if backend == "live":
+                cluster = LiveCluster(n_sites=3, method="compe")
+                await cluster.start()
+                client = await cluster.client(cluster.names[0])
+            else:
+                cluster = ShardedCluster(
+                    n_shards=2, replicas=2, method="compe"
+                )
+                await cluster.start()
+                client = cluster.router()
+            try:
+                out = {}
+                await client.increment("stock_a", 10)
+                await client.increment("stock_b", 10)
+                def tids_of(reply):
+                    # Routed updates nest per-shard frames; a single
+                    # replica group answers with a bare frame.
+                    if "tid" in reply:
+                        return [reply["tid"]]
+                    return [
+                        frame["tid"]
+                        for frame in reply["shards"].values()
+                    ]
+
+                r1 = await client.update(
+                    [DecrementOp("stock_a", 1)], saga="order-1"
+                )
+                r2 = await client.update(
+                    [DecrementOp("stock_b", 1)], saga="order-1"
+                )
+                await client.settle()
+                reply = await client.decide("abort", saga="order-1")
+                out["decided"] = sorted(reply["decided"])
+                out["steps"] = sorted(tids_of(r1) + tids_of(r2))
+                out["compensated"] = sorted(reply["compensated"])
+                # Retrying the decision is idempotent: nothing new.
+                retry = await client.decide("abort", saga="order-1")
+                out["retry_decided"] = list(retry["decided"])
+                try:
+                    await client.update(
+                        [DecrementOp("stock_a", 5)], abort=True
+                    )
+                    out["probe"] = None
+                except LiveETFailed as exc:
+                    out["probe"] = (
+                        exc.code,
+                        exc.compensated,
+                        len(exc.compensated_tids),
+                    )
+                await client.settle()
+                out["stock"] = await client.read_many(
+                    ["stock_a", "stock_b"]
+                )
+                if backend == "sharded":
+                    await client.close()
+                return out
+            finally:
+                await cluster.stop()
+
+        out = asyncio.run(scenario())
+        assert out["decided"] == out["steps"]
+        assert out["compensated"] == out["steps"]
+        assert out["retry_decided"] == []
+        assert out["probe"] == ("COMPENSATED", True, 1)
+        assert out["stock"] == {"stock_a": 10, "stock_b": 10}
+
+
 class TestSharedFailureTaxonomy:
     def test_both_failures_are_et_errors(self):
         assert issubclass(ETFailed, ETError)
         assert issubclass(LiveETFailed, ETError)
 
     def test_codes_are_stable_strings(self):
-        from repro import ABORTED, EPSILON_EXCEEDED, UNAVAILABLE
+        from repro import (
+            ABORTED, COMPENSATED, EPSILON_EXCEEDED, UNAVAILABLE,
+        )
 
         assert UNAVAILABLE == "UNAVAILABLE"
         assert EPSILON_EXCEEDED == "EPSILON_EXCEEDED"
         assert ABORTED == "ABORTED"
+        assert COMPENSATED == "COMPENSATED"
 
     def test_one_except_clause_catches_either(self):
         for exc in (
@@ -301,3 +475,24 @@ class TestSharedFailureTaxonomy:
         assert LiveETFailed("refused", "UNAVAILABLE").unavailable
         assert not LiveETFailed("other", "ABORTED").unavailable
         assert ETError("x", "ABORTED").aborted
+
+    def test_compensated_predicate(self):
+        assert ETError("undone", "COMPENSATED").compensated
+        assert not ETError("x", "ABORTED").compensated
+        failure = LiveETFailed(
+            "undone", "COMPENSATED", {"compensated": ["site0:4"]}
+        )
+        assert failure.compensated
+        assert failure.compensated_tids == ("site0:4",)
+
+    def test_sim_compensated_status_maps_to_typed_code(self):
+        """A sim ET that finishes COMPENSATED raises with the same
+        stable code the live runtime uses."""
+        from repro import ETResult, ETStatus, UpdateET
+
+        result = ETResult(
+            et=UpdateET([IncrementOp("k", 1)]), status=ETStatus.COMPENSATED
+        )
+        exc = ETFailed(result)
+        assert exc.code == "COMPENSATED"
+        assert exc.compensated
